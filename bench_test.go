@@ -1,0 +1,169 @@
+// Benchmarks regenerating each table of the paper's evaluation. Every
+// benchmark runs the corresponding experiment end-to-end on the
+// discrete-event simulator and reports the virtual-time throughput
+// figures next to Go's wall-clock numbers; the virtual metrics
+// (suffixed _MBps and _cpu%) are the ones to compare with the paper.
+// See EXPERIMENTS.md for the paper-vs-measured record and
+// cmd/benchtables for the full table renderings.
+package repro_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// benchCfg keeps benchmark iterations quick while preserving the
+// shape; use cmd/benchtables for bigger runs.
+func benchCfg() bench.Config {
+	cfg := bench.DefaultConfig()
+	cfg.DataMB = 24
+	cfg.AgeRounds = 4
+	cfg.Verify = false
+	return cfg
+}
+
+func BenchmarkTable1BlockStates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := bench.Table1()
+		if strings.Contains(out, "MISMATCH") {
+			b.Fatalf("Table 1 semantics violated:\n%s", out)
+		}
+	}
+}
+
+func BenchmarkTable2BasicBackupRestore(b *testing.B) {
+	ctx := context.Background()
+	cfg := benchCfg()
+	var last *bench.BasicResult
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunBasic(ctx, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.LogicalBackup.MBps(), "LB_MBps")
+	b.ReportMetric(last.LogicalRestore.MBps(), "LR_MBps")
+	b.ReportMetric(last.PhysicalBackup.MBps(), "PB_MBps")
+	b.ReportMetric(last.PhysicalRestore.MBps(), "PR_MBps")
+}
+
+func BenchmarkTable3StageBreakdown(b *testing.B) {
+	ctx := context.Background()
+	cfg := benchCfg()
+	var cpuLogical, cpuPhysical float64
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunBasic(ctx, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cpuLogical = res.LogicalBackup.CPUUtil
+		cpuPhysical = res.PhysicalBackup.CPUUtil
+	}
+	b.ReportMetric(100*cpuLogical, "logicalDump_cpu%")
+	b.ReportMetric(100*cpuPhysical, "physicalDump_cpu%")
+}
+
+func benchParallel(b *testing.B, drives int) {
+	ctx := context.Background()
+	cfg := benchCfg()
+	var last *bench.ParallelResult
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunParallel(ctx, cfg, drives)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.LogicalBackup.MBps(), "LB_MBps")
+	b.ReportMetric(last.PhysicalBackup.MBps(), "PB_MBps")
+	b.ReportMetric(last.PhysicalRestore.MBps(), "PR_MBps")
+	b.ReportMetric(100*last.LogicalBackup.CPUUtil, "LB_cpu%")
+}
+
+func BenchmarkTable4Parallel2Drives(b *testing.B) { benchParallel(b, 2) }
+
+func BenchmarkTable5Parallel4Drives(b *testing.B) { benchParallel(b, 4) }
+
+func BenchmarkTable6ConcurrentVolumes(b *testing.B) {
+	ctx := context.Background()
+	cfg := benchCfg()
+	var slowdown float64
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunConcurrentVolumes(ctx, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		slowdown = float64(res.HomeConcurrent.Elapsed) / float64(res.HomeIsolated.Elapsed)
+	}
+	b.ReportMetric(slowdown, "concurrent_slowdown_x")
+}
+
+func BenchmarkTable7Scaling(b *testing.B) {
+	ctx := context.Background()
+	cfg := benchCfg()
+	var pts []bench.ScalingPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = bench.RunScaling(ctx, cfg, []int{1, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(pts[1].LogicalGBph, "logical4_GBph")
+	b.ReportMetric(pts[1].PhysGBph, "physical4_GBph")
+}
+
+func benchAblation(b *testing.B, run func(context.Context, bench.Config) (*bench.AblationResult, error)) {
+	ctx := context.Background()
+	cfg := benchCfg()
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		res, err := run(ctx, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = res.Speedup()
+	}
+	b.ReportMetric(speedup, "speedup_x")
+}
+
+func BenchmarkTable8NVRAMBypass(b *testing.B) { benchAblation(b, bench.RunNVRAMAblation) }
+
+func BenchmarkTable9ReadAhead(b *testing.B) { benchAblation(b, bench.RunReadAheadAblation) }
+
+func BenchmarkTable10ZeroCopy(b *testing.B) { benchAblation(b, bench.RunCopyAblation) }
+
+func BenchmarkTable11Incremental(b *testing.B) {
+	ctx := context.Background()
+	cfg := benchCfg()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunIncremental(ctx, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = float64(res.IncrPhysicalBlocks) / float64(res.FullPhysicalBlocks)
+	}
+	b.ReportMetric(100*ratio, "incr_size_%of_full")
+}
+
+func BenchmarkTable12MirrorLag(b *testing.B) {
+	ctx := context.Background()
+	cfg := benchCfg()
+	cfg.DataMB = 16
+	var pts []bench.MirrorPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = bench.RunMirrorLag(ctx, cfg, []float64{4})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	p := pts[0]
+	b.ReportMetric(p.InitialSync.Seconds(), "initial_s")
+	b.ReportMetric(p.SteadySync.Seconds(), "steady_s")
+}

@@ -1,0 +1,147 @@
+// Command benchtables regenerates every table of the paper's
+// evaluation (§5) plus the extension and ablation experiments indexed
+// in DESIGN.md, printing them in the paper's layout. All time is
+// virtual (discrete-event simulated); data sizes are laptop-scale, so
+// rates, ratios and utilizations — not absolute hours — are the
+// numbers to compare with the paper.
+//
+// Usage:
+//
+//	benchtables [-table N] [-mb M] [-age R] [-seed S] [-noverify]
+//
+// Tables: 1 block states, 2 basic throughput, 3 stage breakdown,
+// 4 two drives, 5 four drives, 6 concurrent volumes, 7 scaling
+// summary, 8 NVRAM ablation, 9 read-ahead ablation, 10 zero-copy
+// ablation, 11 incremental dumps, 12 mirroring lag. Default: all.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table to regenerate (0 = all)")
+	mb := flag.Int("mb", 48, "dataset size in MiB")
+	age := flag.Int("age", 6, "aging rounds (fragmentation)")
+	seed := flag.Int64("seed", 1999, "workload seed")
+	noverify := flag.Bool("noverify", false, "skip restored-tree verification")
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	cfg.DataMB = *mb
+	cfg.AgeRounds = *age
+	cfg.Seed = *seed
+	cfg.Verify = !*noverify
+
+	ctx := context.Background()
+	want := func(n int) bool { return *table == 0 || *table == n }
+
+	if want(1) {
+		fmt.Println(bench.Table1())
+	}
+	if want(2) || want(3) {
+		res, err := bench.RunBasic(ctx, cfg)
+		die(err)
+		if want(2) {
+			fmt.Println(bench.FormatOpsTable(
+				fmt.Sprintf("Table 2: Basic Backup and Restore Performance (%d MB mature dataset)", res.DataBytes>>20),
+				res.Ops()))
+		}
+		if want(3) {
+			groups := map[string][]*bench.Stage{
+				"Logical Dump":     res.LogicalBackup.Stages,
+				"Logical Restore":  res.LogicalRestore.Stages,
+				"Physical Dump":    res.PhysicalBackup.Stages,
+				"Physical Restore": res.PhysicalRestore.Stages,
+			}
+			fmt.Println(bench.FormatStagesTable("Table 3: Dump and Restore Details", groups,
+				[]string{"Logical Dump", "Logical Restore", "Physical Dump", "Physical Restore"}))
+		}
+	}
+	for _, tc := range []struct{ n, drives int }{{4, 2}, {5, 4}} {
+		if !want(tc.n) {
+			continue
+		}
+		res, err := bench.RunParallel(ctx, cfg, tc.drives)
+		die(err)
+		groups := map[string][]*bench.Stage{
+			"Logical Backup":   res.LogicalBackupStages,
+			"Logical Restore":  res.LogicalRestoreStages,
+			"Physical Backup":  res.PhysicalBackupStages,
+			"Physical Restore": res.PhysicalRestoreStages,
+		}
+		fmt.Println(bench.FormatParallelTable(
+			fmt.Sprintf("Table %d: Parallel Backup and Restore Performance on %d tape drives (%d MB)",
+				tc.n, tc.drives, res.DataBytes>>20),
+			groups,
+			[]string{"Logical Backup", "Logical Restore", "Physical Backup", "Physical Restore"}))
+		fmt.Println(bench.FormatOpsTable("  Aggregate:", []bench.OpResult{
+			res.LogicalBackup, res.LogicalRestore, res.PhysicalBackup, res.PhysicalRestore,
+		}))
+	}
+	if want(6) {
+		res, err := bench.RunConcurrentVolumes(ctx, cfg)
+		die(err)
+		fmt.Println(bench.FormatOpsTable("Table 6: Concurrent dumps of two volumes (cf. §5.1)",
+			[]bench.OpResult{res.HomeIsolated, res.RlseIsolated, res.HomeConcurrent, res.RlseConcurrent}))
+	}
+	if want(7) {
+		points, err := bench.RunScaling(ctx, cfg, []int{1, 2, 4})
+		die(err)
+		fmt.Println("Table 7: Backup scaling with tape drives (cf. §5.2–5.3)")
+		fmt.Printf("%-8s %-28s %-28s\n", "Drives", "Logical GB/h (per tape, CPU)", "Physical GB/h (per tape, CPU)")
+		for _, p := range points {
+			fmt.Printf("%-8d %6.1f (%5.1f, %3.0f%%)          %6.1f (%5.1f, %3.0f%%)\n",
+				p.Drives, p.LogicalGBph, p.LogicalPer, 100*p.LogicalCPU,
+				p.PhysGBph, p.PhysPer, 100*p.PhysCPU)
+		}
+		fmt.Println()
+	}
+	for _, tc := range []struct {
+		n   int
+		run func(context.Context, bench.Config) (*bench.AblationResult, error)
+	}{{8, bench.RunNVRAMAblation}, {9, bench.RunReadAheadAblation}, {10, bench.RunCopyAblation}} {
+		if !want(tc.n) {
+			continue
+		}
+		res, err := tc.run(ctx, cfg)
+		die(err)
+		fmt.Printf("Table %d: %s (speedup %.2fx)\n", tc.n, res.Name, res.Speedup())
+		fmt.Println(bench.FormatOpsTable("", []bench.OpResult{res.Baseline, res.Variant}))
+	}
+	if want(12) {
+		pts, err := bench.RunMirrorLag(ctx, cfg, []float64{1, 4, 16})
+		die(err)
+		fmt.Println("Table 12: Incremental-image mirroring over a network link (§6 extension)")
+		fmt.Printf("%-12s %-28s %-28s\n", "Link MB/s", "Initial sync (blocks)", "Steady sync after ~3% churn")
+		for _, p := range pts {
+			fmt.Printf("%-12.1f %-10v (%6d)          %-10v (%6d)\n",
+				p.LinkMBps, p.InitialSync.Round(time.Millisecond), p.InitialBlk,
+				p.SteadySync.Round(time.Millisecond), p.SteadyBlk)
+		}
+		fmt.Println()
+	}
+	if want(11) {
+		res, err := bench.RunIncremental(ctx, cfg)
+		die(err)
+		fmt.Println("Table 11: Incremental dumps after ~5% churn (§6 extension)")
+		fmt.Printf("  Logical:  full %8d KB in %-12v  level-1 %8d KB in %v\n",
+			res.FullLogicalBytes>>10, res.FullLogical.Elapsed, res.IncrLogicalBytes>>10, res.IncrLogical.Elapsed)
+		fmt.Printf("  Physical: full %8d blocks in %-9v incr    %8d blocks in %v\n",
+			res.FullPhysicalBlocks, res.FullPhysical.Elapsed, res.IncrPhysicalBlocks, res.IncrPhysical.Elapsed)
+		fmt.Println()
+	}
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtables:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,261 @@
+// Package bench is the measurement harness that regenerates the
+// paper's evaluation (§5): basic backup/restore to one tape (Tables 2
+// and 3), parallel backup/restore to two and four tapes (Tables 4 and
+// 5), the concurrent-volume experiment and the scaling summary of
+// §5.1–5.3, plus the ablations called out in DESIGN.md. Results carry
+// elapsed virtual time, throughput, and per-stage CPU/disk/tape
+// utilization in the same shape the paper reports.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/raid"
+	"repro/internal/sim"
+	"repro/internal/tape"
+)
+
+// Meters knows how to sample every resource of an experiment.
+type Meters struct {
+	Env   *sim.Env
+	CPU   *sim.Station
+	Vols  []*raid.Volume
+	Tapes []*tape.Drive
+}
+
+// Sample is a point-in-time reading of all resources.
+type Sample struct {
+	T                   sim.Time
+	CPUBusy             time.Duration
+	DiskRead, DiskWrite int64
+	DiskBusy            time.Duration
+	TapeIO              int64
+	TapeBusy            time.Duration
+}
+
+// Take reads all meters now.
+func (m *Meters) Take() Sample {
+	s := Sample{T: m.Env.Now()}
+	if m.CPU != nil {
+		s.CPUBusy = m.CPU.Busy()
+	}
+	for _, v := range m.Vols {
+		r, w := v.Traffic()
+		s.DiskRead += r
+		s.DiskWrite += w
+		s.DiskBusy += v.DiskBusy()
+	}
+	for _, t := range m.Tapes {
+		w, r, _ := t.Stats()
+		s.TapeIO += w + r
+		if st := t.Station(); st != nil {
+			s.TapeBusy += st.Busy()
+		}
+	}
+	return s
+}
+
+// Stage is one measured phase of an operation.
+type Stage struct {
+	Name  string
+	Begin Sample
+	End   Sample
+}
+
+// Elapsed returns the stage's wall (virtual) time.
+func (s *Stage) Elapsed() time.Duration { return s.End.T - s.Begin.T }
+
+// CPUUtil returns the fraction of the stage the CPU was busy.
+func (s *Stage) CPUUtil() float64 {
+	if s.Elapsed() <= 0 {
+		return 0
+	}
+	return float64(s.End.CPUBusy-s.Begin.CPUBusy) / float64(s.Elapsed())
+}
+
+// DiskMBps returns aggregate disk traffic over the stage in MB/s.
+func (s *Stage) DiskMBps() float64 {
+	if s.Elapsed() <= 0 {
+		return 0
+	}
+	bytes := (s.End.DiskRead - s.Begin.DiskRead) + (s.End.DiskWrite - s.Begin.DiskWrite)
+	return float64(bytes) / s.Elapsed().Seconds() / (1 << 20)
+}
+
+// TapeMBps returns aggregate tape traffic over the stage in MB/s.
+func (s *Stage) TapeMBps() float64 {
+	if s.Elapsed() <= 0 {
+		return 0
+	}
+	return float64(s.End.TapeIO-s.Begin.TapeIO) / s.Elapsed().Seconds() / (1 << 20)
+}
+
+// Recorder implements logical.StageRecorder over Meters and also
+// serves the hand-placed stages (snapshot create/delete, image dump
+// phases).
+type Recorder struct {
+	M      *Meters
+	Stages []*Stage
+	open   *Stage
+}
+
+// NewRecorder creates a recorder over m.
+func NewRecorder(m *Meters) *Recorder { return &Recorder{M: m} }
+
+// Begin opens a stage (closing any still-open one first).
+func (r *Recorder) Begin(name string) {
+	if r.open != nil {
+		r.End()
+	}
+	r.open = &Stage{Name: name, Begin: r.M.Take()}
+}
+
+// End closes the open stage.
+func (r *Recorder) End() {
+	if r.open == nil {
+		return
+	}
+	r.open.End = r.M.Take()
+	r.Stages = append(r.Stages, r.open)
+	r.open = nil
+}
+
+// Total returns a synthetic stage spanning the first begin to the last
+// end.
+func (r *Recorder) Total(name string) Stage {
+	if len(r.Stages) == 0 {
+		return Stage{Name: name}
+	}
+	return Stage{Name: name, Begin: r.Stages[0].Begin, End: r.Stages[len(r.Stages)-1].End}
+}
+
+// OpResult summarizes one measured operation.
+type OpResult struct {
+	Name    string
+	Elapsed time.Duration
+	Bytes   int64 // payload moved (tape stream size)
+	Stages  []*Stage
+	CPUUtil float64
+}
+
+// MBps returns payload throughput in MB/s.
+func (o *OpResult) MBps() float64 {
+	if o.Elapsed <= 0 {
+		return 0
+	}
+	return float64(o.Bytes) / o.Elapsed.Seconds() / (1 << 20)
+}
+
+// GBph returns payload throughput in GB/hour.
+func (o *OpResult) GBph() float64 {
+	if o.Elapsed <= 0 {
+		return 0
+	}
+	return float64(o.Bytes) / (1 << 30) / o.Elapsed.Hours()
+}
+
+// summarize builds an OpResult from a recorder.
+func summarize(name string, rec *Recorder, bytes int64) OpResult {
+	total := rec.Total(name)
+	return OpResult{
+		Name:    name,
+		Elapsed: total.Elapsed(),
+		Bytes:   bytes,
+		Stages:  rec.Stages,
+		CPUUtil: total.CPUUtil(),
+	}
+}
+
+// mergeStages aggregates same-named stages from several concurrent
+// recorders into window stages (min begin to max end), the way the
+// paper reports one row per stage for four parallel dumps.
+func mergeStages(recs []*Recorder) []*Stage {
+	var order []string
+	byName := make(map[string]*Stage)
+	for _, r := range recs {
+		for _, s := range r.Stages {
+			m, ok := byName[s.Name]
+			if !ok {
+				cp := *s
+				byName[s.Name] = &cp
+				order = append(order, s.Name)
+				continue
+			}
+			if s.Begin.T < m.Begin.T {
+				m.Begin = s.Begin
+			}
+			if s.End.T > m.End.T {
+				m.End = s.End
+			}
+		}
+	}
+	out := make([]*Stage, 0, len(order))
+	for _, n := range order {
+		out = append(out, byName[n])
+	}
+	return out
+}
+
+// FormatDuration renders a duration the way the paper does: hours with
+// a decimal for long phases, minutes or seconds for short ones.
+func FormatDuration(d time.Duration) string {
+	switch {
+	case d >= time.Hour:
+		return fmt.Sprintf("%.2f hours", d.Hours())
+	case d >= time.Minute:
+		return fmt.Sprintf("%.1f minutes", d.Minutes())
+	default:
+		return fmt.Sprintf("%.1f seconds", d.Seconds())
+	}
+}
+
+// FormatOpsTable renders Table 2-style rows.
+func FormatOpsTable(title string, ops []OpResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Operation\tElapsed time\tMBytes/second\tGBytes/hour\tCPU")
+	for _, o := range ops {
+		fmt.Fprintf(w, "%s\t%s\t%.2f\t%.1f\t%.0f%%\n", o.Name, FormatDuration(o.Elapsed), o.MBps(), o.GBph(), 100*o.CPUUtil)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// FormatStagesTable renders Table 3-style rows (per stage, with CPU
+// utilization).
+func FormatStagesTable(title string, groups map[string][]*Stage, order []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Stage\tTime spent\tCPU Utilization")
+	for _, g := range order {
+		fmt.Fprintf(w, "%s\t\t\n", g)
+		for _, s := range groups[g] {
+			fmt.Fprintf(w, "  %s\t%s\t%.0f%%\n", s.Name, FormatDuration(s.Elapsed()), 100*s.CPUUtil())
+		}
+	}
+	w.Flush()
+	return b.String()
+}
+
+// FormatParallelTable renders Table 4/5-style rows (per stage with CPU
+// and disk/tape rates).
+func FormatParallelTable(title string, groups map[string][]*Stage, order []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Operation\tElapsed time\tCPU Utilization\tDisk MB/s\tTape MB/s")
+	for _, g := range order {
+		fmt.Fprintf(w, "%s\t\t\t\t\n", g)
+		for _, s := range groups[g] {
+			fmt.Fprintf(w, "  %s\t%s\t%.0f%%\t%.2f\t%.2f\n",
+				s.Name, FormatDuration(s.Elapsed()), 100*s.CPUUtil(), s.DiskMBps(), s.TapeMBps())
+		}
+	}
+	w.Flush()
+	return b.String()
+}

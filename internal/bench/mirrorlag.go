@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/mirror"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// MirrorPoint is one row of the replication experiment (§6 extension):
+// how long the initial transfer and a steady-state incremental sync
+// take over a link of the given bandwidth.
+type MirrorPoint struct {
+	LinkMBps    float64
+	InitialSync time.Duration
+	InitialBlk  int
+	SteadySync  time.Duration
+	SteadyBlk   int
+}
+
+// RunMirrorLag measures volume replication built on incremental image
+// dumps across a sweep of link bandwidths: the initial sync moves the
+// whole volume, the steady-state sync only the snapshot delta after a
+// fixed slice of churn — the asymmetry that makes image-based
+// mirroring practical over thin links.
+func RunMirrorLag(ctx context.Context, cfg Config, linkMBps []float64) ([]MirrorPoint, error) {
+	var out []MirrorPoint
+	for _, rate := range linkMBps {
+		f, err := buildFiler(ctx, cfg, "prod", 1, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		paths, err := workload.Generate(ctx, f.FS, workload.Spec{
+			Seed: cfg.Seed, Files: cfg.DataMB << 20 / (64 << 10), DirFanout: 10,
+			MeanFileSize: 64 << 10,
+		})
+		if err != nil {
+			return nil, err
+		}
+		standby := storage.NewMemDevice(f.Vol.NumBlocks())
+		link := mirror.NewLink(f.Env, "wan", rate*(1<<20), time.Millisecond)
+		m := mirror.New(f.FS, f.Vol, standby, link, f.Config.PhysCosts)
+
+		pt := MirrorPoint{LinkMBps: rate}
+		var syncErr error
+		run := func(into *time.Duration, blocks *int) {
+			f.Env.Spawn("sync", func(p *sim.Proc) {
+				c := sim.WithProc(ctx, p)
+				start := p.Now()
+				n, err := m.Sync(c)
+				if err != nil {
+					syncErr = err
+					return
+				}
+				*into = time.Duration(p.Now() - start)
+				*blocks = n
+			})
+			f.Env.Run()
+		}
+		run(&pt.InitialSync, &pt.InitialBlk)
+		if syncErr != nil {
+			return nil, fmt.Errorf("bench: initial mirror sync at %.1f MB/s: %w", rate, syncErr)
+		}
+		// Steady state: ~3% churn, then sync the delta.
+		if _, err := workload.Age(ctx, f.FS, paths, workload.AgeSpec{
+			Seed: cfg.Seed + 5, Rounds: 1, ChurnPerRound: len(paths) / 30,
+			MeanFileSize: 64 << 10,
+		}); err != nil {
+			return nil, err
+		}
+		run(&pt.SteadySync, &pt.SteadyBlk)
+		if syncErr != nil {
+			return nil, fmt.Errorf("bench: steady mirror sync at %.1f MB/s: %w", rate, syncErr)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

@@ -1,0 +1,22 @@
+package bench
+
+import (
+	"context"
+	"testing"
+)
+
+func TestSmokeBasic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DataMB = 16
+	cfg.AgeRounds = 3
+	res, err := RunBasic(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range res.Ops() {
+		t.Logf("%-18s elapsed=%v MBps=%.2f cpu=%.0f%%", op.Name, op.Elapsed, op.MBps(), 100*op.CPUUtil)
+		for _, s := range op.Stages {
+			t.Logf("    %-28s %v cpu=%.0f%% disk=%.2f tape=%.2f", s.Name, s.Elapsed(), 100*s.CPUUtil(), s.DiskMBps(), s.TapeMBps())
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// SnapshotSchedule is the paper's §2.1 operational pattern: "a common
+// schedule is hourly snapshots taken every 4 hours throughout the day
+// and kept for 24 hours plus daily snapshots taken every night at
+// midnight and kept for 2 days. With such a frequent snapshot
+// schedule, snapshots provide much more protection from accidental
+// deletion than is provided by daily incremental backups."
+type SnapshotSchedule struct {
+	// HourlyEvery is the interval between "hourly" snapshots.
+	HourlyEvery time.Duration
+	// HourlyKeep is how many hourly snapshots are retained.
+	HourlyKeep int
+	// NightlyEvery is the interval between "nightly" snapshots.
+	NightlyEvery time.Duration
+	// NightlyKeep is how many nightly snapshots are retained.
+	NightlyKeep int
+}
+
+// DefaultSchedule returns the paper's common schedule: snapshots every
+// 4 hours kept for 24 hours (6 of them) plus nightly snapshots kept
+// for 2 days.
+func DefaultSchedule() SnapshotSchedule {
+	return SnapshotSchedule{
+		HourlyEvery:  4 * time.Hour,
+		HourlyKeep:   6,
+		NightlyEvery: 24 * time.Hour,
+		NightlyKeep:  2,
+	}
+}
+
+// RunSnapshotScheduler spawns a simulated process that maintains the
+// rotation until the virtual clock reaches `until`. The caller drives
+// the environment (f.Env.Run()) as usual; scheduler errors surface on
+// the returned channel after the run.
+func (f *Filer) RunSnapshotScheduler(ctx context.Context, sched SnapshotSchedule, until time.Duration) <-chan error {
+	errc := make(chan error, 1)
+	if f.Env == nil {
+		errc <- fmt.Errorf("core: snapshot scheduler needs a simulated filer")
+		return errc
+	}
+	f.Env.Spawn("snap-scheduler", func(p *sim.Proc) {
+		c := Proc(ctx, p)
+		hourlySeq, nightlySeq := 0, 0
+		nextHourly := sched.HourlyEvery
+		nextNightly := sched.NightlyEvery
+		var err error
+		for p.Now() < sim.Time(until) && err == nil {
+			// Sleep to whichever event is next.
+			next := nextHourly
+			if sched.NightlyEvery > 0 && (sched.HourlyEvery == 0 || nextNightly < next) {
+				next = nextNightly
+			}
+			if next > until {
+				break
+			}
+			p.WaitUntil(sim.Time(next))
+			if sched.HourlyEvery > 0 && next == nextHourly {
+				hourlySeq++
+				err = rotate(c, f, "hourly", hourlySeq, sched.HourlyKeep)
+				nextHourly += sched.HourlyEvery
+			} else {
+				nightlySeq++
+				err = rotate(c, f, "nightly", nightlySeq, sched.NightlyKeep)
+				nextNightly += sched.NightlyEvery
+			}
+		}
+		errc <- err
+	})
+	return errc
+}
+
+// rotate creates <kind>.<seq> and retires the snapshot that fell off
+// the retention window.
+func rotate(ctx context.Context, f *Filer, kind string, seq, keep int) error {
+	if err := f.FS.CreateSnapshot(ctx, fmt.Sprintf("%s.%d", kind, seq)); err != nil {
+		return fmt.Errorf("core: scheduler creating %s.%d: %w", kind, seq, err)
+	}
+	if old := seq - keep; old >= 1 {
+		if err := f.FS.DeleteSnapshot(ctx, fmt.Sprintf("%s.%d", kind, old)); err != nil {
+			return fmt.Errorf("core: scheduler retiring %s.%d: %w", kind, old, err)
+		}
+	}
+	return nil
+}

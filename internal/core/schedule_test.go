@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestSnapshotSchedulerRotation(t *testing.T) {
+	f := newTestFiler(t, true, 1)
+	if _, err := f.FS.WriteFile(ctx, "/genesis.txt", []byte("day zero"), 0644); err != nil {
+		t.Fatal(err)
+	}
+	// Writers keep working while the scheduler runs, so snapshots
+	// capture distinct states.
+	f.Env.Spawn("writer", func(p *sim.Proc) {
+		c := Proc(ctx, p)
+		for i := 0; i < 18; i++ {
+			p.Sleep(4 * time.Hour)
+			f.FS.WriteFile(c, fmt.Sprintf("/work/h%02d.txt", i), []byte(fmt.Sprintf("hour %d", i)), 0644)
+		}
+	})
+	errc := f.RunSnapshotScheduler(ctx, DefaultSchedule(), 72*time.Hour)
+	f.Env.Run()
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+
+	var hourly, nightly []string
+	for _, s := range f.FS.Snapshots() {
+		switch {
+		case strings.HasPrefix(s.Name, "hourly."):
+			hourly = append(hourly, s.Name)
+		case strings.HasPrefix(s.Name, "nightly."):
+			nightly = append(nightly, s.Name)
+		}
+	}
+	// 72h / 4h = 18 hourly snapshots taken, 6 kept; 3 nightly taken,
+	// 2 kept.
+	if len(hourly) != 6 {
+		t.Fatalf("hourly kept = %v, want 6", hourly)
+	}
+	if len(nightly) != 2 {
+		t.Fatalf("nightly kept = %v, want 2", nightly)
+	}
+	// The oldest retained hourly must still serve reads.
+	sv, err := f.FS.SnapshotView("hourly.13")
+	if err != nil {
+		t.Fatalf("oldest retained hourly missing: %v", err)
+	}
+	if _, err := sv.ReadFile(ctx, "/genesis.txt"); err != nil {
+		t.Fatal(err)
+	}
+	// And a retired one must be gone.
+	if _, err := f.FS.SnapshotView("hourly.1"); err == nil {
+		t.Fatal("retired snapshot still present")
+	}
+	if err := f.FS.MustCheck(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotSchedulerStupidityWindow(t *testing.T) {
+	// The §2.1 claim: with the schedule running, a file deleted hours
+	// ago is still in a snapshot — no tape needed.
+	f := newTestFiler(t, true, 1)
+	f.Env.Spawn("user", func(p *sim.Proc) {
+		c := Proc(ctx, p)
+		f.FS.WriteFile(c, "/precious.txt", []byte("do not lose"), 0600)
+		p.Sleep(10 * time.Hour)
+		f.FS.RemovePath(c, "/precious.txt")
+	})
+	errc := f.RunSnapshotScheduler(ctx, DefaultSchedule(), 24*time.Hour)
+	f.Env.Run()
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.FS.ActiveView().ReadFile(ctx, "/precious.txt"); err == nil {
+		t.Fatal("file was not deleted")
+	}
+	// Snapshot hourly.2 was taken at t=8h, while the file existed.
+	sv, err := f.FS.SnapshotView("hourly.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sv.ReadFile(ctx, "/precious.txt")
+	if err != nil || string(got) != "do not lose" {
+		t.Fatalf("snapshot recovery failed: %q, %v", got, err)
+	}
+}
+
+func TestSnapshotSchedulerNeedsSim(t *testing.T) {
+	f := newTestFiler(t, false, 1)
+	if err := <-f.RunSnapshotScheduler(ctx, DefaultSchedule(), time.Hour); err == nil {
+		t.Fatal("scheduler ran without a clock")
+	}
+}

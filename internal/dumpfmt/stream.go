@@ -1,0 +1,228 @@
+package dumpfmt
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrEndOfMedia is returned by a Sink when the current tape volume is
+// full; the Writer responds by requesting the next volume and writing
+// a continuation TS_TAPE header, which is how dumps span cartridges.
+var ErrEndOfMedia = errors.New("dumpfmt: end of media")
+
+// Sink is where the Writer sends blocked tape records (NTRec 1 KB
+// units each). Implementations wrap a tape drive.
+type Sink interface {
+	// WriteRecord writes one blocked record, returning ErrEndOfMedia
+	// when the volume is full.
+	WriteRecord(data []byte) error
+	// NextVolume mounts the next volume. Called after ErrEndOfMedia.
+	NextVolume() error
+}
+
+// Source is where the Reader pulls blocked records from, io.EOF at the
+// end of the dump. Implementations handle cartridge cycling.
+type Source interface {
+	ReadRecord() ([]byte, error)
+}
+
+// Writer emits a dump stream: headers and 1 KB segments, blocked into
+// NTRec-unit tape records.
+type Writer struct {
+	sink   Sink
+	label  string
+	date   int64
+	ddate  int64
+	level  int32
+	volume int32
+	tapea  int64
+
+	buf     []byte // pending blocked record
+	units   int
+	written int64 // total bytes handed to the sink
+}
+
+// NewWriter starts a dump stream and writes the initial TS_TAPE
+// volume header.
+func NewWriter(sink Sink, label string, date, ddate int64, level int32) (*Writer, error) {
+	w := &Writer{
+		sink:   sink,
+		label:  label,
+		date:   date,
+		ddate:  ddate,
+		level:  level,
+		volume: 1,
+		buf:    make([]byte, 0, NTRec*TPBSize),
+	}
+	if err := w.WriteHeader(&Header{Type: TSTape}); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Written returns the total bytes emitted to the sink so far.
+func (w *Writer) Written() int64 { return w.written }
+
+// Tapea returns the current logical record position.
+func (w *Writer) Tapea() int64 { return w.tapea }
+
+// WriteHeader stamps the stream-wide fields into h and emits it.
+func (w *Writer) WriteHeader(h *Header) error {
+	h.Date = w.date
+	h.DDate = w.ddate
+	h.Level = w.level
+	h.Volume = w.volume
+	h.Label = w.label
+	h.Tapea = w.tapea
+	buf, err := h.Marshal()
+	if err != nil {
+		return err
+	}
+	return w.writeUnit(buf)
+}
+
+// WriteSegment emits one data segment (at most 1 KB; shorter segments
+// are zero-padded, matching the fixed-unit tape format).
+func (w *Writer) WriteSegment(seg []byte) error {
+	if len(seg) > TPBSize {
+		return fmt.Errorf("dumpfmt: segment of %d bytes", len(seg))
+	}
+	unit := make([]byte, TPBSize)
+	copy(unit, seg)
+	return w.writeUnit(unit)
+}
+
+func (w *Writer) writeUnit(unit []byte) error {
+	w.buf = append(w.buf, unit...)
+	w.units++
+	w.tapea++
+	if w.units == NTRec {
+		return w.flush()
+	}
+	return nil
+}
+
+// flush writes the pending blocked record, handling end-of-media by
+// switching volumes and emitting a continuation header first.
+func (w *Writer) flush() error {
+	if w.units == 0 {
+		return nil
+	}
+	rec := w.buf
+	for {
+		err := w.sink.WriteRecord(rec)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrEndOfMedia) {
+			return err
+		}
+		if err := w.sink.NextVolume(); err != nil {
+			return fmt.Errorf("dumpfmt: volume change: %w", err)
+		}
+		w.volume++
+		cont := &Header{Type: TSTape, Date: w.date, DDate: w.ddate,
+			Level: w.level, Volume: w.volume, Label: w.label, Tapea: w.tapea}
+		contBuf, err := cont.Marshal()
+		if err != nil {
+			return err
+		}
+		// The continuation header goes out as its own (short) record.
+		if err := w.sink.WriteRecord(contBuf); err != nil {
+			return fmt.Errorf("dumpfmt: writing continuation header: %w", err)
+		}
+		w.written += TPBSize
+	}
+	w.written += int64(len(rec))
+	w.buf = w.buf[:0]
+	w.units = 0
+	return nil
+}
+
+// Close writes the TS_END record and flushes the final partial record.
+func (w *Writer) Close() error {
+	if err := w.WriteHeader(&Header{Type: TSEnd}); err != nil {
+		return err
+	}
+	return w.flush()
+}
+
+// Reader consumes a dump stream, un-blocking tape records into 1 KB
+// units and decoding headers with resynchronization: a corrupt unit
+// where a header was expected is skipped, so damage to one file's
+// records does not take down the rest of the restore — the resilience
+// property the paper credits logical backup with.
+type Reader struct {
+	src     Source
+	pending [][]byte
+	skipped int // corrupt units skipped during resync
+}
+
+// NewReader wraps a source of blocked records.
+func NewReader(src Source) *Reader { return &Reader{src: src} }
+
+// Skipped returns how many units were discarded during resync.
+func (r *Reader) Skipped() int { return r.skipped }
+
+// readUnit returns the next 1 KB unit.
+func (r *Reader) readUnit() ([]byte, error) {
+	for len(r.pending) == 0 {
+		rec, err := r.src.ReadRecord()
+		if err != nil {
+			return nil, err
+		}
+		if len(rec)%TPBSize != 0 {
+			// A torn record: salvage the whole units.
+			rec = rec[:len(rec)/TPBSize*TPBSize]
+		}
+		for off := 0; off < len(rec); off += TPBSize {
+			r.pending = append(r.pending, rec[off:off+TPBSize])
+		}
+	}
+	u := r.pending[0]
+	r.pending = r.pending[1:]
+	return u, nil
+}
+
+// NextHeader returns the next valid header, skipping corrupt units and
+// transparently passing volume-continuation TS_TAPE headers through to
+// the caller (they carry no payload).
+func (r *Reader) NextHeader() (*Header, error) {
+	for {
+		unit, err := r.readUnit()
+		if err != nil {
+			return nil, err
+		}
+		h, err := UnmarshalHeader(unit)
+		if err != nil {
+			r.skipped++
+			continue
+		}
+		return h, nil
+	}
+}
+
+// ReadSegments reads n data segments following a header. A volume
+// change can interpose a TS_TAPE continuation header in the middle of
+// a file's data; such units are recognized (magic, checksum and type
+// all match) and skipped, as BSD restore does. Corrupt or missing
+// trailing segments surface as an error after salvage.
+func (r *Reader) ReadSegments(n int) ([][]byte, error) {
+	segs := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		unit, err := r.readUnit()
+		if err != nil {
+			if err == io.EOF {
+				return segs, io.ErrUnexpectedEOF
+			}
+			return segs, err
+		}
+		if h, err := UnmarshalHeader(unit); err == nil && h.Type == TSTape {
+			i-- // continuation header, not data
+			continue
+		}
+		segs = append(segs, unit)
+	}
+	return segs, nil
+}

@@ -1,0 +1,519 @@
+package logical
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/dumpfmt"
+	"repro/internal/wafl"
+)
+
+// StageRecorder receives stage boundaries so the benchmark harness can
+// attribute elapsed time and resource utilization to dump phases the
+// way the paper's Table 3 does. A nil recorder is ignored.
+type StageRecorder interface {
+	Begin(name string)
+	End()
+}
+
+// DumpOptions configures a logical dump.
+type DumpOptions struct {
+	// View is the filesystem view to dump — normally a snapshot view,
+	// which is what gives dump its self-consistent image (paper §3).
+	View *wafl.View
+	// Level is the incremental level, 0..9.
+	Level int
+	// Dates is the dump-date history; nil treats every level as 0.
+	// On success the dump records its date here.
+	Dates *DumpDates
+	// FSID identifies the filesystem in Dates (e.g. "home").
+	FSID string
+	// Subtree restricts the dump to the directory at this path
+	// ("" = whole filesystem) — "a user can back up a subset of a
+	// data in a file system".
+	Subtree string
+	// Exclude, if set, filters out entries by name ("logical backup
+	// schemes often take advantage of filters").
+	Exclude func(name string) bool
+	// Sink receives the stream.
+	Sink dumpfmt.Sink
+	// Label names the dump on tape.
+	Label string
+	// ReadAhead is the dump engine's own read-ahead depth in blocks
+	// (paper §3: "Network Appliance's dump generates its own
+	// read-ahead policy"). 0 disables it.
+	ReadAhead int
+	// Stages receives stage boundaries; may be nil.
+	Stages StageRecorder
+}
+
+// DumpStats reports what a dump did.
+type DumpStats struct {
+	Date         int64
+	BaseDate     int64
+	InodesMapped int
+	DirsDumped   int
+	FilesDumped  int
+	BytesWritten int64
+}
+
+// dumpState carries the four phases' shared working set.
+type dumpState struct {
+	opts    DumpOptions
+	view    *wafl.View
+	date    int64
+	ddate   int64
+	rootIno wafl.Inum
+
+	used   *dumpfmt.InoMap // allocated inodes in the view (subtree)
+	dump   *dumpfmt.InoMap // inodes to be dumped
+	isDir  map[wafl.Inum]bool
+	parent map[wafl.Inum]wafl.Inum
+	inodes map[wafl.Inum]wafl.Inode
+
+	// Cross-file read-ahead state (Phase IV). The dump engine runs its
+	// own read-ahead policy in inode order — exactly what the paper
+	// says the in-kernel dump does (§3), and the reason it is not at
+	// the mercy of the filesystem's per-file policy. The lookahead
+	// cursor walks the upcoming (file, block) sequence, keeping
+	// ReadAhead blocks in flight in front of the tape cursor.
+	fileList []wafl.Inum
+	laFile   int
+	laFbn    uint32
+	issued   int64
+	consumed int64
+}
+
+// Dump runs the four-phase logical dump and writes the stream to
+// opts.Sink.
+func Dump(ctx context.Context, opts DumpOptions) (*DumpStats, error) {
+	if opts.View == nil || opts.Sink == nil {
+		return nil, fmt.Errorf("logical: nil view or sink")
+	}
+	if opts.Level < 0 || opts.Level > MaxLevel {
+		return nil, fmt.Errorf("logical: bad level %d", opts.Level)
+	}
+	fs := opts.View.FS()
+	st := &dumpState{
+		opts:   opts,
+		view:   opts.View,
+		date:   fs.Clock(),
+		isDir:  make(map[wafl.Inum]bool),
+		parent: make(map[wafl.Inum]wafl.Inum),
+		inodes: make(map[wafl.Inum]wafl.Inode),
+	}
+	if opts.Dates != nil {
+		st.ddate = opts.Dates.Base(opts.FSID, opts.Level)
+	}
+	root := wafl.RootIno
+	if opts.Subtree != "" {
+		var err error
+		root, err = opts.View.Namei(ctx, opts.Subtree)
+		if err != nil {
+			return nil, fmt.Errorf("logical: subtree %q: %w", opts.Subtree, err)
+		}
+	}
+	st.rootIno = root
+
+	begin := func(name string) {
+		if opts.Stages != nil {
+			opts.Stages.Begin(name)
+		}
+	}
+	end := func() {
+		if opts.Stages != nil {
+			opts.Stages.End()
+		}
+	}
+
+	// Phase I: map the files and directories to be dumped.
+	begin("Mapping files and directories")
+	if err := st.phaseMap(ctx); err != nil {
+		end()
+		return nil, err
+	}
+	end()
+
+	w, err := dumpfmt.NewWriter(opts.Sink, opts.Label, st.date, st.ddate, int32(opts.Level))
+	if err != nil {
+		return nil, err
+	}
+
+	stats := &DumpStats{Date: st.date, BaseDate: st.ddate, InodesMapped: st.used.Count()}
+
+	// Write the two maps the format prescribes: inodes free at dump
+	// time (TS_CLRI) and inodes on this tape (TS_BITS).
+	clri := dumpfmt.NewInoMap(uint32(st.view.NumInodes(ctx)))
+	for i := uint32(wafl.RootIno); i < uint32(st.view.NumInodes(ctx)); i++ {
+		if !st.used.Has(i) {
+			clri.Set(i)
+		}
+	}
+	if err := writeMap(w, dumpfmt.TSClri, clri, uint32(st.rootIno)); err != nil {
+		return nil, err
+	}
+	if err := writeMap(w, dumpfmt.TSBits, st.dump, uint32(st.rootIno)); err != nil {
+		return nil, err
+	}
+
+	// Phase III: dump directories, in ascending inode order.
+	begin("Dumping directories")
+	var dirInos, fileInos []wafl.Inum
+	for ino := range st.inodes {
+		if !st.dump.Has(uint32(ino)) {
+			continue
+		}
+		if st.isDir[ino] {
+			dirInos = append(dirInos, ino)
+		} else {
+			fileInos = append(fileInos, ino)
+		}
+	}
+	sort.Slice(dirInos, func(i, j int) bool { return dirInos[i] < dirInos[j] })
+	sort.Slice(fileInos, func(i, j int) bool { return fileInos[i] < fileInos[j] })
+	for _, ino := range dirInos {
+		if err := st.dumpDirectory(ctx, w, ino); err != nil {
+			return nil, err
+		}
+		stats.DirsDumped++
+	}
+	end()
+
+	// Phase IV: dump files, in ascending inode order, with the dump
+	// engine's own cross-file read-ahead running in front.
+	begin("Dumping files")
+	st.fileList = fileInos
+	for _, ino := range fileInos {
+		if err := st.dumpFile(ctx, w, ino); err != nil {
+			return nil, err
+		}
+		stats.FilesDumped++
+	}
+	end()
+
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	stats.BytesWritten = w.Written()
+	if opts.Dates != nil {
+		opts.Dates.Record(opts.FSID, opts.Level, st.date)
+	}
+	return stats, nil
+}
+
+// phaseMap walks the subtree, recording every allocated inode, its
+// parent, and whether it needs dumping (Phase I), then propagates
+// directory requirements up to the root (Phase II).
+func (st *dumpState) phaseMap(ctx context.Context) error {
+	st.used = dumpfmt.NewInoMap(uint32(st.view.NumInodes(ctx)))
+	st.dump = dumpfmt.NewInoMap(uint32(st.view.NumInodes(ctx)))
+
+	type qent struct{ ino, parent wafl.Inum }
+	queue := []qent{{st.rootIno, st.rootIno}}
+	visited := map[wafl.Inum]bool{}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if visited[cur.ino] {
+			continue
+		}
+		visited[cur.ino] = true
+		inode, err := st.view.GetInode(ctx, cur.ino)
+		if err != nil {
+			return err
+		}
+		st.used.Set(uint32(cur.ino))
+		st.parent[cur.ino] = cur.parent
+		st.inodes[cur.ino] = inode
+		st.isDir[cur.ino] = wafl.IsDir(inode.Mode)
+		// Changed since the base date? (Level 0 has ddate 0: everything.)
+		if inode.Mtime > st.ddate || inode.Ctime > st.ddate {
+			st.dump.Set(uint32(cur.ino))
+		}
+		if wafl.IsDir(inode.Mode) {
+			ents, err := st.view.Readdir(ctx, cur.ino)
+			if err != nil {
+				return err
+			}
+			for _, e := range ents {
+				if e.Name == "." || e.Name == ".." {
+					continue
+				}
+				if st.opts.Exclude != nil && st.opts.Exclude(e.Name) {
+					continue
+				}
+				queue = append(queue, qent{e.Ino, cur.ino})
+			}
+		}
+	}
+
+	// Phase II: every dumped inode needs its ancestor directories on
+	// tape so restore can map names to inode numbers.
+	for ino := range st.inodes {
+		if !st.dump.Has(uint32(ino)) {
+			continue
+		}
+		for p := ino; ; {
+			par := st.parent[p]
+			st.dump.Set(uint32(par))
+			if par == p || par == st.rootIno {
+				break
+			}
+			p = par
+		}
+	}
+	st.dump.Set(uint32(st.rootIno))
+	return nil
+}
+
+// writeMap emits a TS_CLRI or TS_BITS record with the bitmap as data.
+func writeMap(w *dumpfmt.Writer, typ int32, m *dumpfmt.InoMap, rootIno uint32) error {
+	data := m.Bytes()
+	nseg := (len(data) + dumpfmt.TPBSize - 1) / dumpfmt.TPBSize
+	if nseg == 0 {
+		nseg = 1
+	}
+	addrs := make([]byte, nseg)
+	for i := range addrs {
+		addrs[i] = 1
+	}
+	h := &dumpfmt.Header{
+		Type:    typ,
+		Inumber: rootIno,
+		Dinode:  dumpfmt.DumpInode{Size: uint64(len(data))},
+		Count:   int32(nseg),
+		Addrs:   addrs,
+	}
+	if err := w.WriteHeader(h); err != nil {
+		return err
+	}
+	for off := 0; off < nseg*dumpfmt.TPBSize; off += dumpfmt.TPBSize {
+		endOff := off + dumpfmt.TPBSize
+		if endOff > len(data) {
+			endOff = len(data)
+		}
+		var seg []byte
+		if off < len(data) {
+			seg = data[off:endOff]
+		}
+		if err := w.WriteSegment(seg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// canonical directory record encoding: [ino u32][type u8][len u16][name].
+func encodeDirEnts(ents []wafl.DirEnt) []byte {
+	var buf []byte
+	var tmp [7]byte
+	for _, e := range ents {
+		binary.LittleEndian.PutUint32(tmp[0:], uint32(e.Ino))
+		tmp[4] = byte(e.Type >> 12)
+		binary.LittleEndian.PutUint16(tmp[5:], uint16(len(e.Name)))
+		buf = append(buf, tmp[:]...)
+		buf = append(buf, e.Name...)
+	}
+	return buf
+}
+
+// DecodeDirEnts reverses encodeDirEnts; exported for restore and tests.
+func DecodeDirEnts(data []byte) ([]wafl.DirEnt, error) {
+	var ents []wafl.DirEnt
+	for off := 0; off < len(data); {
+		if off+7 > len(data) {
+			return nil, fmt.Errorf("logical: truncated directory record at %d", off)
+		}
+		ino := binary.LittleEndian.Uint32(data[off:])
+		typ := uint32(data[off+4]) << 12
+		n := int(binary.LittleEndian.Uint16(data[off+5:]))
+		off += 7
+		if off+n > len(data) {
+			return nil, fmt.Errorf("logical: truncated directory name at %d", off)
+		}
+		ents = append(ents, wafl.DirEnt{Ino: wafl.Inum(ino), Type: typ, Name: string(data[off : off+n])})
+		off += n
+	}
+	return ents, nil
+}
+
+// dumpDirectory writes one directory's canonical entry list.
+func (st *dumpState) dumpDirectory(ctx context.Context, w *dumpfmt.Writer, ino wafl.Inum) error {
+	ents, err := st.view.Readdir(ctx, ino)
+	if err != nil {
+		return err
+	}
+	// Apply the exclusion filter to the entry list too, so restore
+	// never learns about filtered names.
+	kept := ents[:0]
+	for _, e := range ents {
+		if e.Name != "." && e.Name != ".." && st.opts.Exclude != nil && st.opts.Exclude(e.Name) {
+			continue
+		}
+		kept = append(kept, e)
+	}
+	data := encodeDirEnts(kept)
+	inode := st.inodes[ino]
+	di := toDumpInode(&inode)
+	di.Size = uint64(len(data))
+	return writeBlob(w, dumpfmt.TSInode, uint32(ino), di, data)
+}
+
+// writeBlob emits fully present (hole-free) data under one or more
+// headers.
+func writeBlob(w *dumpfmt.Writer, typ int32, ino uint32, di dumpfmt.DumpInode, data []byte) error {
+	nseg := (len(data) + dumpfmt.TPBSize - 1) / dumpfmt.TPBSize
+	if nseg == 0 {
+		nseg = 1
+	}
+	first := true
+	for seg := 0; seg < nseg; {
+		chunk := nseg - seg
+		if chunk > dumpfmt.MaxSegsPerHeader {
+			chunk = dumpfmt.MaxSegsPerHeader
+		}
+		addrs := make([]byte, chunk)
+		for i := range addrs {
+			addrs[i] = 1
+		}
+		t := typ
+		if !first {
+			t = dumpfmt.TSAddr
+		}
+		h := &dumpfmt.Header{Type: t, Inumber: ino, Dinode: di, Count: int32(chunk), Addrs: addrs}
+		if err := w.WriteHeader(h); err != nil {
+			return err
+		}
+		for i := 0; i < chunk; i++ {
+			off := (seg + i) * dumpfmt.TPBSize
+			endOff := off + dumpfmt.TPBSize
+			if endOff > len(data) {
+				endOff = len(data)
+			}
+			var s []byte
+			if off < len(data) {
+				s = data[off:endOff]
+			}
+			if err := w.WriteSegment(s); err != nil {
+				return err
+			}
+		}
+		seg += chunk
+		first = false
+	}
+	return nil
+}
+
+// dumpFile writes one regular file or symlink with its hole map,
+// driving the dump engine's own read-ahead.
+func (st *dumpState) dumpFile(ctx context.Context, w *dumpfmt.Writer, ino wafl.Inum) error {
+	inode := st.inodes[ino]
+	di := toDumpInode(&inode)
+	totalSegs := int((inode.Size + dumpfmt.TPBSize - 1) / dumpfmt.TPBSize)
+	if totalSegs == 0 {
+		h := &dumpfmt.Header{Type: dumpfmt.TSInode, Inumber: uint32(ino), Dinode: di}
+		return w.WriteHeader(h)
+	}
+	segsPerBlock := wafl.BlockSize / dumpfmt.TPBSize
+	prefetch := st.opts.ReadAhead > 0
+
+	blockBuf := make([]byte, wafl.BlockSize)
+	seg := 0
+	first := true
+	for seg < totalSegs {
+		chunk := totalSegs - seg
+		if chunk > dumpfmt.MaxSegsPerHeader {
+			chunk = dumpfmt.MaxSegsPerHeader
+		}
+		// Build the hole map for this chunk from the block tree.
+		addrs := make([]byte, chunk)
+		for i := 0; i < chunk; i++ {
+			fbn := uint32((seg + i) / segsPerBlock)
+			pbn, err := st.view.BlockAt(ctx, ino, fbn)
+			if err != nil {
+				return err
+			}
+			if pbn != 0 {
+				addrs[i] = 1
+			}
+		}
+		t := int32(dumpfmt.TSInode)
+		if !first {
+			t = dumpfmt.TSAddr
+		}
+		h := &dumpfmt.Header{Type: t, Inumber: uint32(ino), Dinode: di, Count: int32(chunk), Addrs: addrs}
+		if err := w.WriteHeader(h); err != nil {
+			return err
+		}
+		// Emit present segments, reading block by block with the dump
+		// engine's own read-ahead running W blocks in front.
+		lastFbn := uint32(0xFFFFFFFF)
+		for i := 0; i < chunk; i++ {
+			if addrs[i] == 0 {
+				continue
+			}
+			sIdx := seg + i
+			fbn := uint32(sIdx / segsPerBlock)
+			if fbn != lastFbn {
+				if prefetch {
+					st.consumed++
+					st.pumpReadAhead(ctx)
+				}
+				if _, err := st.view.ReadAt(ctx, ino, uint64(fbn)*wafl.BlockSize, blockBuf); err != nil {
+					return err
+				}
+				lastFbn = fbn
+			}
+			so := (sIdx % segsPerBlock) * dumpfmt.TPBSize
+			endOff := so + dumpfmt.TPBSize
+			if rem := inode.Size - uint64(sIdx)*dumpfmt.TPBSize; rem < dumpfmt.TPBSize {
+				endOff = so + int(rem)
+			}
+			if err := w.WriteSegment(blockBuf[so:endOff]); err != nil {
+				return err
+			}
+		}
+		seg += chunk
+		first = false
+	}
+	return nil
+}
+
+// pumpReadAhead advances the lookahead cursor until ReadAhead blocks
+// are in flight beyond the blocks already consumed. Unlike a per-file
+// policy, the cursor crosses file boundaries: the next file's blocks
+// start arriving while the current file is still being written to
+// tape, hiding the per-file first-block seek.
+func (st *dumpState) pumpReadAhead(ctx context.Context) {
+	for st.issued < st.consumed+int64(st.opts.ReadAhead) && st.laFile < len(st.fileList) {
+		ino := st.fileList[st.laFile]
+		inode := st.inodes[ino]
+		if st.laFbn >= inode.Blocks() {
+			st.laFile++
+			st.laFbn = 0
+			continue
+		}
+		pbn, err := st.view.BlockAt(ctx, ino, st.laFbn)
+		st.laFbn++
+		st.issued++ // holes count: the tape cursor skips them too
+		if err != nil || pbn <= 1 {
+			continue
+		}
+		st.view.PrefetchBlock(ctx, pbn)
+	}
+}
+
+func toDumpInode(ino *wafl.Inode) dumpfmt.DumpInode {
+	return dumpfmt.DumpInode{
+		Mode:  ino.Mode,
+		Nlink: ino.Nlink,
+		UID:   ino.UID,
+		GID:   ino.GID,
+		Size:  ino.Size,
+		Atime: ino.Atime,
+		Mtime: ino.Mtime,
+		XMode: ino.XMode,
+	}
+}

@@ -1,0 +1,87 @@
+// Package logical implements the paper's logical (file-based) backup
+// strategy: a kernel-integrated, BSD-style dump and restore (§3).
+//
+// Dump runs as the classic four-phase operation — map files, map
+// directories, dump directories, dump files, all in inode order — and
+// writes the archival stream format of internal/dumpfmt. Restore reads
+// the directories into a "desiccated file system" it can run its own
+// namei against, then lays files onto the filesystem, supporting full,
+// subset (single-file "stupidity recovery") and incremental-chain
+// restores.
+//
+// Everything here moves through the filesystem: reads and writes use
+// wafl views and operations, paying the metadata-interpretation CPU
+// and random-read disk costs the paper measures — in deliberate
+// contrast to internal/physical, which bypasses the filesystem.
+package logical
+
+import (
+	"errors"
+	"io"
+
+	"repro/internal/dumpfmt"
+	"repro/internal/sim"
+	"repro/internal/tape"
+)
+
+// DriveSink adapts a tape drive to dumpfmt.Sink, mapping end-of-media
+// and cartridge changes. The sim process (may be nil) is charged for
+// tape time.
+type DriveSink struct {
+	Drive *tape.Drive
+	Proc  *sim.Proc
+}
+
+// WriteRecord implements dumpfmt.Sink.
+func (s *DriveSink) WriteRecord(data []byte) error {
+	err := s.Drive.WriteRecord(s.Proc, data)
+	if errors.Is(err, tape.ErrEndOfMedia) {
+		return dumpfmt.ErrEndOfMedia
+	}
+	return err
+}
+
+// NextVolume implements dumpfmt.Sink: load the next stacker cartridge.
+func (s *DriveSink) NextVolume() error {
+	return s.Drive.Load(s.Proc)
+}
+
+// DriveSource adapts a tape drive to dumpfmt.Source for restore,
+// cycling through stacker cartridges at end of tape and treating file
+// marks and an empty stacker as end of stream.
+type DriveSource struct {
+	Drive *tape.Drive
+	Proc  *sim.Proc
+
+	volumes int // cartridges consumed so far
+	max     int // stop after this many (0 = until the stacker empties)
+}
+
+// NewDriveSource reads from drive across at most maxVolumes cartridges
+// (0 = keep loading until the stacker is empty).
+func NewDriveSource(drive *tape.Drive, proc *sim.Proc, maxVolumes int) *DriveSource {
+	return &DriveSource{Drive: drive, Proc: proc, max: maxVolumes}
+}
+
+// ReadRecord implements dumpfmt.Source.
+func (s *DriveSource) ReadRecord() ([]byte, error) {
+	for {
+		rec, err := s.Drive.ReadRecord(s.Proc)
+		switch {
+		case err == nil:
+			return rec, nil
+		case errors.Is(err, tape.ErrFileMark):
+			continue
+		case errors.Is(err, tape.ErrEndOfTape):
+			s.volumes++
+			if s.max > 0 && s.volumes >= s.max {
+				return nil, io.EOF
+			}
+			if lerr := s.Drive.Load(s.Proc); lerr != nil {
+				return nil, io.EOF
+			}
+		default:
+			return nil, err
+		}
+	}
+}

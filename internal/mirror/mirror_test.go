@@ -1,0 +1,155 @@
+package mirror
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/physical"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/wafl"
+	"repro/internal/workload"
+)
+
+var ctx = context.Background()
+
+func newPair(t *testing.T, blocks int) (*wafl.FS, *storage.MemDevice, *storage.MemDevice) {
+	t.Helper()
+	src := storage.NewMemDevice(blocks)
+	fs, err := wafl.Mkfs(ctx, src, nil, wafl.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, src, storage.NewMemDevice(blocks)
+}
+
+func assertReplica(t *testing.T, m *Mirror, src *wafl.FS, snap string) {
+	t.Helper()
+	// Inspect a clone: mounting (and fsck's consistency point) writes
+	// to the volume, which would desynchronize the mirror chain.
+	replica, err := wafl.Mount(ctx, m.dst.(*storage.MemDevice).Clone(), nil, wafl.Options{})
+	if err != nil {
+		t.Fatalf("mounting replica: %v", err)
+	}
+	sv, err := src.SnapshotView(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := workload.TreeDigest(ctx, sv, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := workload.TreeDigest(ctx, replica.ActiveView(), "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := workload.DiffDigests(want, got); len(diffs) > 0 {
+		t.Fatalf("replica differs from %s: %v", snap, diffs[0])
+	}
+	if err := replica.MustCheck(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInitialSyncReplicates(t *testing.T) {
+	fs, srcDev, dstDev := newPair(t, 8192)
+	workload.Generate(ctx, fs, workload.Spec{Seed: 21, Files: 40, DirFanout: 6, MeanFileSize: 8 << 10})
+	m := New(fs, srcDev, dstDev, nil, physical.Costs{})
+	n, err := m.Sync(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("initial sync shipped nothing")
+	}
+	assertReplica(t, m, fs, m.LastSnapshot())
+}
+
+func TestIncrementalSyncsShipOnlyDeltas(t *testing.T) {
+	fs, srcDev, dstDev := newPair(t, 8192)
+	workload.Generate(ctx, fs, workload.Spec{Seed: 22, Files: 40, DirFanout: 6, MeanFileSize: 8 << 10})
+	m := New(fs, srcDev, dstDev, nil, physical.Costs{})
+	full, err := m.Sync(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for round := 0; round < 4; round++ {
+		fs.WriteFile(ctx, "/hot/file.dat", make([]byte, 16<<10), 0644)
+		delta, err := m.Sync(ctx)
+		if err != nil {
+			t.Fatalf("sync %d: %v", round, err)
+		}
+		if delta >= full/2 {
+			t.Fatalf("sync %d shipped %d blocks vs full %d: not incremental", round, delta, full)
+		}
+		assertReplica(t, m, fs, m.LastSnapshot())
+	}
+	syncs, _ := m.Stats()
+	if syncs != 5 {
+		t.Fatalf("syncs = %d, want 5", syncs)
+	}
+	// Only one mirror snapshot may remain on the source.
+	count := 0
+	for _, s := range fs.Snapshots() {
+		if len(s.Name) >= 6 && s.Name[:6] == "mirror" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("%d mirror snapshots linger on source, want 1", count)
+	}
+}
+
+func TestReplicaSurvivesSourceChurnBetweenSyncs(t *testing.T) {
+	fs, srcDev, dstDev := newPair(t, 8192)
+	workload.Generate(ctx, fs, workload.Spec{Seed: 23, Files: 30, DirFanout: 5, MeanFileSize: 4 << 10})
+	m := New(fs, srcDev, dstDev, nil, physical.Costs{})
+	if _, err := m.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	frozen := m.LastSnapshot()
+
+	// Heavy churn after the sync: replica must still match the synced
+	// snapshot exactly.
+	for i := 0; i < 10; i++ {
+		fs.WriteFile(ctx, "/churn", make([]byte, 50<<10), 0644)
+		fs.CP(ctx)
+	}
+	assertReplica(t, m, fs, frozen)
+}
+
+func TestLinkChargesTransferTime(t *testing.T) {
+	env := sim.NewEnv()
+	src := storage.NewMemDevice(4096)
+	fs, err := wafl.Mkfs(ctx, src, nil, wafl.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.WriteFile(ctx, "/payload", make([]byte, 1<<20), 0644)
+	dst := storage.NewMemDevice(4096)
+	link := NewLink(env, "wan", 1<<20 /* 1 MB/s */, time.Millisecond)
+	m := New(fs, src, dst, link, physical.Costs{})
+	var shipped int
+	env.Spawn("sync", func(p *sim.Proc) {
+		c := sim.WithProc(context.Background(), p)
+		var err error
+		shipped, err = m.Sync(c)
+		if err != nil {
+			t.Error(err)
+		}
+		link.station.Drain(p)
+	})
+	env.Run()
+	if shipped == 0 {
+		t.Fatal("nothing shipped")
+	}
+	// >1 MB over a 1 MB/s link: at least a second of virtual time.
+	if env.Now() < time.Second {
+		t.Fatalf("transfer took %v of virtual time, want >= 1s", env.Now())
+	}
+	if link.Sent() < 1<<20 {
+		t.Fatalf("link sent %d bytes", link.Sent())
+	}
+}

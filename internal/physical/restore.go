@@ -1,0 +1,264 @@
+package physical
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/wafl"
+)
+
+// RestoreOptions configures an image restore.
+type RestoreOptions struct {
+	// Vol is the raw target volume; writes bypass any filesystem and
+	// NVRAM (the paper's stated reason image restore is fast).
+	Vol storage.Device
+	// Source supplies the stream.
+	Source Source
+	// Costs is the CPU model.
+	Costs Costs
+	// ExpectIncremental controls base checking: when applying an
+	// incremental, the target's current root generation must equal the
+	// stream's base generation. Full streams ignore the target.
+	ExpectIncremental bool
+}
+
+// RestoreStats reports what an image restore did.
+type RestoreStats struct {
+	BlocksRestored int
+	BytesRead      int64
+	Gen            uint64
+}
+
+// streamReader presents record-oriented input as a byte stream.
+type streamReader struct {
+	src  Source
+	buf  []byte
+	pos  int
+	read int64
+}
+
+func (r *streamReader) readFull(p []byte) error {
+	n := 0
+	for n < len(p) {
+		if r.pos >= len(r.buf) {
+			rec, err := r.src.ReadRecord()
+			if err != nil {
+				if err == io.EOF && n == 0 {
+					return io.EOF
+				}
+				if err == io.EOF {
+					return io.ErrUnexpectedEOF
+				}
+				return err
+			}
+			r.buf = rec
+			r.pos = 0
+			continue
+		}
+		c := copy(p[n:], r.buf[r.pos:])
+		n += c
+		r.pos += c
+		r.read += int64(c)
+	}
+	return nil
+}
+
+// ReadHeader decodes the stream preamble without consuming block data,
+// so callers can inspect a stream's identity (used by the extractor
+// and by chain validation).
+func readHeader(r *streamReader) (*streamHeader, error) {
+	fixed := make([]byte, headerFixed)
+	if err := r.readFull(fixed); err != nil {
+		return nil, err
+	}
+	if string(fixed[:8]) != Magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadStream)
+	}
+	le := binary.LittleEndian
+	if v := le.Uint32(fixed[8:]); v != 1 {
+		return nil, fmt.Errorf("%w: version %d", ErrBadStream, v)
+	}
+	h := &streamHeader{
+		nblocks:    le.Uint64(fixed[12:]),
+		gen:        le.Uint64(fixed[20:]),
+		baseGen:    le.Uint64(fixed[28:]),
+		blockCount: le.Uint64(fixed[36:]),
+	}
+	rootLen := le.Uint32(fixed[44:])
+	if rootLen == 0 || rootLen > 1<<20 {
+		return nil, fmt.Errorf("%w: root length %d", ErrBadStream, rootLen)
+	}
+	h.root = make([]byte, rootLen)
+	if err := r.readFull(h.root); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Restore applies an image stream to opts.Vol: raw block writes in
+// stream (ascending) order, then the composed root structure last, so
+// an interrupted restore never presents a half-written root.
+func Restore(ctx context.Context, opts RestoreOptions) (*RestoreStats, error) {
+	if opts.Vol == nil || opts.Source == nil {
+		return nil, fmt.Errorf("physical: nil volume or source")
+	}
+	r := &streamReader{src: opts.Source}
+	h, err := readHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(opts.Vol.NumBlocks()) < h.nblocks {
+		return nil, fmt.Errorf("%w: stream needs %d blocks, volume has %d",
+			ErrGeometry, h.nblocks, opts.Vol.NumBlocks())
+	}
+	if h.baseGen != 0 != opts.ExpectIncremental {
+		if h.baseGen != 0 {
+			return nil, fmt.Errorf("%w: stream has base generation %d", ErrWrongBase, h.baseGen)
+		}
+		return nil, ErrNotIncrem
+	}
+	if h.baseGen != 0 {
+		// Verify the target is exactly at the base state.
+		cur, err := readTargetGen(ctx, opts.Vol)
+		if err != nil {
+			return nil, fmt.Errorf("%w: cannot read target root: %v", ErrWrongBase, err)
+		}
+		if cur != h.baseGen {
+			return nil, fmt.Errorf("%w: target at generation %d, incremental expects %d",
+				ErrWrongBase, cur, h.baseGen)
+		}
+	}
+	return restoreBody(ctx, opts.Vol, r, h, opts)
+}
+
+// restoreBody applies the extents and root of a stream whose header
+// has already been read and validated.
+func restoreBody(ctx context.Context, vol storage.Device, r *streamReader, h *streamHeader, opts RestoreOptions) (*RestoreStats, error) {
+	stats := &RestoreStats{Gen: h.gen}
+	runDev, _ := vol.(RunDevice)
+	const maxRestoreRun = 512
+	crc := crc32.NewIEEE()
+	var ext [8]byte
+	buf := make([]byte, maxRestoreRun*storage.BlockSize)
+	for {
+		if err := r.readFull(ext[:]); err != nil {
+			return nil, fmt.Errorf("%w: missing trailer", ErrBadStream)
+		}
+		start := binary.LittleEndian.Uint32(ext[0:])
+		count := binary.LittleEndian.Uint32(ext[4:])
+		if start == 0xFFFFFFFF {
+			if crc.Sum32() != count {
+				return nil, ErrBadChecksum
+			}
+			break
+		}
+		if uint64(start)+uint64(count) > h.nblocks || count == 0 {
+			return nil, fmt.Errorf("%w: extent %d+%d out of range", ErrBadStream, start, count)
+		}
+		for b := uint32(0); b < count; {
+			c := int(count - b)
+			if c > maxRestoreRun {
+				c = maxRestoreRun
+			}
+			chunk := buf[:c*storage.BlockSize]
+			if err := r.readFull(chunk); err != nil {
+				return nil, err
+			}
+			crc.Write(chunk)
+			if runDev != nil {
+				if err := runDev.WriteRun(ctx, int(start)+int(b), c, chunk); err != nil {
+					return nil, err
+				}
+			} else {
+				for k := 0; k < c; k++ {
+					if err := vol.WriteBlock(ctx, int(start)+int(b)+k, chunk[k*storage.BlockSize:(k+1)*storage.BlockSize]); err != nil {
+						return nil, err
+					}
+				}
+			}
+			opts.Costs.charge(ctx, time.Duration(c)*opts.Costs.RestBlock)
+			stats.BlocksRestored += c
+			b += uint32(c)
+		}
+	}
+
+	// Install the composed root last, redundantly across both fixed
+	// locations.
+	if len(h.root) != wafl.FsinfoSpan*storage.BlockSize {
+		return nil, fmt.Errorf("%w: root image of %d bytes", ErrBadStream, len(h.root))
+	}
+	for copyStart := 0; copyStart < wafl.FsinfoReserved; copyStart += wafl.FsinfoSpan {
+		for i := 0; i < wafl.FsinfoSpan; i++ {
+			blk := h.root[i*storage.BlockSize : (i+1)*storage.BlockSize]
+			if err := vol.WriteBlock(ctx, copyStart+i, blk); err != nil {
+				return nil, err
+			}
+			opts.Costs.charge(ctx, opts.Costs.RestBlock)
+		}
+	}
+	stats.BytesRead = r.read
+	return stats, nil
+}
+
+// readTargetGen mounts nothing: it reads the target's current root
+// directly to learn its generation for incremental-chain validation.
+func readTargetGen(ctx context.Context, vol storage.Device) (uint64, error) {
+	buf := make([]byte, wafl.FsinfoSpan*storage.BlockSize)
+	for i := 0; i < wafl.FsinfoSpan; i++ {
+		if err := vol.ReadBlock(ctx, i, buf[i*storage.BlockSize:(i+1)*storage.BlockSize]); err != nil {
+			return 0, err
+		}
+	}
+	return wafl.RootGeneration(buf)
+}
+
+// teeSource replays records consumed during a header peek before
+// continuing with the live source.
+type teeSource struct {
+	buffered [][]byte
+	pos      int
+	src      Source
+}
+
+func (t *teeSource) ReadRecord() ([]byte, error) {
+	if t.pos < len(t.buffered) {
+		r := t.buffered[t.pos]
+		t.pos++
+		return r, nil
+	}
+	return t.src.ReadRecord()
+}
+
+// StreamInfo reads an image stream's preamble without consuming the
+// stream: it returns the source volume geometry and generations plus a
+// Source that replays everything, so a caller can size a target volume
+// before restoring (cmd/backupctl does this).
+func StreamInfo(src Source) (nblocks, gen, baseGen uint64, replay Source, err error) {
+	tee := &teeSource{}
+	wrapped := &streamReader{src: recorderSource{src: src, into: &tee.buffered}}
+	h, err := readHeader(wrapped)
+	if err != nil {
+		return 0, 0, 0, nil, err
+	}
+	tee.src = src
+	return h.nblocks, h.gen, h.baseGen, tee, nil
+}
+
+// recorderSource captures records as they are read.
+type recorderSource struct {
+	src  Source
+	into *[][]byte
+}
+
+func (r recorderSource) ReadRecord() ([]byte, error) {
+	rec, err := r.src.ReadRecord()
+	if err == nil {
+		*r.into = append(*r.into, rec)
+	}
+	return rec, err
+}

@@ -1,0 +1,296 @@
+package raid
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/vdev"
+)
+
+func newTestGroup(t *testing.T, nData, blocksPerDisk int) *Group {
+	t.Helper()
+	var data []Disk
+	for i := 0; i < nData; i++ {
+		data = append(data, vdev.New(nil, "d", blocksPerDisk, vdev.DefaultParams()))
+	}
+	g, err := NewGroup(data, vdev.New(nil, "p", blocksPerDisk, vdev.DefaultParams()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func block(seed int) []byte {
+	b := make([]byte, storage.BlockSize)
+	r := rand.New(rand.NewSource(int64(seed)))
+	r.Read(b)
+	return b
+}
+
+func TestGroupRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	g := newTestGroup(t, 4, 16)
+	if g.NumBlocks() != 64 {
+		t.Fatalf("NumBlocks = %d, want 64", g.NumBlocks())
+	}
+	for bno := 0; bno < 64; bno++ {
+		if err := g.WriteBlock(ctx, bno, block(bno)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, storage.BlockSize)
+	for bno := 0; bno < 64; bno++ {
+		if err := g.ReadBlock(ctx, bno, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, block(bno)) {
+			t.Fatalf("block %d mismatch", bno)
+		}
+	}
+}
+
+func TestParityIsExact(t *testing.T) {
+	ctx := context.Background()
+	g := newTestGroup(t, 3, 8)
+	// Random writes, including overwrites.
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		bno := r.Intn(g.NumBlocks())
+		if err := g.WriteBlock(ctx, bno, block(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bad, err := g.VerifyParity(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 0 {
+		t.Fatalf("parity wrong for stripes at blocks %v", bad)
+	}
+}
+
+func TestDegradedRead(t *testing.T) {
+	ctx := context.Background()
+	g := newTestGroup(t, 4, 8)
+	for bno := 0; bno < g.NumBlocks(); bno++ {
+		if err := g.WriteBlock(ctx, bno, block(bno)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.FailDisk(2); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, storage.BlockSize)
+	for bno := 0; bno < g.NumBlocks(); bno++ {
+		if err := g.ReadBlock(ctx, bno, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, block(bno)) {
+			t.Fatalf("degraded read of block %d mismatch", bno)
+		}
+	}
+}
+
+func TestDegradedWriteThenRead(t *testing.T) {
+	ctx := context.Background()
+	g := newTestGroup(t, 3, 8)
+	for bno := 0; bno < g.NumBlocks(); bno++ {
+		if err := g.WriteBlock(ctx, bno, block(bno)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.FailDisk(1); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite blocks that live on the failed disk: parity must absorb them.
+	for bno := 1; bno < g.NumBlocks(); bno += 3 { // disk = bno % 3 == 1
+		if err := g.WriteBlock(ctx, bno, block(1000+bno)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, storage.BlockSize)
+	for bno := 1; bno < g.NumBlocks(); bno += 3 {
+		if err := g.ReadBlock(ctx, bno, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, block(1000+bno)) {
+			t.Fatalf("degraded write of block %d lost", bno)
+		}
+	}
+}
+
+func TestDoubleFailureRejected(t *testing.T) {
+	g := newTestGroup(t, 4, 8)
+	if err := g.FailDisk(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.FailDisk(1); !errors.Is(err, ErrDoubleFailure) {
+		t.Fatalf("second failure err = %v, want ErrDoubleFailure", err)
+	}
+}
+
+func TestRebuild(t *testing.T) {
+	ctx := context.Background()
+	g := newTestGroup(t, 4, 8)
+	for bno := 0; bno < g.NumBlocks(); bno++ {
+		if err := g.WriteBlock(ctx, bno, block(bno)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.FailDisk(3); err != nil {
+		t.Fatal(err)
+	}
+	repl := vdev.New(nil, "repl", 8, vdev.DefaultParams())
+	if err := g.Rebuild(ctx, repl); err != nil {
+		t.Fatal(err)
+	}
+	// Healthy again: reads come from the replacement directly.
+	buf := make([]byte, storage.BlockSize)
+	for bno := 0; bno < g.NumBlocks(); bno++ {
+		if err := g.ReadBlock(ctx, bno, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, block(bno)) {
+			t.Fatalf("post-rebuild read of block %d mismatch", bno)
+		}
+	}
+	if bad, err := g.VerifyParity(ctx); err != nil || len(bad) != 0 {
+		t.Fatalf("post-rebuild parity bad=%v err=%v", bad, err)
+	}
+	if err := g.Rebuild(ctx, repl); !errors.Is(err, ErrNoFailure) {
+		t.Fatalf("rebuild without failure err = %v, want ErrNoFailure", err)
+	}
+}
+
+func TestVolumeConcatenation(t *testing.T) {
+	ctx := context.Background()
+	g1 := newTestGroup(t, 2, 8) // 16 blocks
+	g2 := newTestGroup(t, 3, 8) // 24 blocks
+	v, err := NewVolume("vol", g1, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.NumBlocks() != 40 {
+		t.Fatalf("NumBlocks = %d, want 40", v.NumBlocks())
+	}
+	for bno := 0; bno < 40; bno++ {
+		if err := v.WriteBlock(ctx, bno, block(bno)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, storage.BlockSize)
+	for bno := 0; bno < 40; bno++ {
+		if err := v.ReadBlock(ctx, bno, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, block(bno)) {
+			t.Fatalf("volume block %d mismatch", bno)
+		}
+	}
+	// Blocks past the first group must land in the second group.
+	gbuf := make([]byte, storage.BlockSize)
+	if err := g2.ReadBlock(ctx, 0, gbuf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gbuf, block(16)) {
+		t.Fatal("volume block 16 not at group 2 block 0")
+	}
+}
+
+func TestVolumeBounds(t *testing.T) {
+	ctx := context.Background()
+	v, err := Build(nil, "v", Config{Groups: 1, DataDisksPerGroup: 2, BlocksPerDisk: 4, DiskParams: vdev.DefaultParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, storage.BlockSize)
+	if err := v.ReadBlock(ctx, v.NumBlocks(), buf); !errors.Is(err, storage.ErrOutOfRange) {
+		t.Fatalf("err = %v, want ErrOutOfRange", err)
+	}
+	if err := v.WriteBlock(ctx, -1, buf); !errors.Is(err, storage.ErrOutOfRange) {
+		t.Fatalf("err = %v, want ErrOutOfRange", err)
+	}
+}
+
+func TestBuildGeometry(t *testing.T) {
+	v, err := Build(nil, "home", Config{Groups: 3, DataDisksPerGroup: 10, BlocksPerDisk: 64, DiskParams: vdev.DefaultParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.NumBlocks() != 3*10*64 {
+		t.Fatalf("NumBlocks = %d, want %d", v.NumBlocks(), 3*10*64)
+	}
+	if v.NumDisks() != 33 {
+		t.Fatalf("NumDisks = %d, want 33 (incl. parity)", v.NumDisks())
+	}
+}
+
+func TestBuildRejectsBadConfig(t *testing.T) {
+	for _, cfg := range []Config{
+		{Groups: 0, DataDisksPerGroup: 1, BlocksPerDisk: 1},
+		{Groups: 1, DataDisksPerGroup: 0, BlocksPerDisk: 1},
+		{Groups: 1, DataDisksPerGroup: 1, BlocksPerDisk: 0},
+	} {
+		if _, err := Build(nil, "v", cfg); err == nil {
+			t.Errorf("Build(%+v) succeeded, want error", cfg)
+		}
+	}
+}
+
+func TestAscendingScanIsSequentialPerDisk(t *testing.T) {
+	// Reading the whole volume in ascending block order must keep each
+	// member disk sequential: at most one seek per disk.
+	env := sim.NewEnv()
+	v, err := Build(env, "v", Config{Groups: 1, DataDisksPerGroup: 4, BlocksPerDisk: 32, DiskParams: vdev.DefaultParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Spawn("scan", func(p *sim.Proc) {
+		ctx := sim.WithProc(context.Background(), p)
+		buf := make([]byte, storage.BlockSize)
+		for bno := 0; bno < v.NumBlocks(); bno++ {
+			if err := v.ReadBlock(ctx, bno, buf); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	env.Run()
+	for _, g := range v.Groups() {
+		for i, d := range g.data {
+			vd := d.(*vdev.Disk)
+			_, _, seeks := vd.Stats()
+			if seeks > 1 {
+				t.Errorf("disk %d saw %d seeks during ascending scan, want <= 1", i, seeks)
+			}
+		}
+	}
+}
+
+func TestVolumeTraffic(t *testing.T) {
+	ctx := context.Background()
+	v, err := Build(nil, "v", Config{Groups: 1, DataDisksPerGroup: 2, BlocksPerDisk: 8, DiskParams: vdev.DefaultParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, storage.BlockSize)
+	for i := 0; i < 5; i++ {
+		if err := v.WriteBlock(ctx, i, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := v.ReadBlock(ctx, i, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, w := v.Traffic()
+	if r != 3*storage.BlockSize || w != 5*storage.BlockSize {
+		t.Fatalf("traffic = (%d, %d), want (%d, %d)", r, w, 3*storage.BlockSize, 5*storage.BlockSize)
+	}
+}

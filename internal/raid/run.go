@@ -1,0 +1,160 @@
+package raid
+
+import (
+	"context"
+
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// Bulk-run I/O. A contiguous run of group data blocks maps to one
+// contiguous sub-run per member disk, so a large run costs each disk
+// at most one seek — which is how a streaming image dump keeps every
+// spindle sequential even with several concurrent streams sharing the
+// volume (paper §5.3: "physical dump/restore allows the disks to
+// achieve their optimal throughput").
+
+// ReadRun reads n consecutive group data blocks starting at bno into
+// buf (n*BlockSize long). Degraded groups fall back to per-block
+// reconstruction.
+func (g *Group) ReadRun(ctx context.Context, bno, n int, buf []byte) error {
+	if g.failed >= 0 {
+		for i := 0; i < n; i++ {
+			if err := g.ReadBlock(ctx, bno+i, buf[i*storage.BlockSize:(i+1)*storage.BlockSize]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	nd := len(g.data)
+	// Issue every member disk's sub-run concurrently and wait for the
+	// last to finish: a striped read costs max over disks, not sum.
+	var latest sim.Time
+	for k := 0; k < nd; k++ {
+		// Blocks b in [bno, bno+n) with b % nd == k.
+		first := bno + ((k-bno%nd)+nd)%nd
+		if first >= bno+n {
+			continue
+		}
+		count := (bno + n - first + nd - 1) / nd
+		tmp := make([]byte, count*storage.BlockSize)
+		done, err := g.data[k].ReadRunAsync(ctx, first/nd, count, tmp)
+		if err != nil {
+			return err
+		}
+		if done > latest {
+			latest = done
+		}
+		for i := 0; i < count; i++ {
+			vb := first + i*nd
+			copy(buf[(vb-bno)*storage.BlockSize:(vb-bno+1)*storage.BlockSize],
+				tmp[i*storage.BlockSize:(i+1)*storage.BlockSize])
+		}
+	}
+	if p := sim.ProcFrom(ctx); p != nil && latest > 0 {
+		p.WaitUntil(latest)
+	}
+	return nil
+}
+
+// WriteRun writes n consecutive group data blocks starting at bno from
+// buf. Full stripes compute parity from the new data alone (no
+// read-modify-write); partial head/tail stripes fall back to
+// WriteBlock.
+func (g *Group) WriteRun(ctx context.Context, bno, n int, buf []byte) error {
+	nd := len(g.data)
+	if g.failed >= 0 || n < 2*nd {
+		for i := 0; i < n; i++ {
+			if err := g.WriteBlock(ctx, bno+i, buf[i*storage.BlockSize:(i+1)*storage.BlockSize]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Head: up to the first stripe boundary.
+	head := 0
+	if bno%nd != 0 {
+		head = nd - bno%nd
+	}
+	fullStripes := (n - head) / nd
+	tail := n - head - fullStripes*nd
+	for i := 0; i < head; i++ {
+		if err := g.WriteBlock(ctx, bno+i, buf[i*storage.BlockSize:(i+1)*storage.BlockSize]); err != nil {
+			return err
+		}
+	}
+	if fullStripes > 0 {
+		base := bno + head // stripe-aligned
+		stripe0 := base / nd
+		// Per-disk contiguous writes plus a parity run.
+		parity := make([]byte, fullStripes*storage.BlockSize)
+		for k := 0; k < nd; k++ {
+			tmp := make([]byte, fullStripes*storage.BlockSize)
+			for s := 0; s < fullStripes; s++ {
+				vb := base + s*nd + k
+				blk := buf[(vb-bno)*storage.BlockSize : (vb-bno+1)*storage.BlockSize]
+				copy(tmp[s*storage.BlockSize:], blk)
+				xorInto(parity[s*storage.BlockSize:(s+1)*storage.BlockSize], blk)
+			}
+			if err := g.data[k].WriteRun(ctx, stripe0, fullStripes, tmp); err != nil {
+				return err
+			}
+		}
+		if err := g.parity.WriteRun(ctx, stripe0, fullStripes, parity); err != nil {
+			return err
+		}
+		g.chargeParity(stripe0 + fullStripes - 1)
+	}
+	for i := n - tail; i < n; i++ {
+		if err := g.WriteBlock(ctx, bno+i, buf[i*storage.BlockSize:(i+1)*storage.BlockSize]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadRun reads n consecutive volume blocks starting at bno into buf,
+// splitting at group boundaries.
+func (v *Volume) ReadRun(ctx context.Context, bno, n int, buf []byte) error {
+	for n > 0 {
+		g, gb, err := v.locate(bno)
+		if err != nil {
+			return err
+		}
+		c := n
+		if gb+c > g.NumBlocks() {
+			c = g.NumBlocks() - gb
+		}
+		if err := g.ReadRun(ctx, gb, c, buf[:c*storage.BlockSize]); err != nil {
+			return err
+		}
+		v.bytesRead += int64(c) * storage.BlockSize
+		bno += c
+		n -= c
+		buf = buf[c*storage.BlockSize:]
+	}
+	return nil
+}
+
+// WriteRun writes n consecutive volume blocks starting at bno from
+// buf, splitting at group boundaries.
+func (v *Volume) WriteRun(ctx context.Context, bno, n int, buf []byte) error {
+	for n > 0 {
+		g, gb, err := v.locate(bno)
+		if err != nil {
+			return err
+		}
+		c := n
+		if gb+c > g.NumBlocks() {
+			c = g.NumBlocks() - gb
+		}
+		if err := g.WriteRun(ctx, gb, c, buf[:c*storage.BlockSize]); err != nil {
+			return err
+		}
+		v.bytesWritten += int64(c) * storage.BlockSize
+		bno += c
+		n -= c
+		buf = buf[c*storage.BlockSize:]
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package raid
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/vdev"
+)
+
+func fillVolume(t *testing.T, v *Volume, seed int64) []byte {
+	t.Helper()
+	ctx := context.Background()
+	all := make([]byte, v.NumBlocks()*storage.BlockSize)
+	rand.New(rand.NewSource(seed)).Read(all)
+	for b := 0; b < v.NumBlocks(); b++ {
+		if err := v.WriteBlock(ctx, b, all[b*storage.BlockSize:(b+1)*storage.BlockSize]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return all
+}
+
+func TestReadRunMatchesPerBlock(t *testing.T) {
+	ctx := context.Background()
+	v, err := Build(nil, "v", Config{Groups: 2, DataDisksPerGroup: 3, BlocksPerDisk: 16, DiskParams: vdev.DefaultParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := fillVolume(t, v, 71)
+	r := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 100; trial++ {
+		start := r.Intn(v.NumBlocks())
+		n := r.Intn(v.NumBlocks()-start) + 1
+		buf := make([]byte, n*storage.BlockSize)
+		if err := v.ReadRun(ctx, start, n, buf); err != nil {
+			t.Fatalf("ReadRun(%d, %d): %v", start, n, err)
+		}
+		if !bytes.Equal(buf, all[start*storage.BlockSize:(start+n)*storage.BlockSize]) {
+			t.Fatalf("ReadRun(%d, %d) differs from per-block contents", start, n)
+		}
+	}
+}
+
+func TestWriteRunMatchesPerBlockAndParity(t *testing.T) {
+	ctx := context.Background()
+	v, err := Build(nil, "v", Config{Groups: 2, DataDisksPerGroup: 4, BlocksPerDisk: 32, DiskParams: vdev.DefaultParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillVolume(t, v, 73)
+	r := rand.New(rand.NewSource(74))
+	for trial := 0; trial < 60; trial++ {
+		start := r.Intn(v.NumBlocks())
+		n := r.Intn(v.NumBlocks()-start) + 1
+		if n > 80 {
+			n = 80
+		}
+		data := make([]byte, n*storage.BlockSize)
+		r.Read(data)
+		if err := v.WriteRun(ctx, start, n, data); err != nil {
+			t.Fatalf("WriteRun(%d, %d): %v", start, n, err)
+		}
+		buf := make([]byte, storage.BlockSize)
+		for i := 0; i < n; i++ {
+			if err := v.ReadBlock(ctx, start+i, buf); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf, data[i*storage.BlockSize:(i+1)*storage.BlockSize]) {
+				t.Fatalf("block %d of run (%d, %d) wrong after WriteRun", i, start, n)
+			}
+		}
+	}
+	// Parity must be exact after the mixture of full-stripe and
+	// per-block paths.
+	for gi, g := range v.Groups() {
+		bad, err := g.VerifyParity(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(bad) != 0 {
+			t.Fatalf("group %d parity broken at %v after WriteRun mix", gi, bad)
+		}
+	}
+}
+
+func TestReadRunDegradedReconstructs(t *testing.T) {
+	ctx := context.Background()
+	v, err := Build(nil, "v", Config{Groups: 1, DataDisksPerGroup: 4, BlocksPerDisk: 16, DiskParams: vdev.DefaultParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := fillVolume(t, v, 75)
+	if err := v.Groups()[0].FailDisk(1); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, v.NumBlocks()*storage.BlockSize)
+	if err := v.ReadRun(ctx, 0, v.NumBlocks(), buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, all) {
+		t.Fatal("degraded ReadRun returned wrong data")
+	}
+}
+
+func TestRunsSpanGroupBoundaries(t *testing.T) {
+	ctx := context.Background()
+	v, err := Build(nil, "v", Config{Groups: 3, DataDisksPerGroup: 2, BlocksPerDisk: 8, DiskParams: vdev.DefaultParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One run covering all three groups.
+	data := make([]byte, v.NumBlocks()*storage.BlockSize)
+	rand.New(rand.NewSource(76)).Read(data)
+	if err := v.WriteRun(ctx, 0, v.NumBlocks(), data); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(data))
+	if err := v.ReadRun(ctx, 0, v.NumBlocks(), buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("cross-group run corrupted")
+	}
+}

@@ -1,0 +1,177 @@
+package raid
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/vdev"
+)
+
+// Volume is a linear block address space made by concatenating RAID
+// groups — the paper's "home" volume is 31 disks in 3 RAID groups, the
+// "rlse" volume 22 disks in 2. It implements storage.Device, so the
+// filesystem mounts directly on it, and adds the streaming and
+// prefetch entry points that image dump and the buffer cache use.
+type Volume struct {
+	name   string
+	groups []*Group
+	starts []int // starting volume block of each group
+	total  int
+
+	// Traffic counters for the benchmark harness.
+	bytesRead    int64
+	bytesWritten int64
+}
+
+// NewVolume concatenates groups into one volume.
+func NewVolume(name string, groups ...*Group) (*Volume, error) {
+	if len(groups) == 0 {
+		return nil, errors.New("raid: volume needs at least one group")
+	}
+	v := &Volume{name: name, groups: groups}
+	for _, g := range groups {
+		v.starts = append(v.starts, v.total)
+		v.total += g.NumBlocks()
+	}
+	return v, nil
+}
+
+// Config describes a volume to build from scratch.
+type Config struct {
+	// Groups is the number of RAID groups.
+	Groups int
+	// DataDisksPerGroup is the number of data disks in each group
+	// (parity disks are added on top).
+	DataDisksPerGroup int
+	// BlocksPerDisk is each disk's capacity.
+	BlocksPerDisk int
+	// DiskParams is the per-disk performance model.
+	DiskParams vdev.Params
+}
+
+// Build creates the disks and groups for cfg on env (nil for untimed)
+// and assembles them into a volume named name.
+func Build(env *sim.Env, name string, cfg Config) (*Volume, error) {
+	if cfg.Groups <= 0 || cfg.DataDisksPerGroup <= 0 || cfg.BlocksPerDisk <= 0 {
+		return nil, fmt.Errorf("raid: bad volume config %+v", cfg)
+	}
+	var groups []*Group
+	for gi := 0; gi < cfg.Groups; gi++ {
+		var data []Disk
+		for di := 0; di < cfg.DataDisksPerGroup; di++ {
+			data = append(data, vdev.New(env, fmt.Sprintf("%s/g%d/d%d", name, gi, di), cfg.BlocksPerDisk, cfg.DiskParams))
+		}
+		parity := vdev.New(env, fmt.Sprintf("%s/g%d/parity", name, gi), cfg.BlocksPerDisk, cfg.DiskParams)
+		g, err := NewGroup(data, parity)
+		if err != nil {
+			return nil, err
+		}
+		groups = append(groups, g)
+	}
+	return NewVolume(name, groups...)
+}
+
+// Name returns the volume name.
+func (v *Volume) Name() string { return v.name }
+
+// NumBlocks implements storage.Device.
+func (v *Volume) NumBlocks() int { return v.total }
+
+// Groups returns the volume's RAID groups, for failure-injection tests.
+func (v *Volume) Groups() []*Group { return v.groups }
+
+// Traffic returns cumulative bytes read from and written to the volume.
+func (v *Volume) Traffic() (read, written int64) { return v.bytesRead, v.bytesWritten }
+
+// locate maps a volume block to (group, group-local block).
+func (v *Volume) locate(bno int) (*Group, int, error) {
+	if bno < 0 || bno >= v.total {
+		return nil, 0, fmt.Errorf("%w: %d of %d", storage.ErrOutOfRange, bno, v.total)
+	}
+	// Linear scan: volumes have a handful of groups.
+	for i := len(v.groups) - 1; i >= 0; i-- {
+		if bno >= v.starts[i] {
+			return v.groups[i], bno - v.starts[i], nil
+		}
+	}
+	return nil, 0, fmt.Errorf("%w: %d", storage.ErrOutOfRange, bno)
+}
+
+// ReadBlock implements storage.Device.
+func (v *Volume) ReadBlock(ctx context.Context, bno int, buf []byte) error {
+	g, gb, err := v.locate(bno)
+	if err != nil {
+		return err
+	}
+	if err := g.ReadBlock(ctx, gb, buf); err != nil {
+		return err
+	}
+	v.bytesRead += storage.BlockSize
+	return nil
+}
+
+// WriteBlock implements storage.Device.
+func (v *Volume) WriteBlock(ctx context.Context, bno int, data []byte) error {
+	g, gb, err := v.locate(bno)
+	if err != nil {
+		return err
+	}
+	if err := g.WriteBlock(ctx, gb, data); err != nil {
+		return err
+	}
+	v.bytesWritten += storage.BlockSize
+	return nil
+}
+
+// Prefetch charges read time for volume block bno without blocking the
+// caller, warming the path for an upcoming demand read.
+func (v *Volume) Prefetch(ctx context.Context, bno int) {
+	g, gb, err := v.locate(bno)
+	if err != nil || g.failed >= 0 {
+		return
+	}
+	disk, dblock := g.locate(gb)
+	g.data[disk].Prefetch(ctx, dblock)
+	// Traffic is counted by the cache-warming read that follows a
+	// prefetch, not here, so prefetched bytes are not double-counted.
+}
+
+// Flush blocks until every member disk's write-behind cache drains.
+func (v *Volume) Flush(ctx context.Context) {
+	for _, g := range v.groups {
+		for _, d := range g.data {
+			d.Flush(ctx)
+		}
+		g.parity.Flush(ctx)
+	}
+}
+
+// DiskBusy sums the accumulated busy time across all member disks
+// (data and parity), for utilization reporting.
+func (v *Volume) DiskBusy() time.Duration {
+	var total time.Duration
+	for _, g := range v.groups {
+		for _, d := range g.data {
+			if s := d.Station(); s != nil {
+				total += s.Busy()
+			}
+		}
+		if s := g.parity.Station(); s != nil {
+			total += s.Busy()
+		}
+	}
+	return total
+}
+
+// NumDisks returns the total number of member disks including parity.
+func (v *Volume) NumDisks() int {
+	n := 0
+	for _, g := range v.groups {
+		n += len(g.data) + 1
+	}
+	return n
+}

@@ -1,0 +1,21 @@
+package sim
+
+import "context"
+
+// procKey is the context key under which the current simulated process
+// travels through filesystem and device call chains.
+type procKey struct{}
+
+// WithProc returns a context carrying p. Device layers retrieve it with
+// ProcFrom and charge their service times against it; a context without
+// a process makes all timing a no-op.
+func WithProc(ctx context.Context, p *Proc) context.Context {
+	return context.WithValue(ctx, procKey{}, p)
+}
+
+// ProcFrom extracts the simulated process from ctx, or nil if the call
+// chain is running untimed.
+func ProcFrom(ctx context.Context) *Proc {
+	p, _ := ctx.Value(procKey{}).(*Proc)
+	return p
+}

@@ -1,0 +1,155 @@
+// Package sim provides a small deterministic discrete-event simulator.
+//
+// The simulator drives every timing model in this repository: disks,
+// RAID arrays, tape drives, NVRAM and the filer CPU all charge their
+// service times to a shared virtual clock, so a multi-hour backup run
+// from the paper executes in milliseconds of wall time while still
+// moving real bytes.
+//
+// The model is cooperative: processes are goroutines, but exactly one
+// process (or the scheduler) runs at any instant, and the only blocking
+// primitive is sleeping until a virtual time. This keeps runs fully
+// deterministic: identical inputs produce identical event orderings and
+// identical clock readings.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, measured as a duration since the
+// start of the simulation.
+type Time = time.Duration
+
+// event is a scheduled wake-up for a process.
+type event struct {
+	at  Time
+	seq int64 // tie-breaker for determinism
+	p   *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Env is a simulation environment: a virtual clock plus the set of
+// processes scheduled on it. The zero value is not usable; create
+// environments with NewEnv.
+type Env struct {
+	now    Time
+	seq    int64
+	events eventHeap
+	yield  chan struct{} // handed back by a proc when it blocks or exits
+	live   int           // procs spawned and not yet finished
+}
+
+// NewEnv returns a fresh simulation environment with the clock at zero.
+func NewEnv() *Env {
+	return &Env{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+func (e *Env) schedule(at Time, p *Proc) {
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, p: p})
+}
+
+// Proc is a simulated process. All blocking must go through Sleep or
+// WaitUntil; blocking on ordinary Go primitives from inside a process
+// deadlocks the simulation.
+type Proc struct {
+	env    *Env
+	name   string
+	resume chan struct{}
+	done   bool
+}
+
+// Name returns the name given to Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the environment the process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// Spawn registers fn as a new process. It may be called before Run or
+// from inside a running process; the new process first runs at the
+// current virtual time, after the spawner next blocks.
+func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	e.live++
+	go func() {
+		<-p.resume
+		fn(p)
+		p.done = true
+		e.live--
+		e.yield <- struct{}{}
+	}()
+	e.schedule(e.now, p)
+	return p
+}
+
+// Run drives the simulation until no scheduled events remain. It must
+// be called from outside any process. It panics if a process is still
+// live when the event queue empties (which indicates a process blocked
+// forever — a bug in the caller).
+func (e *Env) Run() {
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(event)
+		if ev.p.done {
+			continue
+		}
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		ev.p.resume <- struct{}{}
+		<-e.yield
+	}
+	if e.live != 0 {
+		panic(fmt.Sprintf("sim: %d process(es) still live with empty event queue", e.live))
+	}
+}
+
+// Sleep blocks the process for d of virtual time. Negative durations
+// are treated as zero.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.WaitUntil(p.env.now + d)
+}
+
+// WaitUntil blocks the process until virtual time t. If t is in the
+// past the process yields and resumes at the current time.
+func (p *Proc) WaitUntil(t Time) {
+	if t < p.env.now {
+		t = p.env.now
+	}
+	p.env.schedule(t, p)
+	p.env.yield <- struct{}{}
+	<-p.resume
+}
+
+// Yield lets other runnable processes scheduled for the current instant
+// run before the caller continues.
+func (p *Proc) Yield() { p.WaitUntil(p.env.now) }

@@ -1,0 +1,367 @@
+package sim
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	e := NewEnv()
+	if e.Now() != 0 {
+		t.Fatalf("new env clock = %v, want 0", e.Now())
+	}
+	e.Run() // no processes: returns immediately
+	if e.Now() != 0 {
+		t.Fatalf("clock moved with no processes: %v", e.Now())
+	}
+}
+
+func TestSleepAdvancesClock(t *testing.T) {
+	e := NewEnv()
+	var woke Time
+	e.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(5 * time.Second)
+		woke = p.Now()
+	})
+	e.Run()
+	if woke != 5*time.Second {
+		t.Fatalf("woke at %v, want 5s", woke)
+	}
+	if e.Now() != 5*time.Second {
+		t.Fatalf("final clock %v, want 5s", e.Now())
+	}
+}
+
+func TestNegativeSleepIsZero(t *testing.T) {
+	e := NewEnv()
+	ran := false
+	e.Spawn("p", func(p *Proc) {
+		p.Sleep(-time.Second)
+		ran = true
+	})
+	e.Run()
+	if !ran || e.Now() != 0 {
+		t.Fatalf("ran=%v now=%v, want true, 0", ran, e.Now())
+	}
+}
+
+func TestWaitUntilPastResumesNow(t *testing.T) {
+	e := NewEnv()
+	e.Spawn("p", func(p *Proc) {
+		p.Sleep(time.Second)
+		p.WaitUntil(0) // in the past
+		if p.Now() != time.Second {
+			t.Errorf("resumed at %v, want 1s", p.Now())
+		}
+	})
+	e.Run()
+}
+
+func TestInterleavingIsDeterministic(t *testing.T) {
+	run := func() []string {
+		e := NewEnv()
+		var order []string
+		for _, spec := range []struct {
+			name string
+			d    time.Duration
+		}{{"a", 3 * time.Second}, {"b", time.Second}, {"c", 2 * time.Second}} {
+			spec := spec
+			e.Spawn(spec.name, func(p *Proc) {
+				p.Sleep(spec.d)
+				order = append(order, spec.name)
+			})
+		}
+		e.Run()
+		return order
+	}
+	want := []string{"b", "c", "a"}
+	for i := 0; i < 20; i++ {
+		got := run()
+		if len(got) != len(want) {
+			t.Fatalf("run %d: got %v, want %v", i, got, want)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("run %d: got %v, want %v", i, got, want)
+			}
+		}
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	// Processes scheduled for the same instant run in spawn order.
+	e := NewEnv()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Spawn("p", func(p *Proc) {
+			p.Sleep(time.Second)
+			order = append(order, i)
+		})
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d (full: %v)", i, v, i, order)
+		}
+	}
+}
+
+func TestSpawnFromProcess(t *testing.T) {
+	e := NewEnv()
+	var childTime Time
+	e.Spawn("parent", func(p *Proc) {
+		p.Sleep(2 * time.Second)
+		e.Spawn("child", func(c *Proc) {
+			c.Sleep(3 * time.Second)
+			childTime = c.Now()
+		})
+		p.Sleep(time.Second)
+	})
+	e.Run()
+	if childTime != 5*time.Second {
+		t.Fatalf("child finished at %v, want 5s", childTime)
+	}
+}
+
+func TestYieldRoundRobin(t *testing.T) {
+	e := NewEnv()
+	var trace []string
+	e.Spawn("a", func(p *Proc) {
+		trace = append(trace, "a1")
+		p.Yield()
+		trace = append(trace, "a2")
+	})
+	e.Spawn("b", func(p *Proc) {
+		trace = append(trace, "b1")
+		p.Yield()
+		trace = append(trace, "b2")
+	})
+	e.Run()
+	want := []string{"a1", "b1", "a2", "b2"}
+	for i := range want {
+		if i >= len(trace) || trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestStationSyncSerializes(t *testing.T) {
+	e := NewEnv()
+	s := NewStation(e, "disk", 0)
+	var aDone, bDone Time
+	e.Spawn("a", func(p *Proc) {
+		s.Sync(p, 2*time.Second)
+		aDone = p.Now()
+	})
+	e.Spawn("b", func(p *Proc) {
+		s.Sync(p, 2*time.Second)
+		bDone = p.Now()
+	})
+	e.Run()
+	if aDone != 2*time.Second {
+		t.Fatalf("a done at %v, want 2s", aDone)
+	}
+	if bDone != 4*time.Second {
+		t.Fatalf("b done at %v, want 4s (FIFO behind a)", bDone)
+	}
+	if s.Busy() != 4*time.Second {
+		t.Fatalf("busy = %v, want 4s", s.Busy())
+	}
+}
+
+func TestStationAsyncOverlaps(t *testing.T) {
+	// With a deep write-behind, Async returns immediately and the
+	// caller overlaps its own work with the device.
+	e := NewEnv()
+	s := NewStation(e, "tape", 10*time.Second)
+	var submitted, drained Time
+	e.Spawn("writer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			s.Async(p, time.Second)
+		}
+		submitted = p.Now()
+		s.Drain(p)
+		drained = p.Now()
+	})
+	e.Run()
+	if submitted != 0 {
+		t.Fatalf("submissions blocked until %v, want 0 (all fit in lag)", submitted)
+	}
+	if drained != 5*time.Second {
+		t.Fatalf("drained at %v, want 5s", drained)
+	}
+}
+
+func TestStationAsyncBackpressure(t *testing.T) {
+	// With lag=1s and 1s services, the writer stays at most one
+	// service ahead of the device.
+	e := NewEnv()
+	s := NewStation(e, "tape", time.Second)
+	var times []Time
+	e.Spawn("writer", func(p *Proc) {
+		for i := 0; i < 4; i++ {
+			s.Async(p, time.Second)
+			times = append(times, p.Now())
+		}
+	})
+	e.Run()
+	want := []Time{0, time.Second, 2 * time.Second, 3 * time.Second}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("submit %d at %v, want %v (all: %v)", i, times[i], want[i], times)
+		}
+	}
+}
+
+func TestStationNilProcNoop(t *testing.T) {
+	e := NewEnv()
+	s := NewStation(e, "x", 0)
+	s.Sync(nil, time.Second)
+	s.Async(nil, time.Second)
+	s.Drain(nil)
+	if s.Busy() != 0 {
+		t.Fatalf("nil-proc calls accumulated busy time %v", s.Busy())
+	}
+}
+
+func TestStationUtilizationAccounting(t *testing.T) {
+	e := NewEnv()
+	s := NewStation(e, "cpu", 0)
+	e.Spawn("p", func(p *Proc) {
+		s.Sync(p, time.Second)
+		p.Sleep(3 * time.Second) // idle
+	})
+	e.Run()
+	util := float64(s.Busy()) / float64(e.Now())
+	if util < 0.24 || util > 0.26 {
+		t.Fatalf("utilization = %.3f, want 0.25", util)
+	}
+}
+
+func TestTimeFor(t *testing.T) {
+	cases := []struct {
+		bytes int
+		rate  float64
+		want  time.Duration
+	}{
+		{1 << 20, 1 << 20, time.Second},
+		{4096, 4096 * 2, 500 * time.Millisecond},
+		{0, 100, 0},
+		{100, 0, 0},
+		{-5, 100, 0},
+	}
+	for _, c := range cases {
+		if got := TimeFor(c.bytes, c.rate); got != c.want {
+			t.Errorf("TimeFor(%d, %g) = %v, want %v", c.bytes, c.rate, got, c.want)
+		}
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	e := NewEnv()
+	e.Spawn("p", func(p *Proc) {
+		ctx := WithProc(context.Background(), p)
+		if got := ProcFrom(ctx); got != p {
+			t.Errorf("ProcFrom returned %v, want the spawned proc", got)
+		}
+	})
+	e.Run()
+	if ProcFrom(context.Background()) != nil {
+		t.Fatal("ProcFrom(empty ctx) != nil")
+	}
+}
+
+func TestManyProcessesSharedStation(t *testing.T) {
+	// n processes each do k units of exclusive service: total elapsed
+	// must be exactly n*k regardless of interleaving.
+	e := NewEnv()
+	s := NewStation(e, "cpu", 0)
+	const n, k = 8, 5
+	for i := 0; i < n; i++ {
+		e.Spawn("w", func(p *Proc) {
+			for j := 0; j < k; j++ {
+				s.Sync(p, time.Millisecond)
+			}
+		})
+	}
+	e.Run()
+	if want := n * k * time.Millisecond; e.Now() != want {
+		t.Fatalf("elapsed %v, want %v", e.Now(), want)
+	}
+}
+
+func TestDrainWithConcurrentLoad(t *testing.T) {
+	// Drain must keep waiting if new work lands while it sleeps.
+	e := NewEnv()
+	s := NewStation(e, "tape", time.Hour)
+	var drainedAt Time
+	e.Spawn("drainer", func(p *Proc) {
+		s.Async(p, 2*time.Second)
+		s.Drain(p)
+		drainedAt = p.Now()
+	})
+	e.Spawn("late", func(p *Proc) {
+		p.Sleep(time.Second)
+		s.Async(p, 4*time.Second)
+	})
+	e.Run()
+	if drainedAt != 6*time.Second {
+		t.Fatalf("drained at %v, want 6s (2s + late 4s)", drainedAt)
+	}
+}
+
+func TestStationScheduleDoesNotBlock(t *testing.T) {
+	e := NewEnv()
+	s := NewStation(e, "disk", 0)
+	var dones []Time
+	e.Spawn("scheduler", func(p *Proc) {
+		// Reserve three units without waiting; completions stack FIFO.
+		for i := 0; i < 3; i++ {
+			dones = append(dones, s.Schedule(p, time.Second))
+		}
+		if p.Now() != 0 {
+			t.Errorf("Schedule blocked the caller until %v", p.Now())
+		}
+		p.WaitUntil(dones[2])
+	})
+	e.Run()
+	want := []Time{time.Second, 2 * time.Second, 3 * time.Second}
+	for i := range want {
+		if dones[i] != want[i] {
+			t.Fatalf("dones = %v, want %v", dones, want)
+		}
+	}
+	if e.Now() != 3*time.Second {
+		t.Fatalf("final clock %v", e.Now())
+	}
+}
+
+func TestScheduleNilProc(t *testing.T) {
+	e := NewEnv()
+	s := NewStation(e, "x", 0)
+	if got := s.Schedule(nil, time.Second); got != 0 {
+		t.Fatalf("nil-proc Schedule returned %v", got)
+	}
+	if s.Busy() != 0 {
+		t.Fatal("nil-proc Schedule accrued busy time")
+	}
+}
+
+func TestSpawnAfterRunContinues(t *testing.T) {
+	// Env.Run can be called repeatedly: later spawns pick up where the
+	// clock left off — how the benchmark harness sequences phases.
+	e := NewEnv()
+	e.Spawn("first", func(p *Proc) { p.Sleep(time.Second) })
+	e.Run()
+	var second Time
+	e.Spawn("second", func(p *Proc) {
+		p.Sleep(time.Second)
+		second = p.Now()
+	})
+	e.Run()
+	if second != 2*time.Second {
+		t.Fatalf("second phase ended at %v, want 2s", second)
+	}
+}

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"time"
+)
+
+// Station models a serially reused device — a disk arm, a tape
+// transport, a CPU — as a pipelined FIFO server. Callers reserve
+// service time on it; the station tracks when it will next be free and
+// how much total busy time it has accumulated, which is what the
+// benchmark harness reads to compute per-stage utilization (Tables 3–5
+// of the paper).
+//
+// Two usage modes exist:
+//
+//   - Sync: the caller blocks until its service completes (a demand
+//     read from a disk).
+//   - Async: the caller blocks only until the device's backlog drops
+//     to the configured write-behind depth (a buffered tape write, a
+//     read-ahead). This is how a single-threaded dump engine still
+//     overlaps disk, CPU and tape work, reproducing the pipeline
+//     behaviour of the paper's in-kernel dump.
+//
+// All methods tolerate a nil *Proc and become no-ops, so the same
+// device code runs untimed in functional tests.
+type Station struct {
+	env       *Env
+	name      string
+	busyUntil Time
+	busy      time.Duration // total service time ever reserved
+	lag       time.Duration // permitted write-behind depth, as time
+}
+
+// NewStation creates a station on env. lag is the write-behind depth
+// expressed as service time the device may owe before Async blocks;
+// zero makes Async equivalent to admission-at-completion.
+func NewStation(env *Env, name string, lag time.Duration) *Station {
+	return &Station{env: env, name: name, lag: lag}
+}
+
+// Name returns the station's name.
+func (s *Station) Name() string { return s.name }
+
+// Busy returns the total service time reserved on the station since
+// creation. Utilization over an interval is the delta of Busy divided
+// by the delta of Env.Now.
+func (s *Station) Busy() time.Duration { return s.busy }
+
+// reserve appends svc to the station's schedule and returns the
+// completion time of this reservation.
+func (s *Station) reserve(svc time.Duration) Time {
+	start := s.env.now
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	s.busyUntil = start + svc
+	s.busy += svc
+	return s.busyUntil
+}
+
+// Sync reserves svc of service time and blocks p until it completes.
+func (s *Station) Sync(p *Proc, svc time.Duration) {
+	if p == nil || s == nil || svc <= 0 {
+		return
+	}
+	done := s.reserve(svc)
+	p.WaitUntil(done)
+}
+
+// Async reserves svc of service time and blocks p only until the
+// station's outstanding backlog is within its write-behind depth.
+func (s *Station) Async(p *Proc, svc time.Duration) {
+	if p == nil || s == nil || svc <= 0 {
+		return
+	}
+	done := s.reserve(svc)
+	if wait := done - s.lag; wait > p.env.now {
+		p.WaitUntil(wait)
+	}
+}
+
+// Schedule reserves svc of service time and returns its completion
+// time without blocking the caller at all. Callers coordinating
+// several stations (a striped read across RAID members) reserve on
+// each and then WaitUntil the latest completion.
+func (s *Station) Schedule(p *Proc, svc time.Duration) Time {
+	if p == nil || s == nil || svc <= 0 {
+		return 0
+	}
+	return s.reserve(svc)
+}
+
+// Drain blocks p until all reserved work on the station has completed.
+func (s *Station) Drain(p *Proc) {
+	if p == nil || s == nil {
+		return
+	}
+	for s.busyUntil > p.env.now {
+		p.WaitUntil(s.busyUntil)
+	}
+}
+
+// TimeFor converts a byte count and a rate in bytes/second into a
+// service duration. A non-positive rate yields zero (infinitely fast).
+func TimeFor(bytes int, bytesPerSec float64) time.Duration {
+	if bytesPerSec <= 0 || bytes <= 0 {
+		return 0
+	}
+	return time.Duration(float64(bytes) / bytesPerSec * float64(time.Second))
+}

@@ -1,0 +1,87 @@
+package storage
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFileDeviceRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	path := filepath.Join(t.TempDir(), "vol.img")
+	d, err := CreateFileDevice(path, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumBlocks() != 16 {
+		t.Fatalf("NumBlocks = %d", d.NumBlocks())
+	}
+	data := bytes.Repeat([]byte{0x5A}, BlockSize)
+	if err := d.WriteBlock(ctx, 7, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: contents persist.
+	d2, err := OpenFileDevice(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.NumBlocks() != 16 {
+		t.Fatalf("reopened NumBlocks = %d", d2.NumBlocks())
+	}
+	buf := make([]byte, BlockSize)
+	if err := d2.ReadBlock(ctx, 7, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("data lost across reopen")
+	}
+	// Unwritten blocks read as zeros (sparse file).
+	if err := d2.ReadBlock(ctx, 3, buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("unwritten block non-zero")
+		}
+	}
+}
+
+func TestFileDeviceBounds(t *testing.T) {
+	ctx := context.Background()
+	d, err := CreateFileDevice(filepath.Join(t.TempDir(), "v"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	buf := make([]byte, BlockSize)
+	if err := d.ReadBlock(ctx, 4, buf); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("err = %v, want ErrOutOfRange", err)
+	}
+	if err := d.WriteBlock(ctx, 0, buf[:100]); !errors.Is(err, ErrBadLength) {
+		t.Fatalf("err = %v, want ErrBadLength", err)
+	}
+}
+
+func TestOpenFileDeviceRejectsUnaligned(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ragged")
+	if err := os.WriteFile(path, make([]byte, BlockSize+17), 0644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileDevice(path); err == nil {
+		t.Fatal("unaligned file accepted")
+	}
+}
+
+func TestOpenFileDeviceMissing(t *testing.T) {
+	if _, err := OpenFileDevice(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

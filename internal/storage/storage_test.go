@@ -1,0 +1,171 @@
+package storage
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemDeviceReadWrite(t *testing.T) {
+	ctx := context.Background()
+	d := NewMemDevice(8)
+	if d.NumBlocks() != 8 {
+		t.Fatalf("NumBlocks = %d, want 8", d.NumBlocks())
+	}
+	data := make([]byte, BlockSize)
+	for i := range data {
+		data[i] = byte(i % 251)
+	}
+	if err := d.WriteBlock(ctx, 3, data); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, BlockSize)
+	if err := d.ReadBlock(ctx, 3, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("read back different data")
+	}
+}
+
+func TestMemDeviceZeroFill(t *testing.T) {
+	ctx := context.Background()
+	d := NewMemDevice(2)
+	buf := make([]byte, BlockSize)
+	buf[0] = 0xFF // ensure ReadBlock overwrites stale contents
+	if err := d.ReadBlock(ctx, 1, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("unwritten block byte %d = %#x, want 0", i, b)
+		}
+	}
+}
+
+func TestMemDeviceBounds(t *testing.T) {
+	ctx := context.Background()
+	d := NewMemDevice(4)
+	buf := make([]byte, BlockSize)
+	for _, bno := range []int{-1, 4, 1000} {
+		if err := d.ReadBlock(ctx, bno, buf); !errors.Is(err, ErrOutOfRange) {
+			t.Errorf("ReadBlock(%d) err = %v, want ErrOutOfRange", bno, err)
+		}
+		if err := d.WriteBlock(ctx, bno, buf); !errors.Is(err, ErrOutOfRange) {
+			t.Errorf("WriteBlock(%d) err = %v, want ErrOutOfRange", bno, err)
+		}
+	}
+}
+
+func TestMemDeviceBadLength(t *testing.T) {
+	ctx := context.Background()
+	d := NewMemDevice(4)
+	for _, n := range []int{0, 1, BlockSize - 1, BlockSize + 1} {
+		buf := make([]byte, n)
+		if err := d.ReadBlock(ctx, 0, buf); !errors.Is(err, ErrBadLength) {
+			t.Errorf("ReadBlock with %d-byte buf err = %v, want ErrBadLength", n, err)
+		}
+		if err := d.WriteBlock(ctx, 0, buf); !errors.Is(err, ErrBadLength) {
+			t.Errorf("WriteBlock with %d-byte buf err = %v, want ErrBadLength", n, err)
+		}
+	}
+}
+
+func TestMemDeviceWriteIsCopied(t *testing.T) {
+	// The device must not alias the caller's buffer.
+	ctx := context.Background()
+	d := NewMemDevice(1)
+	data := make([]byte, BlockSize)
+	data[0] = 1
+	if err := d.WriteBlock(ctx, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 99 // mutate after write
+	buf := make([]byte, BlockSize)
+	if err := d.ReadBlock(ctx, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 1 {
+		t.Fatalf("device aliased caller buffer: got %d, want 1", buf[0])
+	}
+}
+
+func TestMemDeviceRoundTripProperty(t *testing.T) {
+	ctx := context.Background()
+	d := NewMemDevice(64)
+	f := func(bno uint8, fill byte) bool {
+		b := int(bno) % 64
+		data := bytes.Repeat([]byte{fill}, BlockSize)
+		if err := d.WriteBlock(ctx, b, data); err != nil {
+			return false
+		}
+		buf := make([]byte, BlockSize)
+		if err := d.ReadBlock(ctx, b, buf); err != nil {
+			return false
+		}
+		return bytes.Equal(buf, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultDeviceWholeFailure(t *testing.T) {
+	ctx := context.Background()
+	d := NewFaultDevice(NewMemDevice(4))
+	buf := make([]byte, BlockSize)
+	if err := d.WriteBlock(ctx, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	d.Fail()
+	if err := d.ReadBlock(ctx, 0, buf); !errors.Is(err, ErrFailed) {
+		t.Fatalf("read after Fail err = %v, want ErrFailed", err)
+	}
+	if err := d.WriteBlock(ctx, 0, buf); !errors.Is(err, ErrFailed) {
+		t.Fatalf("write after Fail err = %v, want ErrFailed", err)
+	}
+	d.Heal()
+	if err := d.ReadBlock(ctx, 0, buf); err != nil {
+		t.Fatalf("read after Heal err = %v", err)
+	}
+}
+
+func TestFaultDeviceLatentSectorError(t *testing.T) {
+	ctx := context.Background()
+	d := NewFaultDevice(NewMemDevice(4))
+	sentinel := errors.New("media error")
+	d.FailRead(2, sentinel)
+	buf := make([]byte, BlockSize)
+	if err := d.ReadBlock(ctx, 2, buf); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if err := d.ReadBlock(ctx, 1, buf); err != nil {
+		t.Fatalf("healthy block err = %v", err)
+	}
+	// Writes to the bad block still work (remapping semantics).
+	if err := d.WriteBlock(ctx, 2, buf); err != nil {
+		t.Fatalf("write to bad-read block err = %v", err)
+	}
+}
+
+func TestFaultDeviceCounts(t *testing.T) {
+	ctx := context.Background()
+	d := NewFaultDevice(NewMemDevice(4))
+	buf := make([]byte, BlockSize)
+	for i := 0; i < 3; i++ {
+		if err := d.WriteBlock(ctx, i, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := d.ReadBlock(ctx, i, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, w := d.Counts()
+	if r != 2 || w != 3 {
+		t.Fatalf("counts = (%d, %d), want (2, 3)", r, w)
+	}
+}

@@ -1,0 +1,326 @@
+// Package tape simulates the backup media of the paper: DLT-7000 tape
+// drives fed by Breece-Hill stackers. A Drive streams variable-length
+// records onto a Cartridge at a fixed transport rate, retains the real
+// bytes for later reads, enforces cartridge capacity (so dumps span
+// volumes, exercising the multi-volume paths of both dump formats) and
+// charges cartridge-change latency when the stacker swaps media.
+package tape
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Errors returned by drives.
+var (
+	// ErrEndOfMedia is returned by WriteRecord when the current
+	// cartridge is full; the caller changes cartridges and retries.
+	ErrEndOfMedia = errors.New("tape: end of media")
+	// ErrEndOfTape is returned by ReadRecord at the end of recorded data.
+	ErrEndOfTape = errors.New("tape: end of recorded data")
+	// ErrFileMark is returned by ReadRecord when positioned at a file mark.
+	ErrFileMark = errors.New("tape: file mark")
+	// ErrNoCartridge is returned when no cartridge is loaded.
+	ErrNoCartridge = errors.New("tape: no cartridge loaded")
+)
+
+// Params describes a drive's performance. Defaults model a DLT-7000:
+// 5 MB/s native, ~8.5 MB/s with compression engaged (the effective
+// rate the paper's numbers imply), 90 s cartridge change.
+type Params struct {
+	// Rate is the streaming transfer rate in bytes/second.
+	Rate float64
+	// PerRecord is fixed per-record command overhead.
+	PerRecord time.Duration
+	// ChangeTime is the stacker's cartridge-change latency.
+	ChangeTime time.Duration
+	// WriteBehind is the drive buffer depth, as owed service time.
+	WriteBehind time.Duration
+	// Capacity is the cartridge capacity in bytes (0 = unlimited).
+	Capacity int64
+}
+
+// DefaultParams returns the DLT-7000 model used by the benchmarks.
+func DefaultParams() Params {
+	return Params{
+		Rate:        8.5 * (1 << 20),
+		PerRecord:   200 * time.Microsecond,
+		ChangeTime:  90 * time.Second,
+		WriteBehind: 100 * time.Millisecond, // ~0.85 MB drive buffer
+	}
+}
+
+// A Cartridge holds recorded data: a sequence of records and file
+// marks. Cartridges survive being unloaded, so a restore can reload
+// what a backup wrote — or a different filer can (cross-restore).
+type Cartridge struct {
+	Label   string
+	records []record
+	used    int64
+}
+
+// record is one tape record or a file mark.
+type record struct {
+	data []byte // nil means file mark
+	mark bool
+}
+
+// NewCartridge creates an empty labelled cartridge.
+func NewCartridge(label string) *Cartridge { return &Cartridge{Label: label} }
+
+// Bytes returns the number of data bytes recorded.
+func (c *Cartridge) Bytes() int64 { return c.used }
+
+// Records returns the number of records (excluding file marks).
+func (c *Cartridge) Records() int {
+	n := 0
+	for _, r := range c.records {
+		if !r.mark {
+			n++
+		}
+	}
+	return n
+}
+
+// CorruptRecord flips bits in recorded record index i (counting data
+// records only), for restore-resilience tests. It reports whether a
+// record was corrupted.
+func (c *Cartridge) CorruptRecord(i int) bool {
+	n := 0
+	for j := range c.records {
+		if c.records[j].mark {
+			continue
+		}
+		if n == i {
+			for k := range c.records[j].data {
+				c.records[j].data[k] ^= 0xFF
+			}
+			return true
+		}
+		n++
+	}
+	return false
+}
+
+// Drive is a simulated tape drive with an attached stacker (a queue of
+// cartridges). Loading, reading, writing and changing cartridges all
+// charge virtual time when a sim process is attached via the methods'
+// Proc arguments (passed as *sim.Proc rather than ctx because tape use
+// is always explicit in the dump engines).
+type Drive struct {
+	name    string
+	params  Params
+	station *sim.Station
+
+	cart    *Cartridge
+	pos     int // read position in cart.records
+	stacker []*Cartridge
+
+	bytesWritten int64
+	bytesRead    int64
+	changes      int
+}
+
+// NewDrive creates a drive named name. env may be nil for untimed use.
+func NewDrive(env *sim.Env, name string, p Params) *Drive {
+	d := &Drive{name: name, params: p}
+	if env != nil {
+		d.station = sim.NewStation(env, name, p.WriteBehind)
+	}
+	return d
+}
+
+// Name returns the drive name.
+func (d *Drive) Name() string { return d.name }
+
+// Station returns the drive's sim station for utilization accounting
+// (nil when untimed).
+func (d *Drive) Station() *sim.Station { return d.station }
+
+// Stats returns bytes written, bytes read and cartridge changes.
+func (d *Drive) Stats() (written, read int64, changes int) {
+	return d.bytesWritten, d.bytesRead, d.changes
+}
+
+// AddCartridges loads the stacker with cartridges, in order.
+func (d *Drive) AddCartridges(carts ...*Cartridge) {
+	d.stacker = append(d.stacker, carts...)
+}
+
+// Load mounts the next stacker cartridge, unloading any current one
+// back to the rear of the stacker. It charges the change latency.
+func (d *Drive) Load(p *sim.Proc) error {
+	if len(d.stacker) == 0 {
+		return ErrNoCartridge
+	}
+	if d.cart != nil {
+		d.stacker = append(d.stacker, d.cart)
+	}
+	d.cart = d.stacker[0]
+	d.stacker = d.stacker[1:]
+	d.pos = 0
+	d.changes++
+	if d.station != nil {
+		d.station.Sync(p, d.params.ChangeTime)
+	}
+	return nil
+}
+
+// Loaded returns the mounted cartridge, or nil.
+func (d *Drive) Loaded() *Cartridge { return d.cart }
+
+// Rewind positions the read head at the beginning of the cartridge,
+// charging time proportional to the tape to be rewound (at roughly 8x
+// the streaming rate, like a DLT repositioning pass).
+func (d *Drive) Rewind(p *sim.Proc) {
+	if d.cart == nil {
+		return
+	}
+	var passed int64
+	for i := 0; i < d.pos && i < len(d.cart.records); i++ {
+		passed += int64(len(d.cart.records[i].data))
+	}
+	if d.pos >= len(d.cart.records) {
+		passed = d.cart.used
+	}
+	d.pos = 0
+	if d.station != nil && passed > 0 {
+		d.station.Sync(p, sim.TimeFor(int(passed), d.params.Rate*8))
+	}
+}
+
+// WriteRecord appends a record to the mounted cartridge. It returns
+// ErrEndOfMedia when the cartridge is at capacity; the caller should
+// Load the next cartridge and retry. Writes are buffered: the caller
+// blocks only when the drive buffer is full.
+func (d *Drive) WriteRecord(p *sim.Proc, data []byte) error {
+	if d.cart == nil {
+		return ErrNoCartridge
+	}
+	if len(data) == 0 {
+		return errors.New("tape: empty record")
+	}
+	if d.params.Capacity > 0 && d.cart.used+int64(len(data)) > d.params.Capacity {
+		return ErrEndOfMedia
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	d.cart.records = append(d.cart.records, record{data: cp})
+	d.cart.used += int64(len(data))
+	d.bytesWritten += int64(len(data))
+	if d.station != nil {
+		d.station.Async(p, d.params.PerRecord+sim.TimeFor(len(data), d.params.Rate))
+	}
+	return nil
+}
+
+// WriteFileMark writes a file mark separating tape files.
+func (d *Drive) WriteFileMark(p *sim.Proc) error {
+	if d.cart == nil {
+		return ErrNoCartridge
+	}
+	d.cart.records = append(d.cart.records, record{mark: true})
+	if d.station != nil {
+		d.station.Async(p, d.params.PerRecord)
+	}
+	return nil
+}
+
+// Flush blocks until the drive buffer has drained to media.
+func (d *Drive) Flush(p *sim.Proc) {
+	if d.station != nil {
+		d.station.Drain(p)
+	}
+}
+
+// ReadRecord returns the next record. At a file mark it returns
+// (nil, ErrFileMark) and advances past the mark; at the end of data it
+// returns (nil, ErrEndOfTape).
+//
+// Reads are charged asynchronously against the transport, modelling
+// the drive's read-ahead buffer (depth WriteBehind): the drive streams
+// ahead of the consumer, so a consumer slower than the tape never
+// stalls it, and a faster one is throttled to the streaming rate —
+// which is why the paper's logical restore shows tape utilization
+// under 100% while the filesystem path is the bottleneck.
+func (d *Drive) ReadRecord(p *sim.Proc) ([]byte, error) {
+	if d.cart == nil {
+		return nil, ErrNoCartridge
+	}
+	if d.pos >= len(d.cart.records) {
+		return nil, ErrEndOfTape
+	}
+	r := d.cart.records[d.pos]
+	d.pos++
+	if r.mark {
+		return nil, ErrFileMark
+	}
+	d.bytesRead += int64(len(r.data))
+	if d.station != nil {
+		d.station.Async(p, d.params.PerRecord+sim.TimeFor(len(r.data), d.params.Rate))
+	}
+	cp := make([]byte, len(r.data))
+	copy(cp, r.data)
+	return cp, nil
+}
+
+// SeekFile positions the head immediately after the nth file mark
+// (n = 0 rewinds to the start), spacing at search speed — how a
+// stacker-less operator reaches the second dump on a multi-dump
+// cartridge.
+func (d *Drive) SeekFile(p *sim.Proc, n int) error {
+	if d.cart == nil {
+		return ErrNoCartridge
+	}
+	d.pos = 0
+	if n == 0 {
+		return nil
+	}
+	var passed int64
+	marks := 0
+	for d.pos < len(d.cart.records) {
+		r := d.cart.records[d.pos]
+		d.pos++
+		passed += int64(len(r.data))
+		if r.mark {
+			marks++
+			if marks == n {
+				if d.station != nil {
+					d.station.Sync(p, sim.TimeFor(int(passed), d.params.Rate*8))
+				}
+				return nil
+			}
+		}
+	}
+	return ErrEndOfTape
+}
+
+// SpaceRecords skips n records forward at search speed (much faster
+// than reading), the way restore skips files it does not need.
+func (d *Drive) SpaceRecords(p *sim.Proc, n int) error {
+	if d.cart == nil {
+		return ErrNoCartridge
+	}
+	var skipped int64
+	for i := 0; i < n && d.pos < len(d.cart.records); i++ {
+		skipped += int64(len(d.cart.records[d.pos].data))
+		d.pos++
+	}
+	if d.station != nil {
+		// Spacing runs at roughly 8x streaming speed on a DLT.
+		d.station.Sync(p, sim.TimeFor(int(skipped), d.params.Rate*8))
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (d *Drive) String() string {
+	label := "<none>"
+	if d.cart != nil {
+		label = d.cart.Label
+	}
+	return fmt.Sprintf("drive %s (cart %s, %d queued)", d.name, label, len(d.stacker))
+}

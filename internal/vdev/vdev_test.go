@@ -1,0 +1,183 @@
+package vdev
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+func TestUntimedRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	d := New(nil, "d0", 16, DefaultParams())
+	data := bytes.Repeat([]byte{0xAB}, storage.BlockSize)
+	if err := d.WriteBlock(ctx, 5, data); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, storage.BlockSize)
+	if err := d.ReadBlock(ctx, 5, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("data mismatch")
+	}
+}
+
+func TestSequentialVsRandomReads(t *testing.T) {
+	// 64 sequential reads must be much cheaper than 64 random ones.
+	p := DefaultParams()
+	readRun := func(blocks []int) sim.Time {
+		env := sim.NewEnv()
+		d := New(env, "d0", 256, p)
+		env.Spawn("reader", func(pr *sim.Proc) {
+			ctx := sim.WithProc(context.Background(), pr)
+			buf := make([]byte, storage.BlockSize)
+			for _, b := range blocks {
+				if err := d.ReadBlock(ctx, b, buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		})
+		env.Run()
+		return env.Now()
+	}
+
+	seq := make([]int, 64)
+	rnd := make([]int, 64)
+	for i := range seq {
+		seq[i] = i
+		rnd[i] = (i * 97) % 256 // scattered
+	}
+	tSeq, tRnd := readRun(seq), readRun(rnd)
+	if tRnd < 5*tSeq {
+		t.Fatalf("random run %v not >> sequential run %v", tRnd, tSeq)
+	}
+	// Sequential: one initial seek + 64 transfers.
+	wantSeq := p.SeekTime + p.RotLatency + 64*(p.PerOp+sim.TimeFor(storage.BlockSize, p.TransferRate))
+	if tSeq != wantSeq {
+		t.Fatalf("sequential time %v, want %v", tSeq, wantSeq)
+	}
+}
+
+func TestSeekCounting(t *testing.T) {
+	env := sim.NewEnv()
+	d := New(env, "d0", 64, DefaultParams())
+	env.Spawn("r", func(pr *sim.Proc) {
+		ctx := sim.WithProc(context.Background(), pr)
+		buf := make([]byte, storage.BlockSize)
+		// Seeks at 0 (initial) and 3 (backward); the 2→10 hop is a
+		// short forward skip, charged as media time, not a seek.
+		for _, b := range []int{0, 1, 2, 10, 11, 3} {
+			d.ReadBlock(ctx, b, buf)
+		}
+	})
+	env.Run()
+	_, _, seeks := d.Stats()
+	if seeks != 2 {
+		t.Fatalf("seeks = %d, want 2", seeks)
+	}
+}
+
+func TestShortForwardSkipCheaperThanSeek(t *testing.T) {
+	p := DefaultParams()
+	run := func(blocks []int) sim.Time {
+		env := sim.NewEnv()
+		d := New(env, "d0", 4096, p)
+		env.Spawn("r", func(pr *sim.Proc) {
+			ctx := sim.WithProc(context.Background(), pr)
+			buf := make([]byte, storage.BlockSize)
+			for _, b := range blocks {
+				d.ReadBlock(ctx, b, buf)
+			}
+		})
+		env.Run()
+		return env.Now()
+	}
+	// Hop over 4-block holes vs jump backward each time.
+	hops := []int{0, 5, 10, 15, 20, 25}
+	jumps := []int{0, 2000, 5, 2005, 10, 2010}
+	if th, tj := run(hops), run(jumps); th >= tj {
+		t.Fatalf("forward hops (%v) not cheaper than long jumps (%v)", th, tj)
+	}
+}
+
+func TestWriteBehindOverlapsCaller(t *testing.T) {
+	// With write-behind enabled, a burst of writes within the cache
+	// depth should not block the writer for the full media time.
+	p := DefaultParams()
+	p.WriteBehind = time.Second
+	env := sim.NewEnv()
+	d := New(env, "d0", 64, p)
+	var submitted sim.Time
+	env.Spawn("w", func(pr *sim.Proc) {
+		ctx := sim.WithProc(context.Background(), pr)
+		data := make([]byte, storage.BlockSize)
+		for i := 0; i < 16; i++ {
+			d.WriteBlock(ctx, i, data)
+		}
+		submitted = pr.Now()
+		d.Flush(ctx)
+	})
+	env.Run()
+	if submitted >= env.Now() {
+		t.Fatalf("writer blocked until drain: submitted %v, drained %v", submitted, env.Now())
+	}
+	if env.Now() == 0 {
+		t.Fatal("flush charged no time")
+	}
+}
+
+func TestPrefetchChargesDiskNotCaller(t *testing.T) {
+	p := DefaultParams()
+	p.WriteBehind = 10 * time.Second
+	env := sim.NewEnv()
+	d := New(env, "d0", 64, p)
+	var after sim.Time
+	env.Spawn("r", func(pr *sim.Proc) {
+		ctx := sim.WithProc(context.Background(), pr)
+		for i := 0; i < 8; i++ {
+			d.Prefetch(ctx, i)
+		}
+		after = pr.Now()
+	})
+	env.Run()
+	if after != 0 {
+		t.Fatalf("prefetch blocked caller until %v, want 0", after)
+	}
+	if d.Station().Busy() == 0 {
+		t.Fatal("prefetch charged no disk time")
+	}
+}
+
+func TestPrefetchOutOfRangeIgnored(t *testing.T) {
+	d := New(nil, "d0", 8, DefaultParams())
+	d.Prefetch(context.Background(), -1)
+	d.Prefetch(context.Background(), 8)
+	r, _, _ := d.Stats()
+	if r != 0 {
+		t.Fatalf("out-of-range prefetch counted: %d reads", r)
+	}
+}
+
+func TestPrefetchMaintainsSequentialState(t *testing.T) {
+	// A demand read immediately after prefetching the same position
+	// must not pay a second seek for the next block.
+	env := sim.NewEnv()
+	d := New(env, "d0", 64, DefaultParams())
+	env.Spawn("r", func(pr *sim.Proc) {
+		ctx := sim.WithProc(context.Background(), pr)
+		buf := make([]byte, storage.BlockSize)
+		d.Prefetch(ctx, 10) // seek 1
+		d.ReadBlock(ctx, 11, buf)
+		d.ReadBlock(ctx, 12, buf)
+	})
+	env.Run()
+	_, _, seeks := d.Stats()
+	if seeks != 1 {
+		t.Fatalf("seeks = %d, want 1", seeks)
+	}
+}

@@ -1,0 +1,54 @@
+package wafl_test
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/storage"
+	"repro/internal/wafl"
+)
+
+// The basic lifecycle: format a volume, write a file, snapshot it,
+// diverge, and read both worlds.
+func Example() {
+	ctx := context.Background()
+	fs, err := wafl.Mkfs(ctx, storage.NewMemDevice(1024), nil, wafl.Options{})
+	if err != nil {
+		panic(err)
+	}
+	if _, err := fs.WriteFile(ctx, "/etc/motd", []byte("hello, 1999"), 0644); err != nil {
+		panic(err)
+	}
+	if err := fs.CreateSnapshot(ctx, "before"); err != nil {
+		panic(err)
+	}
+	if _, err := fs.WriteFile(ctx, "/etc/motd", []byte("hello, 2026"), 0644); err != nil {
+		panic(err)
+	}
+
+	live, _ := fs.ActiveView().ReadFile(ctx, "/etc/motd")
+	snap, _ := fs.SnapshotView("before")
+	old, _ := snap.ReadFile(ctx, "/etc/motd")
+	fmt.Printf("live: %s\n", live)
+	fmt.Printf("snapshot: %s\n", old)
+	// Output:
+	// live: hello, 2026
+	// snapshot: hello, 1999
+}
+
+// Reverting to a snapshot rewinds the whole active filesystem.
+func ExampleFS_RevertToSnapshot() {
+	ctx := context.Background()
+	fs, _ := wafl.Mkfs(ctx, storage.NewMemDevice(1024), nil, wafl.Options{})
+	fs.WriteFile(ctx, "/state", []byte("good"), 0644)
+	fs.CreateSnapshot(ctx, "known-good")
+	fs.WriteFile(ctx, "/state", []byte("bad"), 0644)
+
+	if err := fs.RevertToSnapshot(ctx, "known-good"); err != nil {
+		panic(err)
+	}
+	got, _ := fs.ActiveView().ReadFile(ctx, "/state")
+	fmt.Println(string(got))
+	// Output:
+	// good
+}

@@ -1,0 +1,470 @@
+package wafl
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/nvram"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// Prefetcher is implemented by devices that support asynchronous
+// read-ahead (the RAID volume and the simulated disks).
+type Prefetcher interface {
+	Prefetch(ctx context.Context, bno int)
+}
+
+// Options configures a filesystem instance. The zero value gets
+// sensible defaults from applyDefaults.
+type Options struct {
+	// CacheBlocks is the buffer-cache size in blocks.
+	CacheBlocks int
+	// ReadAhead is how many blocks ahead the filesystem prefetches on
+	// sequential file reads; 0 disables read-ahead.
+	ReadAhead int
+	// Costs is the CPU cost model.
+	Costs Costs
+	// CPInterval is the consistency-point cadence on the virtual clock
+	// (paper §2.2: "at least once every 10 seconds").
+	CPInterval time.Duration
+	// Env is the simulation environment, used only as the filesystem's
+	// time source; nil falls back to a deterministic logical clock.
+	Env *sim.Env
+}
+
+func (o Options) applyDefaults() Options {
+	if o.CacheBlocks == 0 {
+		o.CacheBlocks = 2048
+	}
+	if o.ReadAhead == 0 {
+		o.ReadAhead = 8
+	}
+	if o.CPInterval == 0 {
+		o.CPInterval = 10 * time.Second
+	}
+	return o
+}
+
+// istate is the staged (since the last consistency point) state of one
+// inode: its current metadata, dirty data blocks, and — once the file
+// has been modified — the complete fbn→pbn mapping of its block tree.
+type istate struct {
+	ino        Inode
+	inodeDirty bool
+	treeDirty  bool              // mapping changed (truncate) even with no dirty data
+	dirty      map[uint32][]byte // fbn → staged contents
+	fmap       map[uint32]BlockNo
+	fmapValid  bool
+	ptrBlocks  []BlockNo // pointer blocks of the current on-disk tree
+}
+
+// FS is a mounted filesystem.
+type FS struct {
+	dev   storage.Device
+	pref  Prefetcher // dev, if it supports prefetch
+	log   *nvram.Log // may be nil (no operation logging)
+	opts  Options
+	costs Costs
+	cache *blockCache
+
+	info fsinfo
+	bmap *blkmap
+
+	states   map[Inum]*istate
+	inofSt   *istate // the inode file (rooted in fsinfo)
+	freeInos []Inum
+	nextIno  Inum
+
+	stagedBlocks int       // staged-but-unallocated dirty blocks, for ENOSPC
+	owner        *sim.Proc // simulated process holding the FS lock
+	replaying    bool      // true while replaying the NVRAM log
+	noLog        bool      // NVRAM logging disabled (see SetNVRAMLogging)
+	lastCPAt     sim.Time
+	logical      int64 // fallback logical clock
+	lastRead     map[Inum]uint32
+
+	cpCount int64
+}
+
+// lock serializes compound mutations against each other and against
+// consistency points when several simulated processes share the
+// filesystem (parallel restores, concurrent dumps with auto-CP). The
+// discrete-event scheduler interleaves processes at every device wait,
+// so without this a consistency point could observe another
+// operation's half-staged state — real WAFL serializes operations
+// against the CP the same way. The lock is recursive per process
+// (maybeCP runs under its caller's lock) and free for untimed callers,
+// which are single-threaded by construction.
+func (fs *FS) lock(ctx context.Context) func() {
+	p := sim.ProcFrom(ctx)
+	if p == nil || fs.owner == p {
+		return func() {}
+	}
+	for fs.owner != nil {
+		p.Sleep(50 * time.Microsecond)
+	}
+	fs.owner = p
+	return func() { fs.owner = nil }
+}
+
+// now returns the filesystem's notion of the current time in unix
+// nanoseconds: the virtual clock when simulated, otherwise a strictly
+// monotonic logical counter (deterministic for tests).
+func (fs *FS) now() int64 {
+	if fs.opts.Env != nil {
+		if t := int64(fs.opts.Env.Now()); t > fs.logical {
+			fs.logical = t
+		}
+	}
+	fs.logical++
+	return fs.logical
+}
+
+// SetNVRAMLogging turns operation logging on or off — the knob behind
+// the paper's footnote 2: logical restore "goes through ... NVRAM",
+// though "there is no inherent need" since an interrupted restore can
+// simply be restarted from tape. With logging off, a crash loses
+// everything since the last consistency point.
+func (fs *FS) SetNVRAMLogging(on bool) { fs.noLog = !on }
+
+// Clock returns the current filesystem time; dump uses it to stamp
+// dump dates consistently with file mtimes.
+func (fs *FS) Clock() int64 {
+	if fs.opts.Env != nil && int64(fs.opts.Env.Now()) > fs.logical {
+		return int64(fs.opts.Env.Now())
+	}
+	return fs.logical
+}
+
+// Device returns the underlying volume. Image dump reads through this,
+// bypassing the filesystem (paper §4.1).
+func (fs *FS) Device() storage.Device { return fs.dev }
+
+// Generation returns the consistency-point generation number.
+func (fs *FS) Generation() uint64 { return fs.info.Gen }
+
+// NumBlocks returns the volume size in blocks.
+func (fs *FS) NumBlocks() int { return int(fs.info.NBlocks) }
+
+// NumInodes returns the inode-file capacity in inodes.
+func (fs *FS) NumInodes() uint64 { return uint64(fs.nextIno) }
+
+// FreeBlocks returns the number of currently allocatable blocks.
+func (fs *FS) FreeBlocks() int { return fs.bmap.freeBlocks() - fs.stagedBlocks }
+
+// UsedBlocks returns the number of blocks in the active filesystem.
+func (fs *FS) UsedBlocks() int { return fs.bmap.countPlane(ActiveBit) }
+
+// CPCount returns how many consistency points have committed since
+// mount, for tests and statistics.
+func (fs *FS) CPCount() int64 { return fs.cpCount }
+
+// CacheStats returns buffer-cache hits and misses.
+func (fs *FS) CacheStats() (hits, misses int64) { return fs.cache.stats() }
+
+// BlockMapWord returns the 32-bit block-map word for block b: bit 0 is
+// the active filesystem, bit s the snapshot with id s. Image dump reads
+// the map through this accessor and nothing else of the filesystem.
+func (fs *FS) BlockMapWord(b BlockNo) uint32 {
+	if int(b) >= len(fs.bmap.words) {
+		return 0
+	}
+	return fs.bmap.words[b]
+}
+
+// Mkfs formats dev and returns a mounted, empty filesystem with a root
+// directory, committing an initial consistency point.
+func Mkfs(ctx context.Context, dev storage.Device, log *nvram.Log, opts Options) (*FS, error) {
+	opts = opts.applyDefaults()
+	if dev.NumBlocks() < 16 {
+		return nil, fmt.Errorf("wafl: volume too small (%d blocks)", dev.NumBlocks())
+	}
+	fs := &FS{
+		dev:      dev,
+		log:      log,
+		opts:     opts,
+		costs:    opts.Costs,
+		cache:    newBlockCache(opts.CacheBlocks),
+		bmap:     newBlkmap(dev.NumBlocks()),
+		states:   make(map[Inum]*istate),
+		nextIno:  RootIno + 1,
+		lastRead: make(map[Inum]uint32),
+	}
+	if p, ok := dev.(Prefetcher); ok {
+		fs.pref = p
+	}
+	fs.info.NBlocks = uint64(dev.NumBlocks())
+	for b := BlockNo(0); b < fsinfoReserved; b++ {
+		fs.bmap.setActive(b)
+	}
+	fs.bmap.cursor = fsinfoReserved
+	fs.inofSt = &istate{
+		dirty:     make(map[uint32][]byte),
+		fmap:      make(map[uint32]BlockNo),
+		fmapValid: true,
+	}
+	fs.inofSt.ino.Mode = ModeReg
+
+	// Root directory with "." and "..".
+	now := fs.now()
+	root := &istate{
+		ino: Inode{
+			Mode: ModeDir | 0755, Nlink: 2, Size: BlockSize,
+			Atime: now, Mtime: now, Ctime: now, Gen: 1,
+		},
+		inodeDirty: true,
+		dirty:      make(map[uint32][]byte),
+		fmap:       make(map[uint32]BlockNo),
+		fmapValid:  true,
+	}
+	blk := make([]byte, BlockSize)
+	initDirBlock(blk)
+	if err := dirInsertInBlock(blk, ".", RootIno, ModeDir); err != nil {
+		return nil, err
+	}
+	if err := dirInsertInBlock(blk, "..", RootIno, ModeDir); err != nil {
+		return nil, err
+	}
+	root.dirty[0] = blk
+	fs.states[RootIno] = root
+	fs.stagedBlocks = 1
+
+	if err := fs.CP(ctx); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// Mount reads the root structure from dev and returns a mounted
+// filesystem. If the NVRAM log contains uncommitted operations (a
+// crash happened), they are replayed, exactly as the paper's filer
+// does at boot (§2.2).
+func Mount(ctx context.Context, dev storage.Device, log *nvram.Log, opts Options) (*FS, error) {
+	opts = opts.applyDefaults()
+	fs := &FS{
+		dev:      dev,
+		log:      log,
+		opts:     opts,
+		costs:    opts.Costs,
+		cache:    newBlockCache(opts.CacheBlocks),
+		states:   make(map[Inum]*istate),
+		lastRead: make(map[Inum]uint32),
+	}
+	if p, ok := dev.(Prefetcher); ok {
+		fs.pref = p
+	}
+	info, err := fs.readFsinfo(ctx)
+	if err != nil {
+		return nil, err
+	}
+	fs.info = *info
+	if fs.info.NBlocks != uint64(dev.NumBlocks()) {
+		return nil, fmt.Errorf("%w: fsinfo says %d blocks, device has %d",
+			ErrCorrupt, fs.info.NBlocks, dev.NumBlocks())
+	}
+	fs.nextIno = Inum(fs.info.NInodes)
+	if fs.nextIno < RootIno+1 {
+		fs.nextIno = RootIno + 1
+	}
+	// Resume the logical clock from the last consistency point so
+	// timestamps — and the incremental-dump mtime comparisons that
+	// depend on them — stay monotonic across mounts.
+	fs.logical = fs.info.CPTime
+
+	// Load the block map by walking the block-map file.
+	fs.bmap = newBlkmap(int(fs.info.NBlocks))
+	nWords := int(fs.info.NBlocks)
+	nBlks := (nWords + PtrsPerBlock - 1) / PtrsPerBlock
+	for fbn := 0; fbn < nBlks; fbn++ {
+		pbn, err := fs.walkTree(ctx, &fs.info.BlkmapFile, uint32(fbn))
+		if err != nil {
+			return nil, err
+		}
+		if pbn == 0 {
+			return nil, fmt.Errorf("%w: hole in block-map file at fbn %d", ErrCorrupt, fbn)
+		}
+		data, err := fs.readBlock(ctx, pbn)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < PtrsPerBlock && fbn*PtrsPerBlock+i < nWords; i++ {
+			fs.bmap.words[fbn*PtrsPerBlock+i] = leU32(data[4*i:])
+		}
+	}
+	fs.bmap.refreeze()
+	fs.bmap.cursor = fsinfoReserved
+
+	fs.inofSt = &istate{dirty: make(map[uint32][]byte)}
+	fs.inofSt.ino = fs.info.InodeFile
+
+	// Scan the inode file for free slots.
+	for i := RootIno + 1; i < fs.nextIno; i++ {
+		ino, err := fs.readInodeRaw(ctx, i)
+		if err != nil {
+			return nil, err
+		}
+		if !ino.Allocated() {
+			fs.freeInos = append(fs.freeInos, i)
+		}
+	}
+
+	// Replay any uncommitted operations from NVRAM.
+	if log != nil {
+		entries := log.Entries()
+		if len(entries) > 0 {
+			fs.replaying = true
+			err := fs.replay(ctx, entries)
+			fs.replaying = false
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fs, nil
+}
+
+// readFsinfo reads and validates the root structure, preferring copy A
+// and falling back to copy B, as the redundant fixed-location root of
+// the paper requires.
+func (fs *FS) readFsinfo(ctx context.Context) (*fsinfo, error) {
+	read := func(start int) (*fsinfo, error) {
+		buf := make([]byte, fsinfoSpan*BlockSize)
+		for i := 0; i < fsinfoSpan; i++ {
+			if err := fs.dev.ReadBlock(ctx, start+i, buf[i*BlockSize:(i+1)*BlockSize]); err != nil {
+				return nil, err
+			}
+		}
+		return unmarshalFsinfo(buf)
+	}
+	if info, err := read(fsinfoBlockA); err == nil {
+		return info, nil
+	}
+	return read(fsinfoBlockB)
+}
+
+// readBlock reads a physical block through the buffer cache. The
+// returned slice is cache-owned: callers must not modify it.
+func (fs *FS) readBlock(ctx context.Context, pbn BlockNo) ([]byte, error) {
+	if data := fs.cache.get(pbn); data != nil {
+		return data, nil
+	}
+	buf := make([]byte, BlockSize)
+	if err := fs.dev.ReadBlock(ctx, int(pbn), buf); err != nil {
+		return nil, err
+	}
+	fs.cache.put(pbn, buf)
+	return buf, nil
+}
+
+// writeBlock writes a physical block and updates the cache.
+func (fs *FS) writeBlock(ctx context.Context, pbn BlockNo, data []byte) error {
+	if err := fs.dev.WriteBlock(ctx, int(pbn), data); err != nil {
+		return err
+	}
+	fs.cache.put(pbn, data)
+	return nil
+}
+
+// walkTree resolves file block fbn of ino through the direct, single-
+// and double-indirect pointers, returning 0 for holes.
+func (fs *FS) walkTree(ctx context.Context, ino *Inode, fbn uint32) (BlockNo, error) {
+	if fbn < NDirect {
+		return ino.Direct[fbn], nil
+	}
+	fbn -= NDirect
+	if fbn < PtrsPerBlock {
+		if ino.Indirect == 0 {
+			return 0, nil
+		}
+		blk, err := fs.readBlock(ctx, ino.Indirect)
+		if err != nil {
+			return 0, err
+		}
+		return BlockNo(leU32(blk[4*fbn:])), nil
+	}
+	fbn -= PtrsPerBlock
+	if fbn >= PtrsPerBlock*PtrsPerBlock {
+		return 0, ErrFileTooBig
+	}
+	if ino.DblInd == 0 {
+		return 0, nil
+	}
+	l1, err := fs.readBlock(ctx, ino.DblInd)
+	if err != nil {
+		return 0, err
+	}
+	l2pbn := BlockNo(leU32(l1[4*(fbn/PtrsPerBlock):]))
+	if l2pbn == 0 {
+		return 0, nil
+	}
+	l2, err := fs.readBlock(ctx, l2pbn)
+	if err != nil {
+		return 0, err
+	}
+	return BlockNo(leU32(l2[4*(fbn%PtrsPerBlock):])), nil
+}
+
+// treeBlocks walks ino's whole tree, calling data for each mapped data
+// block and ptr for each pointer block. Either callback may be nil.
+func (fs *FS) treeBlocks(ctx context.Context, ino *Inode, data func(fbn uint32, pbn BlockNo), ptr func(pbn BlockNo)) error {
+	for i, p := range ino.Direct {
+		if p != 0 && data != nil {
+			data(uint32(i), p)
+		}
+	}
+	if ino.Indirect != 0 {
+		if ptr != nil {
+			ptr(ino.Indirect)
+		}
+		blk, err := fs.readBlock(ctx, ino.Indirect)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < PtrsPerBlock; i++ {
+			if p := BlockNo(leU32(blk[4*i:])); p != 0 && data != nil {
+				data(NDirect+uint32(i), p)
+			}
+		}
+	}
+	if ino.DblInd != 0 {
+		if ptr != nil {
+			ptr(ino.DblInd)
+		}
+		l1, err := fs.readBlock(ctx, ino.DblInd)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < PtrsPerBlock; i++ {
+			l2pbn := BlockNo(leU32(l1[4*i:]))
+			if l2pbn == 0 {
+				continue
+			}
+			if ptr != nil {
+				ptr(l2pbn)
+			}
+			l2, err := fs.readBlock(ctx, l2pbn)
+			if err != nil {
+				return err
+			}
+			for j := 0; j < PtrsPerBlock; j++ {
+				if p := BlockNo(leU32(l2[4*j:])); p != 0 && data != nil {
+					data(NDirect+PtrsPerBlock+uint32(i*PtrsPerBlock+j), p)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func leU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}

@@ -1,0 +1,168 @@
+package wafl
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// fsinfo is the root structure the paper describes: "one inode (in
+// WAFL's case the inode describing the inode file) must be written in
+// a fixed location in order to enable the system to find everything
+// else. Naturally, this inode is written redundantly." Here the root
+// structure — the inode-file and block-map-file inodes plus the
+// snapshot table — spans fsinfoSpan blocks and is written redundantly
+// at two fixed locations (blocks 0–1 and 2–3).
+type fsinfo struct {
+	Gen        uint64 // consistency-point generation
+	CPTime     int64  // virtual time of the last CP
+	NBlocks    uint64
+	NInodes    uint64 // inode-file capacity in inodes
+	InodeFile  Inode  // root of the inode file
+	BlkmapFile Inode  // root of the block-map file
+	Snaps      [MaxSnapshots]SnapEntry
+}
+
+// SnapEntry is one slot of the snapshot table. A zero ID means the
+// slot is free. The entry stores a complete copy of the root data
+// structure frozen when the snapshot was created — both the inode-file
+// inode and the block-map-file inode, plus the CP generation. The
+// saved block map is what makes an image dump of the snapshot
+// self-describing: its active plane is exactly the snapshot's world,
+// including the worlds of all older snapshots (paper §4.1).
+type SnapEntry struct {
+	ID        uint32 // 1..MaxSnapshots; 0 = free slot
+	CreatedAt int64  // unix nanoseconds (virtual clock when simulated)
+	Gen       uint64 // CP generation the snapshot froze
+	Name      string // up to 32 bytes
+	Root      Inode  // the inode-file inode frozen at creation
+	Blkmap    Inode  // the block-map-file inode frozen at creation
+}
+
+const (
+	fsinfoMagic   = "WAFLSIM2"
+	fsinfoVersion = 2
+	snapEntrySize = 4 + 8 + 8 + 32 + 2*InodeSize // 308
+
+	// fsinfoSpan is how many blocks one fsinfo copy occupies.
+	fsinfoSpan = 2
+	// fsinfoReserved is the number of fixed blocks at the head of the
+	// volume (two redundant fsinfo copies).
+	fsinfoReserved = 2 * fsinfoSpan
+)
+
+// marshalFsinfo encodes info into fsinfoSpan blocks with a trailing
+// CRC so mount can pick the healthy copy of the two.
+func marshalFsinfo(info *fsinfo) []byte {
+	buf := make([]byte, fsinfoSpan*BlockSize)
+	copy(buf[0:8], fsinfoMagic)
+	le := binary.LittleEndian
+	le.PutUint32(buf[8:], fsinfoVersion)
+	le.PutUint64(buf[12:], info.Gen)
+	le.PutUint64(buf[20:], uint64(info.CPTime))
+	le.PutUint64(buf[28:], info.NBlocks)
+	le.PutUint64(buf[36:], info.NInodes)
+	info.InodeFile.Marshal(buf[44:])
+	info.BlkmapFile.Marshal(buf[44+InodeSize:])
+	off := 44 + 2*InodeSize
+	for i := range info.Snaps {
+		s := &info.Snaps[i]
+		le.PutUint32(buf[off:], s.ID)
+		le.PutUint64(buf[off+4:], uint64(s.CreatedAt))
+		le.PutUint64(buf[off+12:], s.Gen)
+		name := s.Name
+		if len(name) > 32 {
+			name = name[:32]
+		}
+		copy(buf[off+20:off+52], name)
+		s.Root.Marshal(buf[off+52:])
+		s.Blkmap.Marshal(buf[off+52+InodeSize:])
+		off += snapEntrySize
+	}
+	crc := crc32.ChecksumIEEE(buf[:len(buf)-4])
+	le.PutUint32(buf[len(buf)-4:], crc)
+	return buf
+}
+
+// unmarshalFsinfo decodes and validates a root-structure image.
+func unmarshalFsinfo(buf []byte) (*fsinfo, error) {
+	if len(buf) != fsinfoSpan*BlockSize {
+		return nil, fmt.Errorf("%w: fsinfo image length %d", ErrCorrupt, len(buf))
+	}
+	le := binary.LittleEndian
+	if string(buf[0:8]) != fsinfoMagic {
+		return nil, fmt.Errorf("%w: bad fsinfo magic", ErrCorrupt)
+	}
+	if got := crc32.ChecksumIEEE(buf[:len(buf)-4]); got != le.Uint32(buf[len(buf)-4:]) {
+		return nil, fmt.Errorf("%w: fsinfo checksum mismatch", ErrCorrupt)
+	}
+	if v := le.Uint32(buf[8:]); v != fsinfoVersion {
+		return nil, fmt.Errorf("%w: fsinfo version %d", ErrCorrupt, v)
+	}
+	info := &fsinfo{}
+	info.Gen = le.Uint64(buf[12:])
+	info.CPTime = int64(le.Uint64(buf[20:]))
+	info.NBlocks = le.Uint64(buf[28:])
+	info.NInodes = le.Uint64(buf[36:])
+	info.InodeFile = UnmarshalInode(buf[44:])
+	info.BlkmapFile = UnmarshalInode(buf[44+InodeSize:])
+	off := 44 + 2*InodeSize
+	for i := range info.Snaps {
+		s := &info.Snaps[i]
+		s.ID = le.Uint32(buf[off:])
+		s.CreatedAt = int64(le.Uint64(buf[off+4:]))
+		s.Gen = le.Uint64(buf[off+12:])
+		name := buf[off+20 : off+52]
+		n := 0
+		for n < len(name) && name[n] != 0 {
+			n++
+		}
+		s.Name = string(name[:n])
+		s.Root = UnmarshalInode(buf[off+52:])
+		s.Blkmap = UnmarshalInode(buf[off+52+InodeSize:])
+		off += snapEntrySize
+	}
+	return info, nil
+}
+
+// ComposeRestoreRoot builds the fsinfo image an image restore writes:
+// the live filesystem becomes the dumped snapshot's frozen state, and
+// the snapshot table holds only snapshots older than it — "the system
+// you restore looks just like the system you dumped, snapshots and
+// all" (paper §4.1). The returned image is fsinfoSpan blocks long.
+func ComposeRestoreRoot(nblocks uint64, snap SnapEntry, older []SnapEntry) ([]byte, error) {
+	if len(older) > MaxSnapshots {
+		return nil, fmt.Errorf("wafl: %d snapshots exceeds table", len(older))
+	}
+	info := &fsinfo{
+		Gen:        snap.Gen,
+		CPTime:     snap.CreatedAt,
+		NBlocks:    nblocks,
+		NInodes:    snap.Root.Size / InodeSize,
+		InodeFile:  snap.Root,
+		BlkmapFile: snap.Blkmap,
+	}
+	for i, s := range older {
+		info.Snaps[i] = s
+	}
+	return marshalFsinfo(info), nil
+}
+
+// FsinfoSpan reports how many fixed blocks one root copy occupies, and
+// FsinfoReserved the total fixed region; image restore writes the
+// composed root across the reserved region.
+const (
+	FsinfoSpan     = fsinfoSpan
+	FsinfoReserved = fsinfoReserved
+)
+
+// RootGeneration validates a raw root image and returns its CP
+// generation. Image restore uses it to check an incremental against
+// the target volume's current state without mounting.
+func RootGeneration(image []byte) (uint64, error) {
+	info, err := unmarshalFsinfo(image)
+	if err != nil {
+		return 0, err
+	}
+	return info.Gen, nil
+}

@@ -1,0 +1,101 @@
+package wafl
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Inode is the in-memory and on-disk form of a file's metadata. The
+// on-disk encoding is exactly InodeSize bytes, so InodesPerBlock of
+// them pack into each inode-file block.
+type Inode struct {
+	Mode    uint32 // type and permission bits
+	Nlink   uint32
+	UID     uint32
+	GID     uint32
+	Size    uint64 // bytes
+	Atime   int64  // unix nanoseconds
+	Mtime   int64
+	Ctime   int64
+	Gen     uint32 // bumped each time the inode number is reused
+	Flags   uint32 // FlagQtreeRoot etc.
+	QtreeID uint32
+	XMode   uint32 // opaque extended attributes (DOS bits / NT ACL id)
+
+	Direct   [NDirect]BlockNo
+	Indirect BlockNo
+	DblInd   BlockNo
+}
+
+// Allocated reports whether the inode is in use (a zero Mode means a
+// free inode-file slot).
+func (ino *Inode) Allocated() bool { return ino.Mode != 0 }
+
+// Blocks returns the number of file blocks implied by Size.
+func (ino *Inode) Blocks() uint32 {
+	return uint32((ino.Size + BlockSize - 1) / BlockSize)
+}
+
+// Marshal encodes the inode into buf, which must be at least InodeSize
+// bytes.
+func (ino *Inode) Marshal(buf []byte) {
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:], ino.Mode)
+	le.PutUint32(buf[4:], ino.Nlink)
+	le.PutUint32(buf[8:], ino.UID)
+	le.PutUint32(buf[12:], ino.GID)
+	le.PutUint64(buf[16:], ino.Size)
+	le.PutUint64(buf[24:], uint64(ino.Atime))
+	le.PutUint64(buf[32:], uint64(ino.Mtime))
+	le.PutUint64(buf[40:], uint64(ino.Ctime))
+	le.PutUint32(buf[48:], ino.Gen)
+	le.PutUint32(buf[52:], ino.Flags)
+	le.PutUint32(buf[56:], ino.QtreeID)
+	le.PutUint32(buf[60:], ino.XMode)
+	for i, b := range ino.Direct {
+		le.PutUint32(buf[64+4*i:], uint32(b))
+	}
+	le.PutUint32(buf[112:], uint32(ino.Indirect))
+	le.PutUint32(buf[116:], uint32(ino.DblInd))
+	le.PutUint64(buf[120:], 0) // reserved
+}
+
+// UnmarshalInode decodes an inode from buf (at least InodeSize bytes).
+func UnmarshalInode(buf []byte) Inode {
+	le := binary.LittleEndian
+	var ino Inode
+	ino.Mode = le.Uint32(buf[0:])
+	ino.Nlink = le.Uint32(buf[4:])
+	ino.UID = le.Uint32(buf[8:])
+	ino.GID = le.Uint32(buf[12:])
+	ino.Size = le.Uint64(buf[16:])
+	ino.Atime = int64(le.Uint64(buf[24:]))
+	ino.Mtime = int64(le.Uint64(buf[32:]))
+	ino.Ctime = int64(le.Uint64(buf[40:]))
+	ino.Gen = le.Uint32(buf[48:])
+	ino.Flags = le.Uint32(buf[52:])
+	ino.QtreeID = le.Uint32(buf[56:])
+	ino.XMode = le.Uint32(buf[60:])
+	for i := range ino.Direct {
+		ino.Direct[i] = BlockNo(le.Uint32(buf[64+4*i:]))
+	}
+	ino.Indirect = BlockNo(le.Uint32(buf[112:]))
+	ino.DblInd = BlockNo(le.Uint32(buf[116:]))
+	return ino
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (ino *Inode) String() string {
+	kind := "?"
+	switch {
+	case IsDir(ino.Mode):
+		kind = "dir"
+	case IsReg(ino.Mode):
+		kind = "file"
+	case IsSymlink(ino.Mode):
+		kind = "symlink"
+	case ino.Mode == 0:
+		kind = "free"
+	}
+	return fmt.Sprintf("%s mode=%o nlink=%d size=%d", kind, ino.Mode, ino.Nlink, ino.Size)
+}

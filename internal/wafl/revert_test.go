@@ -1,0 +1,154 @@
+package wafl
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func TestRevertToSnapshotRestoresTree(t *testing.T) {
+	fs := newFS(t, 2048)
+	golden := randBytes(91, 10*BlockSize)
+	fs.WriteFile(ctx, "/keep/golden.bin", golden, 0644)
+	fs.WriteFile(ctx, "/keep/other.txt", []byte("also here"), 0600)
+	if err := fs.CreateSnapshot(ctx, "good"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wreck the active filesystem.
+	fs.WriteFile(ctx, "/keep/golden.bin", []byte("overwritten!"), 0644)
+	fs.RemovePath(ctx, "/keep/other.txt")
+	fs.WriteFile(ctx, "/junk/noise.dat", randBytes(92, 30*BlockSize), 0644)
+	fs.CP(ctx)
+
+	if err := fs.RevertToSnapshot(ctx, "good"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ActiveView().ReadFile(ctx, "/keep/golden.bin")
+	if err != nil || !bytes.Equal(got, golden) {
+		t.Fatalf("golden not reverted: %v", err)
+	}
+	if _, err := fs.ActiveView().ReadFile(ctx, "/keep/other.txt"); err != nil {
+		t.Fatalf("deleted file not resurrected: %v", err)
+	}
+	if _, err := fs.ActiveView().ReadFile(ctx, "/junk/noise.dat"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("post-snapshot junk survived the revert")
+	}
+	check(t, fs)
+}
+
+func TestRevertDeletesNewerKeepsOlder(t *testing.T) {
+	fs := newFS(t, 2048)
+	fs.WriteFile(ctx, "/era1.txt", []byte("one"), 0644)
+	fs.CreateSnapshot(ctx, "older")
+	fs.WriteFile(ctx, "/era2.txt", []byte("two"), 0644)
+	fs.CreateSnapshot(ctx, "target")
+	fs.WriteFile(ctx, "/era3.txt", []byte("three"), 0644)
+	fs.CreateSnapshot(ctx, "newer")
+
+	if err := fs.RevertToSnapshot(ctx, "target"); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, s := range fs.Snapshots() {
+		names[s.Name] = true
+	}
+	if !names["older"] || !names["target"] || names["newer"] {
+		t.Fatalf("snapshot set after revert: %v", names)
+	}
+	// The older snapshot still serves its era.
+	sv, err := fs.SnapshotView("older")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sv.ReadFile(ctx, "/era1.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sv.ReadFile(ctx, "/era2.txt"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("older snapshot sees era2")
+	}
+	check(t, fs)
+}
+
+func TestRevertedSnapshotSurvivesNewChurn(t *testing.T) {
+	fs := newFS(t, 4096)
+	payload := randBytes(93, 40*BlockSize)
+	fs.WriteFile(ctx, "/payload.bin", payload, 0644)
+	fs.CreateSnapshot(ctx, "base")
+	fs.WriteFile(ctx, "/scratch.bin", randBytes(94, 40*BlockSize), 0644)
+	if err := fs.RevertToSnapshot(ctx, "base"); err != nil {
+		t.Fatal(err)
+	}
+	// Diverge hard again: the snapshot's blocks must stay protected.
+	for i := 0; i < 10; i++ {
+		fs.WriteFile(ctx, "/churn.bin", randBytes(int64(95+i), 50*BlockSize), 0644)
+		fs.CP(ctx)
+	}
+	sv, err := fs.SnapshotView("base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sv.ReadFile(ctx, "/payload.bin")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("snapshot damaged after revert+churn: %v", err)
+	}
+	// Revert again: double-revert works.
+	if err := fs.RevertToSnapshot(ctx, "base"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = fs.ActiveView().ReadFile(ctx, "/payload.bin")
+	if !bytes.Equal(got, payload) {
+		t.Fatal("second revert lost data")
+	}
+	check(t, fs)
+}
+
+func TestRevertSurvivesRemount(t *testing.T) {
+	dev := storage.NewMemDevice(2048)
+	fs, _ := Mkfs(ctx, dev, nil, Options{})
+	fs.WriteFile(ctx, "/v1.txt", []byte("version 1"), 0644)
+	fs.CreateSnapshot(ctx, "v1")
+	fs.WriteFile(ctx, "/v2.txt", []byte("version 2"), 0644)
+	if err := fs.RevertToSnapshot(ctx, "v1"); err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := Mount(ctx, dev, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs2.ActiveView().ReadFile(ctx, "/v1.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs2.ActiveView().ReadFile(ctx, "/v2.txt"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("revert did not persist across remount")
+	}
+	check(t, fs2)
+}
+
+func TestRevertUnknownSnapshot(t *testing.T) {
+	fs := newFS(t, 512)
+	if err := fs.RevertToSnapshot(ctx, "ghost"); !errors.Is(err, ErrSnapNotFound) {
+		t.Fatalf("err = %v, want ErrSnapNotFound", err)
+	}
+}
+
+func TestRevertThenWriteAllocatesCleanly(t *testing.T) {
+	// After a revert, the allocator must not hand out blocks the
+	// reverted state still references.
+	fs := newFS(t, 1024)
+	fs.WriteFile(ctx, "/a.bin", randBytes(96, 30*BlockSize), 0644)
+	fs.CreateSnapshot(ctx, "s")
+	fs.WriteFile(ctx, "/b.bin", randBytes(97, 30*BlockSize), 0644)
+	if err := fs.RevertToSnapshot(ctx, "s"); err != nil {
+		t.Fatal(err)
+	}
+	fs.WriteFile(ctx, "/c.bin", randBytes(98, 30*BlockSize), 0644)
+	fs.CP(ctx)
+	got, err := fs.ActiveView().ReadFile(ctx, "/a.bin")
+	if err != nil || !bytes.Equal(got, randBytes(96, 30*BlockSize)) {
+		t.Fatalf("pre-revert data clobbered by post-revert writes: %v", err)
+	}
+	check(t, fs)
+}

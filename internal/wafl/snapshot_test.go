@@ -1,0 +1,233 @@
+package wafl
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func TestSnapshotPreservesOldContents(t *testing.T) {
+	fs := newFS(t, 1024)
+	old := randBytes(1, 3*BlockSize)
+	fs.WriteFile(ctx, "/f", old, 0644)
+	if err := fs.CreateSnapshot(ctx, "snap1"); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite and delete in the active filesystem.
+	newData := randBytes(2, 2*BlockSize)
+	fs.WriteFile(ctx, "/f", newData, 0644)
+	fs.WriteFile(ctx, "/g", []byte("post-snapshot file"), 0644)
+	fs.CP(ctx)
+
+	sv, err := fs.SnapshotView("snap1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sv.ReadFile(ctx, "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, old) {
+		t.Fatal("snapshot does not preserve old contents")
+	}
+	if _, err := sv.ReadFile(ctx, "/g"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("post-snapshot file visible in snapshot")
+	}
+	active, _ := fs.ActiveView().ReadFile(ctx, "/f")
+	if !bytes.Equal(active, newData) {
+		t.Fatal("active view does not see new contents")
+	}
+	check(t, fs)
+}
+
+func TestSnapshotIsCheap(t *testing.T) {
+	fs := newFS(t, 2048)
+	fs.WriteFile(ctx, "/f", randBytes(3, 100*BlockSize), 0644)
+	fs.CP(ctx)
+	before := fs.UsedBlocks()
+	if err := fs.CreateSnapshot(ctx, "s"); err != nil {
+		t.Fatal(err)
+	}
+	after := fs.UsedBlocks()
+	// Snapshot creation may only cost metadata (blkmap/inode file COW),
+	// never a copy of the data.
+	if after-before > 20 {
+		t.Fatalf("snapshot cost %d blocks, want metadata only", after-before)
+	}
+}
+
+func TestSnapshotDeleteFreesDivergedBlocks(t *testing.T) {
+	fs := newFS(t, 2048)
+	fs.WriteFile(ctx, "/f", randBytes(4, 200*BlockSize), 0644)
+	fs.CreateSnapshot(ctx, "s")
+	// Delete the file: blocks stay pinned by the snapshot.
+	fs.RemovePath(ctx, "/f")
+	fs.CP(ctx)
+	pinned := fs.FreeBlocks()
+	if err := fs.DeleteSnapshot(ctx, "s"); err != nil {
+		t.Fatal(err)
+	}
+	released := fs.FreeBlocks()
+	if released-pinned < 190 {
+		t.Fatalf("snapshot delete released %d blocks, want ~200", released-pinned)
+	}
+	check(t, fs)
+}
+
+func TestSnapshotBlocksPinnedFromReuse(t *testing.T) {
+	fs := newFS(t, 1024)
+	data := randBytes(5, 50*BlockSize)
+	ino, _ := fs.WriteFile(ctx, "/f", data, 0644)
+	fs.CreateSnapshot(ctx, "s")
+	// Churn the active filesystem hard: snapshot data must survive.
+	for i := 0; i < 20; i++ {
+		fs.WriteFile(ctx, "/churn", randBytes(int64(100+i), 30*BlockSize), 0644)
+		fs.CP(ctx)
+	}
+	_ = ino
+	sv, _ := fs.SnapshotView("s")
+	got, err := sv.ReadFile(ctx, "/f")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("snapshot data corrupted by active churn: %v", err)
+	}
+	check(t, fs)
+}
+
+func TestSnapshotLimit(t *testing.T) {
+	fs := newFS(t, 4096)
+	for i := 0; i < MaxSnapshots; i++ {
+		if err := fs.CreateSnapshot(ctx, fmt.Sprintf("s%d", i)); err != nil {
+			t.Fatalf("snapshot %d: %v", i, err)
+		}
+	}
+	if err := fs.CreateSnapshot(ctx, "overflow"); !errors.Is(err, ErrSnapLimit) {
+		t.Fatalf("21st snapshot err = %v, want ErrSnapLimit", err)
+	}
+	// Deleting one frees a slot.
+	if err := fs.DeleteSnapshot(ctx, "s7"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.CreateSnapshot(ctx, "again"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotNames(t *testing.T) {
+	fs := newFS(t, 512)
+	if err := fs.CreateSnapshot(ctx, "nightly"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.CreateSnapshot(ctx, "nightly"); !errors.Is(err, ErrSnapExists) {
+		t.Fatalf("duplicate name err = %v, want ErrSnapExists", err)
+	}
+	if err := fs.DeleteSnapshot(ctx, "nope"); !errors.Is(err, ErrSnapNotFound) {
+		t.Fatalf("delete missing err = %v, want ErrSnapNotFound", err)
+	}
+	if _, err := fs.SnapshotView("nope"); !errors.Is(err, ErrSnapNotFound) {
+		t.Fatalf("view of missing err = %v, want ErrSnapNotFound", err)
+	}
+	if err := fs.CreateSnapshot(ctx, ""); err == nil {
+		t.Fatal("empty snapshot name accepted")
+	}
+}
+
+func TestSnapshotsSurviveRemount(t *testing.T) {
+	dev := storage.NewMemDevice(1024)
+	fs, _ := Mkfs(ctx, dev, nil, Options{})
+	data := randBytes(6, 10*BlockSize)
+	fs.WriteFile(ctx, "/f", data, 0644)
+	fs.CreateSnapshot(ctx, "keeper")
+	fs.WriteFile(ctx, "/f", []byte("changed"), 0644)
+	fs.CP(ctx)
+
+	fs2, err := Mount(ctx, dev, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := fs2.Snapshots()
+	if len(snaps) != 1 || snaps[0].Name != "keeper" {
+		t.Fatalf("snapshots after remount = %v", snaps)
+	}
+	sv, err := fs2.SnapshotView("keeper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sv.ReadFile(ctx, "/f")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("snapshot contents after remount: %v", err)
+	}
+	check(t, fs2)
+}
+
+func TestBlockMapPlanesMatchPaperSemantics(t *testing.T) {
+	// Build the four Table-1 block states across two snapshots and
+	// verify the map words directly.
+	fs := newFS(t, 1024)
+
+	// Block state (1,1): present in A and B — a stable file.
+	fs.WriteFile(ctx, "/stable", randBytes(7, BlockSize), 0644)
+	// Block state (1,0): in A, deleted before B.
+	fs.WriteFile(ctx, "/doomed", randBytes(8, BlockSize), 0644)
+	fs.CreateSnapshot(ctx, "A")
+	fs.RemovePath(ctx, "/doomed")
+	// Block state (0,1): written between A and B.
+	fs.WriteFile(ctx, "/fresh", randBytes(9, BlockSize), 0644)
+	fs.CreateSnapshot(ctx, "B")
+
+	a, _ := fs.Snapshot("A")
+	b, _ := fs.Snapshot("B")
+	aBit, bBit := SnapBit(int(a.ID)), SnapBit(int(b.ID))
+
+	classify := func(path, snap string) uint32 {
+		sv, err := fs.SnapshotView(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ino, err := sv.Namei(ctx, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pbn, err := sv.BlockAt(ctx, ino, 0)
+		if err != nil || pbn == 0 {
+			t.Fatalf("BlockAt(%s@%s): %d, %v", path, snap, pbn, err)
+		}
+		return fs.BlockMapWord(pbn)
+	}
+
+	if w := classify("/stable", "A"); w&aBit == 0 || w&bBit == 0 {
+		t.Errorf("stable block word %#x: want bits A and B", w)
+	}
+	if w := classify("/doomed", "A"); w&aBit == 0 || w&bBit != 0 {
+		t.Errorf("doomed block word %#x: want A only", w)
+	}
+	if w := classify("/fresh", "B"); w&aBit != 0 || w&bBit == 0 {
+		t.Errorf("fresh block word %#x: want B only", w)
+	}
+	check(t, fs)
+}
+
+func TestSnapshotOrderingAndListing(t *testing.T) {
+	fs := newFS(t, 1024)
+	names := []string{"first", "second", "third"}
+	for _, n := range names {
+		if err := fs.CreateSnapshot(ctx, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snaps := fs.Snapshots()
+	if len(snaps) != 3 {
+		t.Fatalf("len = %d", len(snaps))
+	}
+	for i, n := range names {
+		if snaps[i].Name != n {
+			t.Fatalf("snaps[%d] = %q, want %q", i, snaps[i].Name, n)
+		}
+	}
+	blocks, err := fs.SnapshotBlocks("second")
+	if err != nil || blocks == 0 {
+		t.Fatalf("SnapshotBlocks: %d, %v", blocks, err)
+	}
+}

@@ -1,0 +1,110 @@
+// Package wafl implements a write-anywhere, copy-on-write filesystem
+// modelled on the WAFL design described in §2 of the paper:
+//
+//   - 4 KB blocks, no fragments; inodes describe files; directories are
+//     specially formatted files.
+//   - Meta-data lives in files: the inode file holds all inodes and the
+//     block-map file holds the free-block map, so meta-data blocks can
+//     be written anywhere. Only the root structure ("fsinfo", here in
+//     blocks 0 and 1, redundantly) has a fixed location.
+//   - The block map keeps 32 bits per block: bit 0 for the active
+//     filesystem and one bit plane per snapshot. A block is free only
+//     when its whole word is zero.
+//   - Snapshots are created by duplicating the root structure and
+//     copying the active bit plane; they are instant, read-only, and
+//     consume space only as the active filesystem diverges.
+//   - At consistency points all dirty state is written copy-on-write
+//     and a new fsinfo committed; a crash loses at most the operations
+//     since the last consistency point, which are replayed from NVRAM.
+//
+// Both backup strategies of the paper sit on this package: logical
+// dump reads files through it; physical (image) dump reads only its
+// block map and then bypasses it entirely.
+package wafl
+
+import (
+	"errors"
+
+	"repro/internal/storage"
+)
+
+// Geometry and layout constants.
+const (
+	// BlockSize is the filesystem block size (4 KB, as in WAFL).
+	BlockSize = storage.BlockSize
+	// InodeSize is the on-disk size of an inode.
+	InodeSize = 128
+	// InodesPerBlock is how many inodes fit in one block.
+	InodesPerBlock = BlockSize / InodeSize
+	// NDirect is the number of direct block pointers per inode.
+	NDirect = 12
+	// PtrsPerBlock is the number of block pointers per indirect block.
+	PtrsPerBlock = BlockSize / 4
+	// MaxFileBlocks is the largest file the block tree can map.
+	MaxFileBlocks = NDirect + PtrsPerBlock + PtrsPerBlock*PtrsPerBlock
+	// MaxSnapshots is the number of snapshot bit planes (paper: 20).
+	MaxSnapshots = 20
+	// MaxNameLen is the longest directory entry name.
+	MaxNameLen = 255
+	// RootIno is the inode number of the root directory (inode 2, as
+	// in the BSD dump format the paper describes).
+	RootIno Inum = 2
+	// fsinfoBlockA and fsinfoBlockB are the fixed, redundant locations
+	// of the root structure (each copy spans fsinfoSpan blocks).
+	fsinfoBlockA = 0
+	fsinfoBlockB = fsinfoSpan
+)
+
+// Inum is an inode number. 0 is invalid; 1 is reserved; 2 is the root.
+type Inum uint32
+
+// BlockNo is a volume block number. 0 is "no block" (a hole); this is
+// safe because block 0 always holds fsinfo and never file data.
+type BlockNo uint32
+
+// File type bits, Unix-style, stored in the high bits of Mode.
+const (
+	ModeTypeMask uint32 = 0170000
+	ModeDir      uint32 = 0040000
+	ModeReg      uint32 = 0100000
+	ModeSymlink  uint32 = 0120000
+	ModePermMask uint32 = 0007777
+)
+
+// Inode flag bits.
+const (
+	// FlagQtreeRoot marks a directory as the root of a quota tree, the
+	// Network Appliance construct used in §5.2 to split a volume into
+	// independently dumpable pieces.
+	FlagQtreeRoot uint32 = 1 << 0
+)
+
+// Errors returned by the filesystem.
+var (
+	ErrNotFound      = errors.New("wafl: no such file or directory")
+	ErrExists        = errors.New("wafl: file exists")
+	ErrNotDir        = errors.New("wafl: not a directory")
+	ErrIsDir         = errors.New("wafl: is a directory")
+	ErrNotEmpty      = errors.New("wafl: directory not empty")
+	ErrNoSpace       = errors.New("wafl: no space left on volume")
+	ErrNameTooLong   = errors.New("wafl: name too long")
+	ErrBadInode      = errors.New("wafl: invalid inode")
+	ErrFileTooBig    = errors.New("wafl: file exceeds maximum size")
+	ErrSnapExists    = errors.New("wafl: snapshot exists")
+	ErrSnapNotFound  = errors.New("wafl: no such snapshot")
+	ErrSnapLimit     = errors.New("wafl: snapshot limit reached")
+	ErrCorrupt       = errors.New("wafl: filesystem corrupt")
+	ErrReadOnly      = errors.New("wafl: read-only view")
+	ErrSymlinkLoop   = errors.New("wafl: too many levels of symbolic links")
+	ErrCrossed       = errors.New("wafl: replay log does not match filesystem state")
+	ErrBadGeneration = errors.New("wafl: generation mismatch")
+)
+
+// IsDir reports whether mode describes a directory.
+func IsDir(mode uint32) bool { return mode&ModeTypeMask == ModeDir }
+
+// IsReg reports whether mode describes a regular file.
+func IsReg(mode uint32) bool { return mode&ModeTypeMask == ModeReg }
+
+// IsSymlink reports whether mode describes a symbolic link.
+func IsSymlink(mode uint32) bool { return mode&ModeTypeMask == ModeSymlink }

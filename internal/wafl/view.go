@@ -1,0 +1,236 @@
+package wafl
+
+import (
+	"context"
+	"fmt"
+)
+
+// View is a read surface over either the active filesystem or one
+// snapshot. The active view sees staged (not yet consistency-pointed)
+// state; snapshot views read purely from the frozen on-disk image —
+// this is what lets logical dump "present a completely consistent view
+// of the file system" (paper §3) while the live system keeps running.
+type View struct {
+	fs   *FS
+	snap *SnapEntry // nil for the active view
+}
+
+// ActiveView returns the live filesystem view.
+func (fs *FS) ActiveView() *View { return &View{fs: fs} }
+
+// FS returns the filesystem the view belongs to.
+func (v *View) FS() *FS { return v.fs }
+
+// IsSnapshot reports whether this is a snapshot (read-only) view.
+func (v *View) IsSnapshot() bool { return v.snap != nil }
+
+// SnapshotName returns the snapshot's name, or "" for the active view.
+func (v *View) SnapshotName() string {
+	if v.snap == nil {
+		return ""
+	}
+	return v.snap.Name
+}
+
+// NumInodes returns the number of inode slots visible in this view.
+func (v *View) NumInodes(ctx context.Context) uint64 {
+	if v.snap == nil {
+		return uint64(v.fs.nextIno)
+	}
+	return v.snap.Root.Size / InodeSize
+}
+
+// GetInode returns inode ino as seen by the view.
+func (v *View) GetInode(ctx context.Context, ino Inum) (Inode, error) {
+	if v.snap == nil {
+		return v.fs.GetInode(ctx, ino)
+	}
+	inode, err := v.getInodeSnap(ctx, ino)
+	if err != nil {
+		return Inode{}, err
+	}
+	if !inode.Allocated() {
+		return Inode{}, fmt.Errorf("%w: %d is free in snapshot %q", ErrBadInode, ino, v.snap.Name)
+	}
+	return inode, nil
+}
+
+// getInodeSnap reads an inode (possibly a free slot) from the
+// snapshot's frozen inode file.
+func (v *View) getInodeSnap(ctx context.Context, ino Inum) (Inode, error) {
+	if ino < RootIno || uint64(ino) >= v.NumInodes(ctx) {
+		return Inode{}, fmt.Errorf("%w: %d", ErrBadInode, ino)
+	}
+	fbn := uint32(ino) / InodesPerBlock
+	pbn, err := v.fs.walkTree(ctx, &v.snap.Root, fbn)
+	if err != nil {
+		return Inode{}, err
+	}
+	if pbn == 0 {
+		return Inode{}, nil
+	}
+	blk, err := v.fs.readBlock(ctx, pbn)
+	if err != nil {
+		return Inode{}, err
+	}
+	off := (uint32(ino) % InodesPerBlock) * InodeSize
+	return UnmarshalInode(blk[off : off+InodeSize]), nil
+}
+
+// InodeIfAllocated returns (inode, true) when slot ino is allocated in
+// this view, used by dump's inode-ordered sweep.
+func (v *View) InodeIfAllocated(ctx context.Context, ino Inum) (Inode, bool, error) {
+	if v.snap == nil {
+		if ino < RootIno || ino >= v.fs.nextIno {
+			return Inode{}, false, nil
+		}
+		st, err := v.fs.state(ctx, ino)
+		if err != nil {
+			return Inode{}, false, err
+		}
+		return st.ino, st.ino.Allocated(), nil
+	}
+	if ino < RootIno || uint64(ino) >= v.NumInodes(ctx) {
+		return Inode{}, false, nil
+	}
+	inode, err := v.getInodeSnap(ctx, ino)
+	if err != nil {
+		return Inode{}, false, err
+	}
+	return inode, inode.Allocated(), nil
+}
+
+// readAt reads file data as seen by the view.
+func (v *View) readAt(ctx context.Context, ino Inum, off uint64, buf []byte) (int, error) {
+	if v.snap == nil {
+		return v.fs.readAt(ctx, ino, off, buf)
+	}
+	inode, err := v.GetInode(ctx, ino)
+	if err != nil {
+		return 0, err
+	}
+	return v.readAtSnap(ctx, &inode, off, buf)
+}
+
+func (v *View) readAtSnap(ctx context.Context, inode *Inode, off uint64, buf []byte) (int, error) {
+	if off >= inode.Size {
+		return 0, nil
+	}
+	if max := inode.Size - off; uint64(len(buf)) > max {
+		buf = buf[:max]
+	}
+	n := 0
+	for n < len(buf) {
+		fbn := uint32((off + uint64(n)) / BlockSize)
+		bo := int((off + uint64(n)) % BlockSize)
+		want := len(buf) - n
+		if want > BlockSize-bo {
+			want = BlockSize - bo
+		}
+		pbn, err := v.fs.walkTree(ctx, inode, fbn)
+		if err != nil {
+			return n, err
+		}
+		if pbn == 0 {
+			for i := 0; i < want; i++ {
+				buf[n+i] = 0
+			}
+		} else {
+			src, err := v.fs.readBlock(ctx, pbn)
+			if err != nil {
+				return n, err
+			}
+			copy(buf[n:n+want], src[bo:bo+want])
+		}
+		v.fs.costs.charge(ctx, v.fs.costs.ReadBlock+v.fs.costs.CopyBlock)
+		n += want
+	}
+	return n, nil
+}
+
+// ReadAt reads up to len(buf) bytes of file ino starting at off,
+// returning the count read (short only at end of file).
+func (v *View) ReadAt(ctx context.Context, ino Inum, off uint64, buf []byte) (int, error) {
+	inode, err := v.GetInode(ctx, ino)
+	if err != nil {
+		return 0, err
+	}
+	if IsDir(inode.Mode) {
+		return 0, ErrIsDir
+	}
+	return v.readAt(ctx, ino, off, buf)
+}
+
+// BlockAt resolves file block fbn of ino to its physical block (0 for
+// a hole), as seen by the view. Dump uses this to build hole maps.
+func (v *View) BlockAt(ctx context.Context, ino Inum, fbn uint32) (BlockNo, error) {
+	if v.snap == nil {
+		st, err := v.fs.state(ctx, ino)
+		if err != nil {
+			return 0, err
+		}
+		if _, ok := st.dirty[fbn]; ok {
+			return 1, nil // staged data: not a hole; physical home not yet assigned
+		}
+		return v.fs.mapping(ctx, st, fbn)
+	}
+	inode, err := v.GetInode(ctx, ino)
+	if err != nil {
+		return 0, err
+	}
+	return v.fs.walkTree(ctx, &inode, fbn)
+}
+
+// PrefetchBlock asynchronously reads physical block pbn into the
+// buffer cache, charging device time without blocking the caller
+// beyond the device's read-ahead queue depth. The logical dump engine
+// drives its own read-ahead through this (paper §3).
+func (v *View) PrefetchBlock(ctx context.Context, pbn BlockNo) {
+	v.fs.prefetchBlock(ctx, pbn)
+}
+
+// Readlink returns the target of symlink ino. Targets are stored as
+// file data.
+func (v *View) Readlink(ctx context.Context, ino Inum) (string, error) {
+	inode, err := v.GetInode(ctx, ino)
+	if err != nil {
+		return "", err
+	}
+	if !IsSymlink(inode.Mode) {
+		return "", fmt.Errorf("%w: inode %d is not a symlink", ErrBadInode, ino)
+	}
+	buf := make([]byte, inode.Size)
+	if _, err := v.readAt(ctx, ino, 0, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// ReadFile reads the whole contents of the file at path.
+func (v *View) ReadFile(ctx context.Context, path string) ([]byte, error) {
+	ino, err := v.Namei(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	inode, err := v.GetInode(ctx, ino)
+	if err != nil {
+		return nil, err
+	}
+	if IsDir(inode.Mode) {
+		return nil, ErrIsDir
+	}
+	buf := make([]byte, inode.Size)
+	if _, err := v.readAt(ctx, ino, 0, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Stat returns the inode behind path.
+func (v *View) Stat(ctx context.Context, path string) (Inode, error) {
+	ino, err := v.Namei(ctx, path)
+	if err != nil {
+		return Inode{}, err
+	}
+	return v.GetInode(ctx, ino)
+}
