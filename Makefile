@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: tier1 race bench-smoke build vet test
+
+tier1: ## vet + build + full test suite (the repo's gate)
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race: ## race-detector pass over the data-path packages and the root suite
+	$(GO) test -race ./internal/storage/ ./internal/vdev/ ./internal/dumpfmt/ \
+		./internal/physical/ ./internal/raid/ ./internal/logical/ ./internal/bufpool/ .
+
+bench-smoke: ## quick fast-path micro-benchmarks (no JSON report)
+	$(GO) test -run xxx -bench 'RunRead|RunWrite|RecordWrite' -benchtime 100x \
+		./internal/storage/ ./internal/vdev/ ./internal/raid/ \
+		./internal/dumpfmt/ ./internal/physical/

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"repro/internal/bench"
+)
+
+// benchCommand runs the fast-path micro-benchmark suite (the bulk
+// block I/O and record paths) and emits the results as a JSON report,
+// optionally with CPU and heap profiles for pprof:
+//
+//	backupctl bench -json BENCH_fastpath.json
+//	backupctl bench -cpuprofile cpu.out -memprofile mem.out
+func benchCommand(args []string) error {
+	set := flag.NewFlagSet("bench", flag.ContinueOnError)
+	jsonPath := set.String("json", "BENCH_fastpath.json", "write the report here ('' = skip)")
+	cpuProf := set.String("cpuprofile", "", "write a CPU profile here")
+	memProf := set.String("memprofile", "", "write a heap profile here")
+	if err := set.Parse(args); err != nil {
+		return err
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	rep := bench.RunFastPath()
+	fmt.Print(rep.Format())
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	if *jsonPath != "" {
+		if err := rep.WriteJSON(*jsonPath); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", *jsonPath)
+	}
+	return nil
+}

@@ -177,6 +177,8 @@ func run(args []string) error {
 			fmt.Printf("extracted %s -> %s (%d bytes)\n", p, out, len(data))
 		}
 		return nil
+	case "bench":
+		return benchCommand(rest)
 	}
 
 	// Everything else mounts the volume.

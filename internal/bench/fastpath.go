@@ -1,0 +1,227 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/dumpfmt"
+	"repro/internal/raid"
+	"repro/internal/storage"
+	"repro/internal/vdev"
+)
+
+// Fast-path micro-benchmarks: the bulk block I/O and record paths the
+// data-path refactor optimizes, runnable outside `go test` so the CLI
+// can emit machine-readable numbers (and pprof profiles) on demand.
+
+// FastPathResult is one micro-benchmark's outcome.
+type FastPathResult struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"alloc_bytes_per_op"`
+}
+
+// FastPathReport is what RunFastPath returns and WriteFastPathJSON
+// serializes: the suite's results keyed by benchmark name.
+type FastPathReport struct {
+	Results []FastPathResult `json:"results"`
+}
+
+func resultOf(name string, r testing.BenchmarkResult) FastPathResult {
+	res := FastPathResult{
+		Name:        name,
+		N:           r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if r.Bytes > 0 && r.T > 0 {
+		res.MBPerSec = float64(r.Bytes) * float64(r.N) / r.T.Seconds() / 1e6
+	}
+	return res
+}
+
+const fpRun = 512 // blocks per run, matching the image-dump run size
+
+// RunFastPath executes the fast-path suite with the standard benchmark
+// driver and returns the results. It covers each layer of the bulk
+// path: raw memory device, simulated disk, RAID volume (read and
+// write) and the dump record writer.
+func RunFastPath() *FastPathReport {
+	rep := &FastPathReport{}
+	add := func(name string, fn func(b *testing.B)) {
+		rep.Results = append(rep.Results, resultOf(name, testing.Benchmark(fn)))
+	}
+	add("MemRunRead", benchMemRunRead)
+	add("DiskRunRead", benchDiskRunRead)
+	add("RaidRunRead", benchRaidRunRead)
+	add("RaidRunWrite", benchRaidRunWrite)
+	add("RecordWrite", benchRecordWrite)
+	return rep
+}
+
+// WriteFastPathJSON runs the suite and writes the report to path.
+func (rep *FastPathReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0644)
+}
+
+func benchMemRunRead(b *testing.B) {
+	const nblocks = 4096
+	d := storage.NewMemDevice(nblocks)
+	ctx := context.Background()
+	buf := make([]byte, fpRun*storage.BlockSize)
+	for bno := 0; bno+fpRun <= nblocks; bno += fpRun {
+		if err := d.WriteRun(ctx, bno, fpRun, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(fpRun * storage.BlockSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	bno := 0
+	for i := 0; i < b.N; i++ {
+		if bno+fpRun > nblocks {
+			bno = 0
+		}
+		if err := d.ReadRun(ctx, bno, fpRun, buf); err != nil {
+			b.Fatal(err)
+		}
+		bno += fpRun
+	}
+}
+
+func benchDiskRunRead(b *testing.B) {
+	const nblocks = 8192
+	d := vdev.New(nil, "bench", nblocks, vdev.DefaultParams())
+	ctx := context.Background()
+	buf := make([]byte, fpRun*storage.BlockSize)
+	for bno := 0; bno+fpRun <= nblocks; bno += fpRun {
+		if err := d.WriteRun(ctx, bno, fpRun, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(fpRun * storage.BlockSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	bno := 0
+	for i := 0; i < b.N; i++ {
+		if bno+fpRun > nblocks {
+			bno = 0
+		}
+		if err := d.ReadRun(ctx, bno, fpRun, buf); err != nil {
+			b.Fatal(err)
+		}
+		bno += fpRun
+	}
+}
+
+func fastPathVolume(b *testing.B) *raid.Volume {
+	v, err := raid.Build(nil, "bench", raid.Config{
+		Groups:            2,
+		DataDisksPerGroup: 4,
+		BlocksPerDisk:     4096,
+		DiskParams:        vdev.DefaultParams(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	buf := make([]byte, fpRun*storage.BlockSize)
+	for bno := 0; bno+fpRun <= v.NumBlocks(); bno += fpRun {
+		if err := v.WriteRun(ctx, bno, fpRun, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return v
+}
+
+func benchRaidRunRead(b *testing.B) {
+	v := fastPathVolume(b)
+	ctx := context.Background()
+	buf := make([]byte, fpRun*storage.BlockSize)
+	b.SetBytes(fpRun * storage.BlockSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	bno := 0
+	for i := 0; i < b.N; i++ {
+		if bno+fpRun > v.NumBlocks() {
+			bno = 0
+		}
+		if err := v.ReadRun(ctx, bno, fpRun, buf); err != nil {
+			b.Fatal(err)
+		}
+		bno += fpRun
+	}
+}
+
+func benchRaidRunWrite(b *testing.B) {
+	v := fastPathVolume(b)
+	ctx := context.Background()
+	buf := make([]byte, fpRun*storage.BlockSize)
+	for i := range buf {
+		buf[i] = byte(i * 7)
+	}
+	b.SetBytes(fpRun * storage.BlockSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	bno := 0
+	for i := 0; i < b.N; i++ {
+		if bno+fpRun > v.NumBlocks() {
+			bno = 0
+		}
+		if err := v.WriteRun(ctx, bno, fpRun, buf); err != nil {
+			b.Fatal(err)
+		}
+		bno += fpRun
+	}
+}
+
+type discardSink struct{}
+
+func (discardSink) WriteRecord(data []byte) error { return nil }
+func (discardSink) NextVolume() error             { return nil }
+
+func benchRecordWrite(b *testing.B) {
+	w, err := dumpfmt.NewWriter(discardSink{}, "bench", 1, 0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seg := make([]byte, dumpfmt.TPBSize)
+	addrs := []byte{1, 1, 1, 1}
+	b.SetBytes(5 * dumpfmt.TPBSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := dumpfmt.Header{Type: dumpfmt.TSInode, Inumber: 42, Count: 4, Addrs: addrs,
+			Dinode: dumpfmt.DumpInode{Mode: 0100644, Size: 4096}}
+		if err := w.WriteHeader(&h); err != nil {
+			b.Fatal(err)
+		}
+		for s := 0; s < 4; s++ {
+			if err := w.WriteSegment(seg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// Format renders the report the way `go test -bench` would, one line
+// per benchmark.
+func (rep *FastPathReport) Format() string {
+	out := ""
+	for _, r := range rep.Results {
+		out += fmt.Sprintf("%-14s %10d %12.0f ns/op %10.1f MB/s %6d B/op %4d allocs/op\n",
+			r.Name, r.N, r.NsPerOp, r.MBPerSec, r.BytesPerOp, r.AllocsPerOp)
+	}
+	return out
+}

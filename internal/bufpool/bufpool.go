@@ -1,0 +1,85 @@
+// Package bufpool is a sync.Pool-backed arena for the block and
+// record buffers of the backup data path. The RAID layer's de-striping
+// scratch, dumpfmt's blocked tape records and physical's image stream
+// records all recycle through it, so the steady-state dump/restore
+// record path (header + payload + CRC) runs allocation-free.
+//
+// Ownership rule: a buffer obtained from Get belongs to the caller
+// until Put; after Put it must not be touched. Layers that hand a
+// pooled buffer to a Sink rely on the sink contract that records are
+// consumed (copied or written out) before WriteRecord returns — see
+// DESIGN.md "Data path".
+//
+// Pooling can be disabled (SetEnabled(false)), which makes Get
+// allocate fresh and Put drop; the aliasing property tests compare
+// dump streams produced both ways byte for byte.
+package bufpool
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// minClass is the smallest pooled size (1 KB, one dumpfmt unit);
+// maxClass the largest (4 MB, covers the 2 MB image-dump run buffer).
+const (
+	minShift = 10
+	maxShift = 22
+	nClasses = maxShift - minShift + 1
+)
+
+var pools [nClasses]sync.Pool
+
+var disabled atomic.Bool
+
+// SetEnabled turns pooling on or off globally. Off means Get always
+// allocates and Put discards — for tests that prove pooled and
+// unpooled runs produce identical streams.
+func SetEnabled(on bool) { disabled.Store(!on) }
+
+// Enabled reports whether pooling is active.
+func Enabled() bool { return !disabled.Load() }
+
+// class returns the pool index whose buffers hold n bytes, or -1 when
+// n is too large to pool.
+func class(n int) int {
+	if n <= 1<<minShift {
+		return 0
+	}
+	c := bits.Len(uint(n - 1)) // ceil(log2 n)
+	if c > maxShift {
+		return -1
+	}
+	return c - minShift
+}
+
+// Get returns a pointer to a zero-or-stale-content slice of length n.
+// The pointer (not just the slice) should be passed back to Put so
+// recycling does not re-box the slice header.
+func Get(n int) *[]byte {
+	if c := class(n); c >= 0 && Enabled() {
+		if p, _ := pools[c].Get().(*[]byte); p != nil {
+			*p = (*p)[:n]
+			return p
+		}
+		b := make([]byte, n, 1<<(c+minShift))
+		return &b
+	}
+	b := make([]byte, n)
+	return &b
+}
+
+// Put recycles a buffer obtained from Get. Buffers whose capacity is
+// not an exact pool class (or when pooling is disabled) are dropped.
+func Put(p *[]byte) {
+	if p == nil || !Enabled() {
+		return
+	}
+	c := cap(*p)
+	if c < 1<<minShift || c > 1<<maxShift || c&(c-1) != 0 {
+		return
+	}
+	*p = (*p)[:c]
+	pools[bits.Len(uint(c))-1-minShift].Put(p)
+}

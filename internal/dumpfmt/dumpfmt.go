@@ -114,16 +114,30 @@ const (
 
 // Marshal encodes h into a fresh 1 KB record with a valid checksum.
 func (h *Header) Marshal() ([]byte, error) {
+	buf := make([]byte, TPBSize)
+	if err := h.MarshalInto(buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// MarshalInto encodes h into buf (which must be TPBSize long),
+// overwriting every byte — the allocation-free path the stream Writer
+// uses to marshal headers directly into its blocked record buffer.
+func (h *Header) MarshalInto(buf []byte) error {
+	if len(buf) != TPBSize {
+		return fmt.Errorf("%w: %d byte buffer", ErrShortRecord, len(buf))
+	}
 	if len(h.Addrs) > MaxSegsPerHeader {
-		return nil, fmt.Errorf("dumpfmt: %d addrs exceeds max %d", len(h.Addrs), MaxSegsPerHeader)
+		return fmt.Errorf("dumpfmt: %d addrs exceeds max %d", len(h.Addrs), MaxSegsPerHeader)
 	}
 	if int(h.Count) != len(h.Addrs) {
-		return nil, fmt.Errorf("dumpfmt: count %d != len(addrs) %d", h.Count, len(h.Addrs))
+		return fmt.Errorf("dumpfmt: count %d != len(addrs) %d", h.Count, len(h.Addrs))
 	}
 	if len(h.Label) > 64 {
-		return nil, fmt.Errorf("dumpfmt: label %q too long", h.Label)
+		return fmt.Errorf("dumpfmt: label %q too long", h.Label)
 	}
-	buf := make([]byte, TPBSize)
+	clear(buf)
 	le := binary.LittleEndian
 	le.PutUint32(buf[offType:], uint32(h.Type))
 	le.PutUint64(buf[offDate:], uint64(h.Date))
@@ -153,7 +167,7 @@ func (h *Header) Marshal() ([]byte, error) {
 		sum += int32(le.Uint32(buf[i:]))
 	}
 	le.PutUint32(buf[offChecksum:], uint32(ChecksumConst-sum))
-	return buf, nil
+	return nil
 }
 
 // UnmarshalHeader decodes and validates a 1 KB record header.

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"repro/internal/bufpool"
 )
 
 // ErrEndOfMedia is returned by a Sink when the current tape volume is
@@ -28,7 +30,9 @@ type Source interface {
 }
 
 // Writer emits a dump stream: headers and 1 KB segments, blocked into
-// NTRec-unit tape records.
+// NTRec-unit tape records. Headers are marshalled and segments copied
+// directly into the pending record buffer (pooled via bufpool), so
+// the steady-state record path performs no allocation.
 type Writer struct {
 	sink   Sink
 	label  string
@@ -38,7 +42,8 @@ type Writer struct {
 	volume int32
 	tapea  int64
 
-	buf     []byte // pending blocked record
+	rec     *[]byte // pooled backing for buf
+	buf     []byte  // pending blocked record
 	units   int
 	written int64 // total bytes handed to the sink
 }
@@ -46,6 +51,7 @@ type Writer struct {
 // NewWriter starts a dump stream and writes the initial TS_TAPE
 // volume header.
 func NewWriter(sink Sink, label string, date, ddate int64, level int32) (*Writer, error) {
+	rec := bufpool.Get(NTRec * TPBSize)
 	w := &Writer{
 		sink:   sink,
 		label:  label,
@@ -53,7 +59,8 @@ func NewWriter(sink Sink, label string, date, ddate int64, level int32) (*Writer
 		ddate:  ddate,
 		level:  level,
 		volume: 1,
-		buf:    make([]byte, 0, NTRec*TPBSize),
+		rec:    rec,
+		buf:    (*rec)[:0],
 	}
 	if err := w.WriteHeader(&Header{Type: TSTape}); err != nil {
 		return nil, err
@@ -67,7 +74,11 @@ func (w *Writer) Written() int64 { return w.written }
 // Tapea returns the current logical record position.
 func (w *Writer) Tapea() int64 { return w.tapea }
 
-// WriteHeader stamps the stream-wide fields into h and emits it.
+// zeroUnit pads short segments without a per-unit scratch allocation.
+var zeroUnit [TPBSize]byte
+
+// WriteHeader stamps the stream-wide fields into h and emits it,
+// marshalling straight into the pending record buffer.
 func (w *Writer) WriteHeader(h *Header) error {
 	h.Date = w.date
 	h.DDate = w.ddate
@@ -75,26 +86,31 @@ func (w *Writer) WriteHeader(h *Header) error {
 	h.Volume = w.volume
 	h.Label = w.label
 	h.Tapea = w.tapea
-	buf, err := h.Marshal()
-	if err != nil {
+	off := len(w.buf)
+	w.buf = w.buf[:off+TPBSize]
+	if err := h.MarshalInto(w.buf[off : off+TPBSize]); err != nil {
+		w.buf = w.buf[:off]
 		return err
 	}
-	return w.writeUnit(buf)
+	return w.unitDone()
 }
 
 // WriteSegment emits one data segment (at most 1 KB; shorter segments
-// are zero-padded, matching the fixed-unit tape format).
+// are zero-padded, matching the fixed-unit tape format). The segment
+// is copied into the pending record buffer, so the caller may reuse
+// seg immediately.
 func (w *Writer) WriteSegment(seg []byte) error {
 	if len(seg) > TPBSize {
 		return fmt.Errorf("dumpfmt: segment of %d bytes", len(seg))
 	}
-	unit := make([]byte, TPBSize)
-	copy(unit, seg)
-	return w.writeUnit(unit)
+	w.buf = append(w.buf, seg...)
+	w.buf = append(w.buf, zeroUnit[len(seg):]...)
+	return w.unitDone()
 }
 
-func (w *Writer) writeUnit(unit []byte) error {
-	w.buf = append(w.buf, unit...)
+// unitDone accounts for one finished 1 KB unit and flushes a full
+// blocked record.
+func (w *Writer) unitDone() error {
 	w.units++
 	w.tapea++
 	if w.units == NTRec {
@@ -140,12 +156,19 @@ func (w *Writer) flush() error {
 	return nil
 }
 
-// Close writes the TS_END record and flushes the final partial record.
+// Close writes the TS_END record, flushes the final partial record
+// and recycles the Writer's record buffer. The Writer must not be
+// used after Close.
 func (w *Writer) Close() error {
 	if err := w.WriteHeader(&Header{Type: TSEnd}); err != nil {
 		return err
 	}
-	return w.flush()
+	if err := w.flush(); err != nil {
+		return err
+	}
+	bufpool.Put(w.rec)
+	w.rec, w.buf = nil, nil
+	return nil
 }
 
 // Reader consumes a dump stream, un-blocking tape records into 1 KB

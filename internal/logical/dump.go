@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/bufpool"
 	"repro/internal/dumpfmt"
 	"repro/internal/wafl"
 )
@@ -84,7 +85,15 @@ type dumpState struct {
 	laFbn    uint32
 	issued   int64
 	consumed int64
+
+	// runBuf is the pooled Phase IV read buffer: contiguous runs of
+	// present file blocks are pulled through one View.ReadAt each,
+	// instead of block at a time.
+	runBuf *[]byte
 }
+
+// runBlocks is how many file blocks Phase IV reads per bulk ReadAt.
+const runBlocks = 16
 
 // Dump runs the four-phase logical dump and writes the stream to
 // opts.Sink.
@@ -116,6 +125,8 @@ func Dump(ctx context.Context, opts DumpOptions) (*DumpStats, error) {
 		}
 	}
 	st.rootIno = root
+	st.runBuf = bufpool.Get(runBlocks * wafl.BlockSize)
+	defer bufpool.Put(st.runBuf)
 
 	begin := func(name string) {
 		if opts.Stages != nil {
@@ -419,7 +430,7 @@ func (st *dumpState) dumpFile(ctx context.Context, w *dumpfmt.Writer, ino wafl.I
 	segsPerBlock := wafl.BlockSize / dumpfmt.TPBSize
 	prefetch := st.opts.ReadAhead > 0
 
-	blockBuf := make([]byte, wafl.BlockSize)
+	runBuf := *st.runBuf
 	seg := 0
 	first := true
 	for seg < totalSegs {
@@ -447,32 +458,49 @@ func (st *dumpState) dumpFile(ctx context.Context, w *dumpfmt.Writer, ino wafl.I
 		if err := w.WriteHeader(h); err != nil {
 			return err
 		}
-		// Emit present segments, reading block by block with the dump
+		// Emit present segments. Contiguous runs of present blocks are
+		// pulled in with one bulk ReadAt each (chunks are block-aligned:
+		// MaxSegsPerHeader is a multiple of segsPerBlock), with the dump
 		// engine's own read-ahead running W blocks in front.
-		lastFbn := uint32(0xFFFFFFFF)
-		for i := 0; i < chunk; i++ {
+		for i := 0; i < chunk; {
 			if addrs[i] == 0 {
+				i++
 				continue
 			}
 			sIdx := seg + i
-			fbn := uint32(sIdx / segsPerBlock)
-			if fbn != lastFbn {
-				if prefetch {
-					st.consumed++
-					st.pumpReadAhead(ctx)
+			fbn0 := sIdx / segsPerBlock
+			// Extend the run while the next block is present, in this
+			// chunk and within the run buffer.
+			nb := 1
+			for nb < runBlocks {
+				next := (fbn0+nb)*segsPerBlock - seg
+				if next >= chunk || addrs[next] == 0 {
+					break
 				}
-				if _, err := st.view.ReadAt(ctx, ino, uint64(fbn)*wafl.BlockSize, blockBuf); err != nil {
+				nb++
+			}
+			if prefetch {
+				st.consumed += int64(nb)
+				st.pumpReadAhead(ctx)
+			}
+			rbuf := runBuf[:nb*wafl.BlockSize]
+			if _, err := st.view.ReadAt(ctx, ino, uint64(fbn0)*wafl.BlockSize, rbuf); err != nil {
+				return err
+			}
+			runEnd := (fbn0+nb)*segsPerBlock - seg
+			if runEnd > chunk {
+				runEnd = chunk
+			}
+			for ; i < runEnd; i++ {
+				sIdx = seg + i
+				so := (sIdx/segsPerBlock-fbn0)*wafl.BlockSize + (sIdx%segsPerBlock)*dumpfmt.TPBSize
+				endOff := so + dumpfmt.TPBSize
+				if rem := inode.Size - uint64(sIdx)*dumpfmt.TPBSize; rem < dumpfmt.TPBSize {
+					endOff = so + int(rem)
+				}
+				if err := w.WriteSegment(runBuf[so:endOff]); err != nil {
 					return err
 				}
-				lastFbn = fbn
-			}
-			so := (sIdx % segsPerBlock) * dumpfmt.TPBSize
-			endOff := so + dumpfmt.TPBSize
-			if rem := inode.Size - uint64(sIdx)*dumpfmt.TPBSize; rem < dumpfmt.TPBSize {
-				endOff = so + int(rem)
-			}
-			if err := w.WriteSegment(blockBuf[so:endOff]); err != nil {
-				return err
 			}
 		}
 		seg += chunk

@@ -26,6 +26,7 @@ import (
 	"hash/crc32"
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/dumpfmt"
 	"repro/internal/sim"
 	"repro/internal/storage"
@@ -64,11 +65,9 @@ type Source interface {
 }
 
 // RunDevice is optionally implemented by volumes that support bulk
-// sequential runs (the RAID layer does); both engines prefer it.
-type RunDevice interface {
-	ReadRun(ctx context.Context, bno, n int, buf []byte) error
-	WriteRun(ctx context.Context, bno, n int, buf []byte) error
-}
+// sequential runs (the RAID layer does); both engines prefer it and
+// fall back to per-block I/O via the storage run shim otherwise.
+type RunDevice = storage.RunDevice
 
 // Costs is the CPU model for the physical path: a single per-block
 // charge, far below the logical path's, because no metadata is
@@ -220,11 +219,13 @@ func Dump(ctx context.Context, opts DumpOptions) (*DumpStats, error) {
 
 	// Stream extents in ascending block order: sequential on every
 	// member disk, which is what lets physical dump run at device
-	// speed. Devices with bulk-run support are read in large runs so
-	// concurrent streams amortize their seeks.
-	runDev, _ := opts.Vol.(RunDevice)
+	// speed. Runs move through storage.ReadRun, which takes the
+	// volume's native bulk path (RAID, memory, file) when it has one
+	// so concurrent streams amortize their seeks.
 	const maxRun = 512 // 2 MB per device visit
-	buf := make([]byte, maxRun*storage.BlockSize)
+	runBuf := bufpool.Get(maxRun * storage.BlockSize)
+	defer bufpool.Put(runBuf)
+	buf := *runBuf
 	crc := crc32.NewIEEE()
 	var ext [8]byte
 	i := 0
@@ -245,16 +246,8 @@ func Dump(ctx context.Context, opts DumpOptions) (*DumpStats, error) {
 				c = maxRun
 			}
 			chunk := buf[:c*storage.BlockSize]
-			if runDev != nil {
-				if err := runDev.ReadRun(ctx, int(blocks[b]), c, chunk); err != nil {
-					return nil, err
-				}
-			} else {
-				for k := 0; k < c; k++ {
-					if err := opts.Vol.ReadBlock(ctx, int(blocks[b])+k, chunk[k*storage.BlockSize:(k+1)*storage.BlockSize]); err != nil {
-						return nil, err
-					}
-				}
+			if err := storage.ReadRun(ctx, opts.Vol, int(blocks[b]), c, chunk); err != nil {
+				return nil, err
 			}
 			opts.Costs.charge(ctx, time.Duration(c)*opts.Costs.DumpBlock)
 			crc.Write(chunk)
@@ -304,25 +297,33 @@ func IncrementalBlocks(words, baseWords []uint32) []uint32 {
 	return out
 }
 
-// streamWriter chunks a byte stream into tape records, switching
-// volumes on end-of-media.
+// streamWriter chunks a byte stream into fixed-size tape records,
+// switching volumes on end-of-media. The record buffer is pooled and
+// filled in place: steady-state record emission allocates nothing.
 type streamWriter struct {
 	sink    Sink
-	buf     []byte
+	rec     *[]byte // pooled backing, recSize long
+	n       int     // bytes pending in rec
 	written int64
 }
 
+const recSize = RecordBlocks * storage.BlockSize
+
 func newStreamWriter(sink Sink) *streamWriter {
-	return &streamWriter{sink: sink, buf: make([]byte, 0, RecordBlocks*storage.BlockSize)}
+	return &streamWriter{sink: sink, rec: bufpool.Get(recSize)}
 }
 
 func (w *streamWriter) write(p []byte) error {
-	w.buf = append(w.buf, p...)
-	for len(w.buf) >= RecordBlocks*storage.BlockSize {
-		if err := w.emit(w.buf[:RecordBlocks*storage.BlockSize]); err != nil {
-			return err
+	for len(p) > 0 {
+		c := copy((*w.rec)[w.n:recSize], p)
+		w.n += c
+		p = p[c:]
+		if w.n == recSize {
+			if err := w.emit((*w.rec)[:recSize]); err != nil {
+				return err
+			}
+			w.n = 0
 		}
-		w.buf = w.buf[RecordBlocks*storage.BlockSize:]
 	}
 	return nil
 }
@@ -343,11 +344,15 @@ func (w *streamWriter) emit(rec []byte) error {
 	}
 }
 
+// flush emits any partial record and recycles the buffer; the writer
+// must not be used afterwards.
 func (w *streamWriter) flush() error {
-	if len(w.buf) == 0 {
-		return nil
+	var err error
+	if w.n > 0 {
+		err = w.emit((*w.rec)[:w.n])
+		w.n = 0
 	}
-	rec := w.buf
-	w.buf = nil
-	return w.emit(rec)
+	bufpool.Put(w.rec)
+	w.rec = nil
+	return err
 }

@@ -8,6 +8,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/storage"
 	"repro/internal/wafl"
 )
@@ -140,11 +141,12 @@ func Restore(ctx context.Context, opts RestoreOptions) (*RestoreStats, error) {
 // has already been read and validated.
 func restoreBody(ctx context.Context, vol storage.Device, r *streamReader, h *streamHeader, opts RestoreOptions) (*RestoreStats, error) {
 	stats := &RestoreStats{Gen: h.gen}
-	runDev, _ := vol.(RunDevice)
 	const maxRestoreRun = 512
 	crc := crc32.NewIEEE()
 	var ext [8]byte
-	buf := make([]byte, maxRestoreRun*storage.BlockSize)
+	runBuf := bufpool.Get(maxRestoreRun * storage.BlockSize)
+	defer bufpool.Put(runBuf)
+	buf := *runBuf
 	for {
 		if err := r.readFull(ext[:]); err != nil {
 			return nil, fmt.Errorf("%w: missing trailer", ErrBadStream)
@@ -170,16 +172,8 @@ func restoreBody(ctx context.Context, vol storage.Device, r *streamReader, h *st
 				return nil, err
 			}
 			crc.Write(chunk)
-			if runDev != nil {
-				if err := runDev.WriteRun(ctx, int(start)+int(b), c, chunk); err != nil {
-					return nil, err
-				}
-			} else {
-				for k := 0; k < c; k++ {
-					if err := vol.WriteBlock(ctx, int(start)+int(b)+k, chunk[k*storage.BlockSize:(k+1)*storage.BlockSize]); err != nil {
-						return nil, err
-					}
-				}
+			if err := storage.WriteRun(ctx, vol, int(start)+int(b), c, chunk); err != nil {
+				return nil, err
 			}
 			opts.Costs.charge(ctx, time.Duration(c)*opts.Costs.RestBlock)
 			stats.BlocksRestored += c

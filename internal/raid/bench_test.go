@@ -1,0 +1,83 @@
+package raid
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/vdev"
+)
+
+// benchVolume builds an untimed volume shaped like a small RAID-4
+// array and seeds it with data so run reads hit written blocks.
+func benchVolume(b *testing.B) *Volume {
+	b.Helper()
+	v, err := Build(nil, "bench", Config{
+		Groups:            2,
+		DataDisksPerGroup: 4,
+		BlocksPerDisk:     4096,
+		DiskParams:        vdev.DefaultParams(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	const run = 512
+	buf := make([]byte, run*storage.BlockSize)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	for bno := 0; bno+run <= v.NumBlocks(); bno += run {
+		if err := v.WriteRun(ctx, bno, run, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return v
+}
+
+// BenchmarkRunRead measures the bulk sequential read path image dump
+// streams through: volume → group striping → member disks.
+func BenchmarkRunRead(b *testing.B) {
+	v := benchVolume(b)
+	ctx := context.Background()
+	const run = 512
+	buf := make([]byte, run*storage.BlockSize)
+	b.SetBytes(run * storage.BlockSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	bno := 0
+	for i := 0; i < b.N; i++ {
+		if bno+run > v.NumBlocks() {
+			bno = 0
+		}
+		if err := v.ReadRun(ctx, bno, run, buf); err != nil {
+			b.Fatal(err)
+		}
+		bno += run
+	}
+}
+
+// BenchmarkRunWrite measures the bulk sequential write path image
+// restore streams through, including full-stripe parity computation.
+func BenchmarkRunWrite(b *testing.B) {
+	v := benchVolume(b)
+	ctx := context.Background()
+	const run = 512
+	buf := make([]byte, run*storage.BlockSize)
+	for i := range buf {
+		buf[i] = byte(i * 7)
+	}
+	b.SetBytes(run * storage.BlockSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	bno := 0
+	for i := 0; i < b.N; i++ {
+		if bno+run > v.NumBlocks() {
+			bno = 0
+		}
+		if err := v.WriteRun(ctx, bno, run, buf); err != nil {
+			b.Fatal(err)
+		}
+		bno += run
+	}
+}

@@ -12,9 +12,11 @@ package raid
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 
+	"repro/internal/bufpool"
 	"repro/internal/sim"
 	"repro/internal/storage"
 )
@@ -121,10 +123,10 @@ func (g *Group) ReadBlock(ctx context.Context, bno int, buf []byte) error {
 // reconstruct rebuilds the failed disk's block dblock into buf by
 // XOR-ing the same stripe position on every surviving disk plus parity.
 func (g *Group) reconstruct(ctx context.Context, dblock int, buf []byte) error {
-	for i := range buf {
-		buf[i] = 0
-	}
-	tmp := make([]byte, storage.BlockSize)
+	clear(buf)
+	scratch := bufpool.Get(storage.BlockSize)
+	defer bufpool.Put(scratch)
+	tmp := *scratch
 	for i, d := range g.data {
 		if i == g.failed {
 			continue
@@ -163,7 +165,9 @@ func (g *Group) WriteBlock(ctx context.Context, bno int, data []byte) error {
 	}
 	disk, dblock := g.locate(bno)
 	untimed := context.Background()
-	old := make([]byte, storage.BlockSize)
+	oldBuf := bufpool.Get(storage.BlockSize)
+	defer bufpool.Put(oldBuf)
+	old := *oldBuf
 	if disk == g.failed {
 		if err := g.reconstruct(ctx, dblock, old); err != nil {
 			return err
@@ -171,7 +175,9 @@ func (g *Group) WriteBlock(ctx context.Context, bno int, data []byte) error {
 	} else if err := g.data[disk].ReadBlock(untimed, dblock, old); err != nil {
 		return err
 	}
-	par := make([]byte, storage.BlockSize)
+	parBuf := bufpool.Get(storage.BlockSize)
+	defer bufpool.Put(parBuf)
+	par := *parBuf
 	if err := g.parity.ReadBlock(untimed, dblock, par); err != nil {
 		return err
 	}
@@ -254,8 +260,20 @@ func (g *Group) chargeParity(dblock int) bool {
 	return true
 }
 
+// xorInto XORs src into dst, eight bytes per step on the aligned body.
 func xorInto(dst, src []byte) {
-	for i := range dst {
+	n := len(dst)
+	if n == 0 {
+		return
+	}
+	_ = src[n-1]
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		d := binary.LittleEndian.Uint64(dst[i:])
+		s := binary.LittleEndian.Uint64(src[i:])
+		binary.LittleEndian.PutUint64(dst[i:], d^s)
+	}
+	for ; i < n; i++ {
 		dst[i] ^= src[i]
 	}
 }

@@ -3,6 +3,7 @@ package raid
 import (
 	"context"
 
+	"repro/internal/bufpool"
 	"repro/internal/sim"
 	"repro/internal/storage"
 )
@@ -13,6 +14,9 @@ import (
 // spindle sequential even with several concurrent streams sharing the
 // volume (paper §5.3: "physical dump/restore allows the disks to
 // achieve their optimal throughput").
+//
+// De-striping scratch recycles through bufpool, so steady-state run
+// traffic allocates nothing.
 
 // ReadRun reads n consecutive group data blocks starting at bno into
 // buf (n*BlockSize long). Degraded groups fall back to per-block
@@ -27,9 +31,23 @@ func (g *Group) ReadRun(ctx context.Context, bno, n int, buf []byte) error {
 		return nil
 	}
 	nd := len(g.data)
+	if nd == 1 {
+		// Single data disk: the group run is the disk run; read
+		// straight into the caller's buffer, no de-striping copy.
+		done, err := g.data[0].ReadRunAsync(ctx, bno, n, buf)
+		if err != nil {
+			return err
+		}
+		if p := sim.ProcFrom(ctx); p != nil && done > 0 {
+			p.WaitUntil(done)
+		}
+		return nil
+	}
 	// Issue every member disk's sub-run concurrently and wait for the
 	// last to finish: a striped read costs max over disks, not sum.
 	var latest sim.Time
+	scratch := bufpool.Get((n/nd + 1) * storage.BlockSize)
+	defer bufpool.Put(scratch)
 	for k := 0; k < nd; k++ {
 		// Blocks b in [bno, bno+n) with b % nd == k.
 		first := bno + ((k-bno%nd)+nd)%nd
@@ -37,7 +55,7 @@ func (g *Group) ReadRun(ctx context.Context, bno, n int, buf []byte) error {
 			continue
 		}
 		count := (bno + n - first + nd - 1) / nd
-		tmp := make([]byte, count*storage.BlockSize)
+		tmp := (*scratch)[:count*storage.BlockSize]
 		done, err := g.data[k].ReadRunAsync(ctx, first/nd, count, tmp)
 		if err != nil {
 			return err
@@ -86,24 +104,44 @@ func (g *Group) WriteRun(ctx context.Context, bno, n int, buf []byte) error {
 	if fullStripes > 0 {
 		base := bno + head // stripe-aligned
 		stripe0 := base / nd
-		// Per-disk contiguous writes plus a parity run.
-		parity := make([]byte, fullStripes*storage.BlockSize)
-		for k := 0; k < nd; k++ {
-			tmp := make([]byte, fullStripes*storage.BlockSize)
-			for s := 0; s < fullStripes; s++ {
-				vb := base + s*nd + k
-				blk := buf[(vb-bno)*storage.BlockSize : (vb-bno+1)*storage.BlockSize]
-				copy(tmp[s*storage.BlockSize:], blk)
-				xorInto(parity[s*storage.BlockSize:(s+1)*storage.BlockSize], blk)
-			}
-			if err := g.data[k].WriteRun(ctx, stripe0, fullStripes, tmp); err != nil {
+		if nd == 1 {
+			// One data disk: parity mirrors the data, no gather needed.
+			data := buf[head*storage.BlockSize : (head+fullStripes)*storage.BlockSize]
+			if err := g.data[0].WriteRun(ctx, stripe0, fullStripes, data); err != nil {
 				return err
 			}
+			if err := g.parity.WriteRun(ctx, stripe0, fullStripes, data); err != nil {
+				return err
+			}
+			g.chargeParity(stripe0 + fullStripes - 1)
+		} else {
+			// Per-disk contiguous writes plus a parity run.
+			pbuf := bufpool.Get(fullStripes * storage.BlockSize)
+			tbuf := bufpool.Get(fullStripes * storage.BlockSize)
+			parity := *pbuf
+			clear(parity)
+			tmp := *tbuf
+			for k := 0; k < nd; k++ {
+				for s := 0; s < fullStripes; s++ {
+					vb := base + s*nd + k
+					blk := buf[(vb-bno)*storage.BlockSize : (vb-bno+1)*storage.BlockSize]
+					copy(tmp[s*storage.BlockSize:], blk)
+					xorInto(parity[s*storage.BlockSize:(s+1)*storage.BlockSize], blk)
+				}
+				if err := g.data[k].WriteRun(ctx, stripe0, fullStripes, tmp); err != nil {
+					bufpool.Put(pbuf)
+					bufpool.Put(tbuf)
+					return err
+				}
+			}
+			err := g.parity.WriteRun(ctx, stripe0, fullStripes, parity)
+			bufpool.Put(pbuf)
+			bufpool.Put(tbuf)
+			if err != nil {
+				return err
+			}
+			g.chargeParity(stripe0 + fullStripes - 1)
 		}
-		if err := g.parity.WriteRun(ctx, stripe0, fullStripes, parity); err != nil {
-			return err
-		}
-		g.chargeParity(stripe0 + fullStripes - 1)
 	}
 	for i := n - tail; i < n; i++ {
 		if err := g.WriteBlock(ctx, bno+i, buf[i*storage.BlockSize:(i+1)*storage.BlockSize]); err != nil {

@@ -1,0 +1,91 @@
+package storage
+
+import (
+	"context"
+	"fmt"
+)
+
+// RunDevice is implemented by devices with a native bulk path for
+// contiguous multi-block runs. The run calls are semantically
+// equivalent to n consecutive ReadBlock/WriteBlock calls but let an
+// implementation amortize locking, bounds checks and (for timed
+// devices) seek accounting over the whole run.
+//
+// Buffer ownership: buf belongs to the caller. Implementations must
+// not retain it past the call, and ReadRun must fill every byte of
+// buf[:n*BlockSize] (never-written blocks read as zeros).
+type RunDevice interface {
+	Device
+	// ReadRun fills buf (n*BlockSize long) with blocks [bno, bno+n).
+	ReadRun(ctx context.Context, bno, n int, buf []byte) error
+	// WriteRun stores buf (n*BlockSize long) at blocks [bno, bno+n).
+	WriteRun(ctx context.Context, bno, n int, buf []byte) error
+}
+
+// checkRun validates a run request against a device of total blocks.
+func checkRun(bno, n, total int, buf []byte) error {
+	if n < 0 || bno < 0 || bno+n > total {
+		return fmt.Errorf("%w: run %d+%d of %d", ErrOutOfRange, bno, n, total)
+	}
+	if len(buf) != n*BlockSize {
+		return fmt.Errorf("%w: %d for %d blocks", ErrBadLength, len(buf), n)
+	}
+	return nil
+}
+
+// ReadRun reads n consecutive blocks starting at bno from d into buf,
+// taking the device's native bulk path when it has one and falling
+// back to per-block reads otherwise. This is the generic entry point
+// the dump engines use, so any Device works and fast ones are fast.
+func ReadRun(ctx context.Context, d Device, bno, n int, buf []byte) error {
+	if rd, ok := d.(RunDevice); ok {
+		return rd.ReadRun(ctx, bno, n, buf)
+	}
+	if err := checkRun(bno, n, d.NumBlocks(), buf); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if err := d.ReadBlock(ctx, bno+i, buf[i*BlockSize:(i+1)*BlockSize]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteRun writes n consecutive blocks starting at bno to d from buf,
+// taking the native bulk path when available, per-block otherwise.
+func WriteRun(ctx context.Context, d Device, bno, n int, buf []byte) error {
+	if rd, ok := d.(RunDevice); ok {
+		return rd.WriteRun(ctx, bno, n, buf)
+	}
+	if err := checkRun(bno, n, d.NumBlocks(), buf); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if err := d.WriteBlock(ctx, bno+i, buf[i*BlockSize:(i+1)*BlockSize]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runShim adds the per-block fallback as methods, for callers that
+// want to hold a RunDevice value regardless of the underlying type.
+type runShim struct{ Device }
+
+func (s runShim) ReadRun(ctx context.Context, bno, n int, buf []byte) error {
+	return ReadRun(ctx, s.Device, bno, n, buf)
+}
+
+func (s runShim) WriteRun(ctx context.Context, bno, n int, buf []byte) error {
+	return WriteRun(ctx, s.Device, bno, n, buf)
+}
+
+// WithRuns returns d itself when it already implements RunDevice, or
+// wraps it in a per-block fallback shim otherwise.
+func WithRuns(d Device) RunDevice {
+	if rd, ok := d.(RunDevice); ok {
+		return rd
+	}
+	return runShim{d}
+}

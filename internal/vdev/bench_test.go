@@ -1,0 +1,39 @@
+package vdev
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// BenchmarkDiskRunRead measures a single simulated disk's bulk read
+// path (untimed), the layer below RAID striping.
+func BenchmarkDiskRunRead(b *testing.B) {
+	const nblocks = 8192
+	const run = 512
+	d := New(nil, "bench", nblocks, DefaultParams())
+	ctx := context.Background()
+	buf := make([]byte, run*storage.BlockSize)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	for bno := 0; bno+run <= nblocks; bno += run {
+		if err := d.WriteRun(ctx, bno, run, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(run * storage.BlockSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	bno := 0
+	for i := 0; i < b.N; i++ {
+		if bno+run > nblocks {
+			bno = 0
+		}
+		if err := d.ReadRun(ctx, bno, run, buf); err != nil {
+			b.Fatal(err)
+		}
+		bno += run
+	}
+}

@@ -14,6 +14,7 @@ package vdev
 
 import (
 	"context"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/sim"
@@ -79,17 +80,18 @@ func newHeadSet() headSet {
 // what was written) and charges service time per access when the
 // context carries a sim process.
 type Disk struct {
-	store   storage.Device
+	store   storage.RunDevice
 	params  Params
 	station *sim.Station
 
 	readHeads  headSet
 	writeHeads headSet
 
-	// Counters for the benchmark harness.
-	readBlocks  int64
-	writeBlocks int64
-	seeks       int64
+	// Counters for the benchmark harness. Atomic so harness goroutines
+	// can sample them while concurrent sim procs drive the disk.
+	readBlocks  atomic.Int64
+	writeBlocks atomic.Int64
+	seeks       atomic.Int64
 }
 
 // New creates a disk of n blocks. env may be nil for untimed use.
@@ -115,7 +117,7 @@ func (d *Disk) Station() *sim.Station { return d.station }
 
 // Stats returns cumulative blocks read, blocks written, and seeks.
 func (d *Disk) Stats() (reads, writes, seeks int64) {
-	return d.readBlocks, d.writeBlocks, d.seeks
+	return d.readBlocks.Load(), d.writeBlocks.Load(), d.seeks.Load()
 }
 
 // runCost computes the cost of an n-block run starting at bno against
@@ -149,7 +151,7 @@ func (d *Disk) runCost(hs *headSet, bno, n int) (time.Duration, bool) {
 		slot = hs.next
 		hs.next = (hs.next + 1) % nHeads
 		seeked = true
-		d.seeks++
+		d.seeks.Add(1)
 	}
 	hs.pos[slot] = bno + n - 1
 	return t + best, seeked
@@ -161,7 +163,7 @@ func (d *Disk) ReadBlock(ctx context.Context, bno int, buf []byte) error {
 	if err := d.store.ReadBlock(ctx, bno, buf); err != nil {
 		return err
 	}
-	d.readBlocks++
+	d.readBlocks.Add(1)
 	if p := sim.ProcFrom(ctx); p != nil {
 		svc, _ := d.runCost(&d.readHeads, bno, 1)
 		d.station.Sync(p, svc)
@@ -178,7 +180,7 @@ func (d *Disk) Prefetch(ctx context.Context, bno int) {
 	if bno < 0 || bno >= d.store.NumBlocks() {
 		return
 	}
-	d.readBlocks++
+	d.readBlocks.Add(1)
 	if p := sim.ProcFrom(ctx); p != nil {
 		svc, _ := d.runCost(&d.readHeads, bno, 1)
 		d.station.Async(p, svc)
@@ -191,12 +193,10 @@ func (d *Disk) Prefetch(ctx context.Context, bno int) {
 // concurrent streams interleaving on one disk amortize their seeks
 // over large runs instead of paying one per block.
 func (d *Disk) ReadRun(ctx context.Context, bno, n int, buf []byte) error {
-	for i := 0; i < n; i++ {
-		if err := d.store.ReadBlock(ctx, bno+i, buf[i*storage.BlockSize:(i+1)*storage.BlockSize]); err != nil {
-			return err
-		}
+	if err := d.store.ReadRun(ctx, bno, n, buf); err != nil {
+		return err
 	}
-	d.readBlocks += int64(n)
+	d.readBlocks.Add(int64(n))
 	if p := sim.ProcFrom(ctx); p != nil {
 		svc, _ := d.runCost(&d.readHeads, bno, n)
 		d.station.Sync(p, svc)
@@ -209,12 +209,10 @@ func (d *Disk) ReadRun(ctx context.Context, bno, n int, buf []byte) error {
 // the run completes. The RAID layer uses it to overlap the member
 // disks of a striped read.
 func (d *Disk) ReadRunAsync(ctx context.Context, bno, n int, buf []byte) (sim.Time, error) {
-	for i := 0; i < n; i++ {
-		if err := d.store.ReadBlock(ctx, bno+i, buf[i*storage.BlockSize:(i+1)*storage.BlockSize]); err != nil {
-			return 0, err
-		}
+	if err := d.store.ReadRun(ctx, bno, n, buf); err != nil {
+		return 0, err
 	}
-	d.readBlocks += int64(n)
+	d.readBlocks.Add(int64(n))
 	var done sim.Time
 	if p := sim.ProcFrom(ctx); p != nil {
 		svc, _ := d.runCost(&d.readHeads, bno, n)
@@ -226,12 +224,10 @@ func (d *Disk) ReadRunAsync(ctx context.Context, bno, n int, buf []byte) (sim.Ti
 // WriteRun writes n consecutive blocks starting at bno from buf,
 // charging at most one seek, buffered like WriteBlock.
 func (d *Disk) WriteRun(ctx context.Context, bno, n int, buf []byte) error {
-	for i := 0; i < n; i++ {
-		if err := d.store.WriteBlock(ctx, bno+i, buf[i*storage.BlockSize:(i+1)*storage.BlockSize]); err != nil {
-			return err
-		}
+	if err := d.store.WriteRun(ctx, bno, n, buf); err != nil {
+		return err
 	}
-	d.writeBlocks += int64(n)
+	d.writeBlocks.Add(int64(n))
 	if p := sim.ProcFrom(ctx); p != nil {
 		svc, _ := d.runCost(&d.writeHeads, bno, n)
 		d.station.Async(p, svc)
@@ -245,7 +241,7 @@ func (d *Disk) WriteBlock(ctx context.Context, bno int, data []byte) error {
 	if err := d.store.WriteBlock(ctx, bno, data); err != nil {
 		return err
 	}
-	d.writeBlocks++
+	d.writeBlocks.Add(1)
 	if p := sim.ProcFrom(ctx); p != nil {
 		svc, _ := d.runCost(&d.writeHeads, bno, 1)
 		d.station.Async(p, svc)
