@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 race bench-smoke build vet test
+.PHONY: tier1 race bench-smoke build vet test chaos fuzz-smoke
 
 tier1: ## vet + build + full test suite (the repo's gate)
 	$(GO) vet ./...
@@ -18,7 +18,16 @@ test:
 
 race: ## race-detector pass over the data-path packages and the root suite
 	$(GO) test -race ./internal/storage/ ./internal/vdev/ ./internal/dumpfmt/ \
-		./internal/physical/ ./internal/raid/ ./internal/logical/ ./internal/bufpool/ .
+		./internal/physical/ ./internal/raid/ ./internal/logical/ ./internal/bufpool/ \
+		./internal/tape/ ./internal/chaos/ .
+
+chaos: ## seeded fault-injection property tests, wide seed sweep
+	CHAOS_SEEDS=8 $(GO) test -count 1 -v -run 'TestChaos' ./internal/chaos/
+
+fuzz-smoke: ## brief real fuzzing of the untrusted-input parsers
+	$(GO) test -fuzz FuzzDecodeDirEnts -fuzztime 10s ./internal/logical/
+	$(GO) test -fuzz FuzzUnmarshalHeader -fuzztime 10s ./internal/dumpfmt/
+	$(GO) test -fuzz FuzzStreamHeader -fuzztime 10s ./internal/physical/
 
 bench-smoke: ## quick fast-path micro-benchmarks (no JSON report)
 	$(GO) test -run xxx -bench 'RunRead|RunWrite|RecordWrite' -benchtime 100x \

@@ -53,6 +53,14 @@ func main() {
 }
 
 func run(args []string) error {
+	// --faults is handled before normal flag parsing so its scenario
+	// options (-seed, -runs, ...) reach the faults flag set untouched.
+	for i, a := range args {
+		if a == "--faults" || a == "-faults" {
+			return faultsCommand(context.Background(), append(append([]string{}, args[:i]...), args[i+1:]...))
+		}
+	}
+
 	global := flag.NewFlagSet("backupctl", flag.ContinueOnError)
 	vol := global.String("vol", "", "volume image file")
 	if err := global.Parse(args); err != nil {

@@ -1,0 +1,449 @@
+// Package chaos runs whole-pipeline fault scenarios: a filesystem is
+// built on faulty storage, dumped to a faulty tape library with either
+// backup engine, restored from whatever survived, and the result
+// compared against the source tree. The invariant under test is the
+// paper's operational claim made precise:
+//
+//	every dump/restore cycle under seeded faults either reproduces
+//	the source tree byte-identically, or the dump's damage report
+//	names exactly the inodes that differ.
+//
+// Faults come from three layers, all seeded and reproducible: latent
+// sector errors planted under file data blocks (flat topology) or a
+// probabilistic fault profile on one RAID member (raid topology, where
+// degraded-mode reconstruction must hide them), plus media write
+// errors and drive-offline events on the tape library. Offline events
+// abort the dump; the runner resumes from the returned checkpoint on a
+// fresh drive and restores the concatenated streams.
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/logical"
+	"repro/internal/physical"
+	"repro/internal/raid"
+	"repro/internal/storage"
+	"repro/internal/tape"
+	"repro/internal/vdev"
+	"repro/internal/wafl"
+	"repro/internal/workload"
+)
+
+// Engine selects the backup strategy under test.
+type Engine int
+
+const (
+	Logical Engine = iota
+	Physical
+)
+
+func (e Engine) String() string {
+	if e == Physical {
+		return "physical"
+	}
+	return "logical"
+}
+
+// Scenario is one seeded chaos run.
+type Scenario struct {
+	Seed   int64
+	Engine Engine
+	// Raid mounts the filesystem on a 4+1 RAID-4 volume and arms
+	// Profile on one data member: every injected fault must be absorbed
+	// by retry or parity reconstruction, so the tree must come back
+	// byte-identical. Without Raid the filesystem sits directly on a
+	// FaultDevice and DataBlockFaults latent sector errors are planted
+	// under randomly chosen file data blocks — the logical engine must
+	// hole-map exactly those and report them.
+	Raid            bool
+	Profile         storage.FaultProfile
+	DataBlockFaults int
+
+	// Tape is armed on the first drive; resumed dumps get the same
+	// config minus the offline event (the replacement drive works).
+	Tape         tape.FaultConfig
+	TapeCapacity int64 // per cartridge, 0 = unlimited
+	Cartridges   int   // per drive, min 1
+
+	Files           int
+	MeanFileSize    int
+	CheckpointEvery int // files (logical) or blocks (physical)
+	MaxResumes      int
+}
+
+// Report is the outcome of a scenario.
+type Report struct {
+	Engine  Engine
+	Seed    int64
+	Resumes int // checkpoint-resumed dump invocations
+
+	TapeRetries  int // transient media errors absorbed by the sink
+	TapeSwaps    int // cartridges abandoned to persistent media errors
+	RaidRetries  int
+	Reconstructs int
+
+	Damaged   []logical.DamagedBlock // logical damage report, aggregated
+	DiffPaths []string               // source paths that differ after restore
+
+	// Identical: the restored tree matches byte for byte. Explained:
+	// the differing paths are exactly the files the damage report
+	// names. The chaos invariant is Identical || Explained.
+	Identical bool
+	Explained bool
+}
+
+// countingSink wraps a DriveSink to count cartridges consumed, so the
+// restore side knows how many volumes to read back.
+type countingSink struct {
+	*logical.DriveSink
+	vols int
+}
+
+func (c *countingSink) NextVolume() error {
+	err := c.DriveSink.NextVolume()
+	if err == nil {
+		c.vols++
+	}
+	return err
+}
+
+// Run executes one scenario and evaluates the chaos invariant. An
+// error means the scenario could not be evaluated (unrecoverable dump
+// failure, resume divergence) — not that the invariant failed; callers
+// check Report.Identical/Explained for that.
+func Run(ctx context.Context, s Scenario) (*Report, error) {
+	if s.Files <= 0 {
+		s.Files = 24
+	}
+	if s.MeanFileSize <= 0 {
+		s.MeanFileSize = 12 << 10
+	}
+	if s.Cartridges < 1 {
+		s.Cartridges = 1
+	}
+	if s.CheckpointEvery <= 0 {
+		if s.Engine == Physical {
+			s.CheckpointEvery = 32
+		} else {
+			s.CheckpointEvery = 2
+		}
+	}
+	if s.MaxResumes <= 0 {
+		s.MaxResumes = 4
+	}
+	rep := &Report{Engine: s.Engine, Seed: s.Seed}
+
+	// Build the source filesystem on the chosen topology.
+	const blocks = 8192
+	var (
+		dev    storage.Device
+		flatFD *storage.FaultDevice
+		vol    *raid.Volume
+	)
+	if s.Raid {
+		var members []raid.Disk
+		var disks []*vdev.Disk
+		for i := 0; i < 4; i++ {
+			d := vdev.New(nil, fmt.Sprintf("d%d", i), blocks/4, vdev.DefaultParams())
+			members = append(members, d)
+			disks = append(disks, d)
+		}
+		parity := vdev.New(nil, "p", blocks/4, vdev.DefaultParams())
+		g, err := raid.NewGroup(members, parity)
+		if err != nil {
+			return nil, err
+		}
+		vol, err = raid.NewVolume("chaos", g)
+		if err != nil {
+			return nil, err
+		}
+		dev = vol
+		defer func() {
+			if vol != nil {
+				rep.RaidRetries, rep.Reconstructs = vol.RecoveryStats()
+			}
+		}()
+		prof := s.Profile
+		if prof.Seed == 0 {
+			prof.Seed = s.Seed
+		}
+		prof.WriteFault = 0 // the dump is read-only; keep the source intact
+		disks[int(s.Seed)%4].InjectFaults(prof)
+	} else {
+		flatFD = storage.NewFaultDevice(storage.NewMemDevice(blocks))
+		dev = flatFD
+	}
+
+	fs, err := wafl.Mkfs(ctx, dev, nil, wafl.Options{CacheBlocks: 32})
+	if err != nil {
+		return nil, err
+	}
+	paths, err := workload.Generate(ctx, fs, workload.Spec{
+		Seed: s.Seed, Files: s.Files, DirFanout: 5, MeanFileSize: s.MeanFileSize,
+		Symlinks: s.Files / 10, Hardlinks: s.Files / 15,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := fs.CreateSnapshot(ctx, "chaos"); err != nil {
+		return nil, err
+	}
+	// Remount cold so dump reads hit the (faulty) devices, not the
+	// write-back cache.
+	fs, err = wafl.Mount(ctx, dev, nil, wafl.Options{CacheBlocks: 32})
+	if err != nil {
+		return nil, err
+	}
+	view, err := fs.SnapshotView("chaos")
+	if err != nil {
+		return nil, err
+	}
+
+	// Digest the source tree before any flat-topology faults are
+	// planted — the reference must come from clean reads. (Raid-member
+	// faults may already be armed; the volume hides them by design.)
+	want, err := workload.TreeDigest(ctx, view, "/")
+	if err != nil {
+		return nil, fmt.Errorf("chaos: source tree unreadable: %w", err)
+	}
+
+	// Flat topology: plant latent sector errors under random file data
+	// blocks, after the fill so the source itself stays readable.
+	if flatFD != nil && s.DataBlockFaults > 0 {
+		rng := rand.New(rand.NewSource(s.Seed*7919 + 1))
+		for i := 0; i < s.DataBlockFaults; i++ {
+			p := paths[rng.Intn(len(paths))]
+			ino, err := view.Namei(ctx, p)
+			if err != nil {
+				return nil, err
+			}
+			inode, err := view.GetInode(ctx, ino)
+			if err != nil {
+				return nil, err
+			}
+			nfbn := int((inode.Size + wafl.BlockSize - 1) / wafl.BlockSize)
+			if nfbn == 0 {
+				continue
+			}
+			pbn, err := view.BlockAt(ctx, ino, uint32(rng.Intn(nfbn)))
+			if err != nil {
+				return nil, err
+			}
+			if pbn != 0 {
+				flatFD.FailRead(int(pbn), storage.ErrLatentSector)
+			}
+		}
+	}
+
+	// Remount once more so the dump's reads are cold and actually hit
+	// the planted faults rather than the digest pass's warm cache.
+	fs, err = wafl.Mount(ctx, dev, nil, wafl.Options{CacheBlocks: 32})
+	if err != nil {
+		return nil, err
+	}
+	view, err = fs.SnapshotView("chaos")
+	if err != nil {
+		return nil, err
+	}
+
+	restored, err := dumpRestoreCycle(ctx, s, rep, fs, dev, view)
+	if err != nil {
+		return nil, err
+	}
+	got, err := workload.TreeDigest(ctx, restored, "/")
+	if err != nil {
+		return nil, err
+	}
+	return evaluate(ctx, rep, view, want, got)
+}
+
+// dumpRestoreCycle runs the engine's dump (resuming on offline faults)
+// and restores the concatenated streams, returning the restored view.
+func dumpRestoreCycle(ctx context.Context, s Scenario, rep *Report, fs *wafl.FS, dev storage.Device, view *wafl.View) (*wafl.View, error) {
+	tapeCfg := s.Tape
+	if tapeCfg.Seed == 0 {
+		tapeCfg.Seed = s.Seed
+	}
+	newDrive := func(attempt int) *tape.Drive {
+		p := tape.DefaultParams()
+		p.Capacity = s.TapeCapacity
+		d := tape.NewDrive(nil, fmt.Sprintf("t%d", attempt), p)
+		for i := 0; i < s.Cartridges; i++ {
+			d.AddCartridges(tape.NewCartridge(fmt.Sprintf("t%d-%d", attempt, i)))
+		}
+		d.Load(nil)
+		cfg := tapeCfg
+		if attempt > 0 {
+			cfg.OfflineAfterRecords = 0 // the replacement drive works
+		}
+		d.InjectFaults(cfg)
+		return d
+	}
+
+	var drives []*tape.Drive
+	var vols []int
+	var firstLabels []string
+	var lgOpts logical.DumpOptions
+	var phOpts physical.DumpOptions
+	if s.Engine == Logical {
+		lgOpts = logical.DumpOptions{View: view, Label: "chaos", ReadAhead: 8, CheckpointEvery: s.CheckpointEvery}
+	} else {
+		phOpts = physical.DumpOptions{FS: fs, Vol: dev, SnapName: "chaos", CheckpointEvery: s.CheckpointEvery}
+	}
+	for attempt := 0; ; attempt++ {
+		if attempt > s.MaxResumes {
+			return nil, fmt.Errorf("chaos: %s dump did not converge after %d resumes", s.Engine, s.MaxResumes)
+		}
+		drive := newDrive(attempt)
+		sink := &countingSink{DriveSink: &logical.DriveSink{Drive: drive}}
+		drives = append(drives, drive)
+		firstLabels = append(firstLabels, fmt.Sprintf("t%d-0", attempt))
+
+		var err error
+		var lgCkpt *logical.Checkpoint
+		var phCkpt *physical.Checkpoint
+		if s.Engine == Logical {
+			lgOpts.Sink = sink
+			var stats *logical.DumpStats
+			stats, err = logical.Dump(ctx, lgOpts)
+			if stats != nil {
+				lgCkpt = stats.Checkpoint
+				if err == nil {
+					rep.Damaged = append(rep.Damaged, stats.Damaged...)
+				} else if lgCkpt != nil {
+					// Keep damage only for files the checkpoint covers;
+					// everything after it is re-dumped by the resume.
+					for _, d := range stats.Damaged {
+						if d.Ino <= lgCkpt.LastIno {
+							rep.Damaged = append(rep.Damaged, d)
+						}
+					}
+				}
+			}
+		} else {
+			phOpts.Sink = sink
+			var stats *physical.DumpStats
+			stats, err = physical.Dump(ctx, phOpts)
+			if stats != nil {
+				phCkpt = stats.Checkpoint
+			}
+		}
+		retries, swaps := sink.MediaStats()
+		rep.TapeRetries += retries
+		rep.TapeSwaps += swaps
+		vols = append(vols, sink.vols+1)
+		if err == nil {
+			rep.Resumes = attempt
+			break
+		}
+		if !errors.Is(err, tape.ErrOffline) {
+			return nil, fmt.Errorf("chaos: unrecoverable %s dump fault: %w", s.Engine, err)
+		}
+		drive.SetOffline(false)
+		drive.Flush(nil)
+		if lgCkpt == nil && phCkpt == nil {
+			// Offline before the first checkpoint: nothing to resume
+			// from; restart clean, discarding the partial streams.
+			drives = drives[:0]
+			vols = vols[:0]
+			firstLabels = firstLabels[:0]
+			rep.Damaged = rep.Damaged[:0]
+			lgOpts.Resume, phOpts.Resume = nil, nil
+			continue
+		}
+		lgOpts.Resume, phOpts.Resume = lgCkpt, phCkpt
+	}
+
+	// Restore the streams in order: every stream but the last is torn
+	// (its drive died) and is applied in salvage mode.
+	rewind := func(i int) *logical.DriveSource {
+		d := drives[i]
+		// An offline latch that fired on the dump's final record leaves
+		// the drive down; the operator brings it back before reading.
+		d.SetOffline(false)
+		for d.Loaded().Label != firstLabels[i] {
+			if err := d.Load(nil); err != nil {
+				break
+			}
+		}
+		d.Rewind(nil)
+		return logical.NewDriveSource(d, nil, vols[i])
+	}
+	if s.Engine == Logical {
+		dst, err := wafl.Mkfs(ctx, storage.NewMemDevice(8192), nil, wafl.Options{})
+		if err != nil {
+			return nil, err
+		}
+		for i := range drives {
+			_, err := logical.Restore(ctx, logical.RestoreOptions{
+				FS: dst, Source: rewind(i), KernelIntegrated: true,
+				Salvage: i < len(drives)-1,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("chaos: restoring stream %d/%d: %w", i+1, len(drives), err)
+			}
+		}
+		return dst.ActiveView(), nil
+	}
+	target := storage.NewMemDevice(dev.NumBlocks())
+	for i := range drives {
+		_, err := physical.Restore(ctx, physical.RestoreOptions{
+			Vol: target, Source: rewind(i), Salvage: i < len(drives)-1,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("chaos: restoring image stream %d/%d: %w", i+1, len(drives), err)
+		}
+	}
+	dst, err := wafl.Mount(ctx, target, nil, wafl.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return dst.ActiveView(), nil
+}
+
+// evaluate compares the trees and checks that any differences are
+// exactly the inodes the damage report names.
+func evaluate(ctx context.Context, rep *Report, src *wafl.View, want, got map[string]workload.Entry) (*Report, error) {
+	for p, e := range want {
+		if g, ok := got[p]; !ok || g != e {
+			rep.DiffPaths = append(rep.DiffPaths, p)
+		}
+	}
+	for p := range got {
+		if _, ok := want[p]; !ok {
+			rep.DiffPaths = append(rep.DiffPaths, p)
+		}
+	}
+	sort.Strings(rep.DiffPaths)
+	rep.Identical = len(rep.DiffPaths) == 0
+
+	damagedInos := make(map[wafl.Inum]bool)
+	for _, d := range rep.Damaged {
+		damagedInos[d.Ino] = true
+	}
+	diffInos := make(map[wafl.Inum]bool)
+	explained := true
+	for _, p := range rep.DiffPaths {
+		ino, err := src.Namei(ctx, p)
+		if err != nil {
+			explained = false // a path the source never had
+			continue
+		}
+		diffInos[ino] = true
+		if !damagedInos[ino] {
+			explained = false
+		}
+	}
+	for ino := range damagedInos {
+		if !diffInos[ino] {
+			explained = false // reported damage with no visible effect
+		}
+	}
+	rep.Explained = explained
+	return rep, nil
+}

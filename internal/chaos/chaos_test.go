@@ -1,0 +1,150 @@
+package chaos
+
+import (
+	"context"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/tape"
+)
+
+var ctx = context.Background()
+
+// seedCount returns how many seeds each property sweeps: 3 by default,
+// more when CHAOS_SEEDS is set (make chaos sets 8).
+func seedCount() int {
+	if v := os.Getenv("CHAOS_SEEDS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 3
+}
+
+// invariant asserts the chaos property on a completed report.
+func invariant(t *testing.T, rep *Report) {
+	t.Helper()
+	if rep.Identical {
+		return
+	}
+	if len(rep.Damaged) == 0 {
+		t.Fatalf("restored tree differs at %v with an empty damage report", rep.DiffPaths)
+	}
+	if !rep.Explained {
+		t.Fatalf("damage report does not explain the differences: damaged=%v diffs=%v",
+			rep.Damaged, rep.DiffPaths)
+	}
+}
+
+// TestChaosLogicalDamageReport: latent sector errors under file data,
+// no redundancy beneath — the logical dump must hole-map them and the
+// damage report must name exactly the differing inodes.
+func TestChaosLogicalDamageReport(t *testing.T) {
+	for seed := int64(1); seed <= int64(seedCount()); seed++ {
+		rep, err := Run(ctx, Scenario{
+			Seed:            seed,
+			Engine:          Logical,
+			DataBlockFaults: 3,
+			Tape:            tape.FaultConfig{WriteFault: 0.02, Transient: 1.0},
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		invariant(t, rep)
+		if rep.Identical && seed == 1 {
+			t.Logf("seed %d: all planted faults fell on holes or duplicate picks", seed)
+		}
+	}
+}
+
+// TestChaosRaidAbsorbsDiskFaults: the same pipeline on a RAID-4 volume
+// with a flaky member — transient faults retried, latent sector errors
+// reconstructed from parity. Both engines must return a byte-identical
+// tree with an empty damage report.
+func TestChaosRaidAbsorbsDiskFaults(t *testing.T) {
+	for _, engine := range []Engine{Logical, Physical} {
+		recovered := 0
+		for seed := int64(1); seed <= int64(seedCount()); seed++ {
+			rep, err := Run(ctx, Scenario{
+				Seed:   seed,
+				Engine: engine,
+				Raid:   true,
+				Profile: storage.FaultProfile{
+					ReadFault: 0.15, RunFault: 0.5, Transient: 0.5, HealAfter: 2,
+				},
+				Tape: tape.FaultConfig{WriteFault: 0.01, Transient: 1.0},
+			})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", engine, seed, err)
+			}
+			if !rep.Identical {
+				t.Fatalf("%s seed %d: raid failed to absorb disk faults: diffs=%v damaged=%v",
+					engine, seed, rep.DiffPaths, rep.Damaged)
+			}
+			recovered += rep.RaidRetries + rep.Reconstructs
+		}
+		if recovered == 0 {
+			t.Errorf("%s: fault profile injected nothing across all seeds", engine)
+		}
+	}
+}
+
+// TestChaosOfflineResume: the drive drops offline mid-dump; the run
+// must resume from the checkpoint on a replacement drive and the
+// concatenated streams must restore correctly — for both engines.
+func TestChaosOfflineResume(t *testing.T) {
+	for _, engine := range []Engine{Logical, Physical} {
+		// Image records are 60 KB, logical records 10 KB: pick offline
+		// thresholds that land mid-dump for each stream shape.
+		offline := 12
+		if engine == Physical {
+			offline = 4
+		}
+		for seed := int64(1); seed <= int64(seedCount()); seed++ {
+			rep, err := Run(ctx, Scenario{
+				Seed:   seed,
+				Engine: engine,
+				Tape:   tape.FaultConfig{OfflineAfterRecords: offline},
+				Files:  30,
+			})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", engine, seed, err)
+			}
+			invariant(t, rep)
+			if rep.Resumes == 0 {
+				t.Errorf("%s seed %d: offline fault never forced a resume", engine, seed)
+			}
+		}
+	}
+}
+
+// TestChaosKitchenSink: everything at once — flaky raid member, flat
+// tape media errors with occasional cartridge loss, and an offline
+// event — across both engines.
+func TestChaosKitchenSink(t *testing.T) {
+	for _, engine := range []Engine{Logical, Physical} {
+		for seed := int64(1); seed <= int64(seedCount()); seed++ {
+			rep, err := Run(ctx, Scenario{
+				Seed:   seed,
+				Engine: engine,
+				Raid:   true,
+				Profile: storage.FaultProfile{
+					ReadFault: 0.01, Transient: 0.5, HealAfter: 1,
+				},
+				Tape: tape.FaultConfig{
+					WriteFault: 0.02, Transient: 0.8, OfflineAfterRecords: 25,
+				},
+				Cartridges: 4,
+				Files:      30,
+			})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", engine, seed, err)
+			}
+			if !rep.Identical {
+				t.Fatalf("%s seed %d: diffs=%v damaged=%v", engine, seed, rep.DiffPaths, rep.Damaged)
+			}
+		}
+	}
+}

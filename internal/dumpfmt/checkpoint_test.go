@@ -1,0 +1,88 @@
+package dumpfmt
+
+import (
+	"io"
+	"testing"
+)
+
+// TestCheckpointDurableAndSkipped checks that Checkpoint flushes the
+// partial record immediately (durability) and that readers both see
+// the marker via NextHeader and skip it transparently inside segment
+// runs.
+func TestCheckpointDurableAndSkipped(t *testing.T) {
+	sink := newMemSink(0)
+	w, err := NewWriter(sink, "lbl", 1000, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := make([]byte, TPBSize)
+	for i := range seg {
+		seg[i] = 0xAB
+	}
+	if err := w.WriteHeader(&Header{Type: TSInode, Inumber: 7, Count: 2, Addrs: []byte{1, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteSegment(seg); err != nil {
+		t.Fatal(err)
+	}
+	flushedBefore := len(sink.volumes[0])
+	if err := w.Checkpoint(7); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.volumes[0]) <= flushedBefore {
+		t.Fatal("Checkpoint did not flush the pending partial record")
+	}
+	if err := w.WriteSegment(seg); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(sink.source())
+	var types []int32
+	sawCheckpoint := false
+	for {
+		h, err := r.NextHeader()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		types = append(types, h.Type)
+		if h.Type == TSCheckpoint {
+			sawCheckpoint = true
+			if h.Inumber != 7 {
+				t.Fatalf("checkpoint inumber = %d, want 7", h.Inumber)
+			}
+		}
+		if h.Type == TSInode {
+			// ReadSegments must deliver both data segments, hopping
+			// over the checkpoint marker between them.
+			segs, err := r.ReadSegments(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range segs {
+				if s[0] != 0xAB {
+					t.Fatal("segment bytes corrupted around checkpoint")
+				}
+			}
+			// The checkpoint between the segments was consumed by
+			// ReadSegments; it will not reappear from NextHeader.
+		}
+		if h.Type == TSEnd {
+			break
+		}
+	}
+	if sawCheckpoint {
+		// The marker sat between the two segments of inode 7, so
+		// ReadSegments should have swallowed it.
+		t.Fatal("checkpoint leaked out of ReadSegments as a top-level header")
+	}
+	if r.Skipped() != 0 {
+		t.Fatalf("resync skipped %d units", r.Skipped())
+	}
+	_ = types
+}

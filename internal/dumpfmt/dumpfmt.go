@@ -44,12 +44,13 @@ const (
 
 // Record types.
 const (
-	TSTape  = 1 // volume label
-	TSInode = 2 // file or directory header
-	TSBits  = 3 // bitmap of inodes dumped
-	TSAddr  = 4 // continuation of a file
-	TSEnd   = 5 // end of dump
-	TSClri  = 6 // bitmap of inodes free at dump time
+	TSTape       = 1 // volume label
+	TSInode      = 2 // file or directory header
+	TSBits       = 3 // bitmap of inodes dumped
+	TSAddr       = 4 // continuation of a file
+	TSEnd        = 5 // end of dump
+	TSClri       = 6 // bitmap of inodes free at dump time
+	TSCheckpoint = 7 // restart marker: everything up to Inumber is on tape
 )
 
 // Errors.
@@ -217,7 +218,7 @@ func UnmarshalHeader(buf []byte) (*Header, error) {
 	}
 	h.Addrs = make([]byte, h.Count)
 	copy(h.Addrs, buf[offAddrs:offAddrs+int(h.Count)])
-	if h.Type < TSTape || h.Type > TSClri {
+	if h.Type < TSTape || h.Type > TSCheckpoint {
 		return nil, fmt.Errorf("dumpfmt: unknown record type %d", h.Type)
 	}
 	return h, nil

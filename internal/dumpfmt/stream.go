@@ -134,26 +134,47 @@ func (w *Writer) flush() error {
 		if !errors.Is(err, ErrEndOfMedia) {
 			return err
 		}
-		if err := w.sink.NextVolume(); err != nil {
-			return fmt.Errorf("dumpfmt: volume change: %w", err)
+		// Switch volumes until one takes the continuation header: a
+		// fresh cartridge can itself be bad from its very first record,
+		// in which case it is abandoned like the full one before it.
+		for {
+			if err := w.sink.NextVolume(); err != nil {
+				return fmt.Errorf("dumpfmt: volume change: %w", err)
+			}
+			w.volume++
+			cont := &Header{Type: TSTape, Date: w.date, DDate: w.ddate,
+				Level: w.level, Volume: w.volume, Label: w.label, Tapea: w.tapea}
+			contBuf, err := cont.Marshal()
+			if err != nil {
+				return err
+			}
+			// The continuation header goes out as its own (short) record.
+			cerr := w.sink.WriteRecord(contBuf)
+			if cerr == nil {
+				w.written += TPBSize
+				break
+			}
+			if !errors.Is(cerr, ErrEndOfMedia) {
+				return fmt.Errorf("dumpfmt: writing continuation header: %w", cerr)
+			}
 		}
-		w.volume++
-		cont := &Header{Type: TSTape, Date: w.date, DDate: w.ddate,
-			Level: w.level, Volume: w.volume, Label: w.label, Tapea: w.tapea}
-		contBuf, err := cont.Marshal()
-		if err != nil {
-			return err
-		}
-		// The continuation header goes out as its own (short) record.
-		if err := w.sink.WriteRecord(contBuf); err != nil {
-			return fmt.Errorf("dumpfmt: writing continuation header: %w", err)
-		}
-		w.written += TPBSize
 	}
 	w.written += int64(len(rec))
 	w.buf = w.buf[:0]
 	w.units = 0
 	return nil
+}
+
+// Checkpoint emits a TS_CHECKPOINT record declaring that every file
+// up to and including inode ino is complete in the stream, then
+// flushes the pending partial record so the marker — and everything
+// before it — is durably on media. A dump that later aborts can
+// restart from the last checkpoint instead of from scratch.
+func (w *Writer) Checkpoint(ino uint32) error {
+	if err := w.WriteHeader(&Header{Type: TSCheckpoint, Inumber: ino}); err != nil {
+		return err
+	}
+	return w.flush()
 }
 
 // Close writes the TS_END record, flushes the final partial record
@@ -241,8 +262,8 @@ func (r *Reader) ReadSegments(n int) ([][]byte, error) {
 			}
 			return segs, err
 		}
-		if h, err := UnmarshalHeader(unit); err == nil && h.Type == TSTape {
-			i-- // continuation header, not data
+		if h, err := UnmarshalHeader(unit); err == nil && (h.Type == TSTape || h.Type == TSCheckpoint) {
+			i-- // continuation or checkpoint marker, not data
 			continue
 		}
 		segs = append(segs, unit)

@@ -48,6 +48,38 @@ type DumpOptions struct {
 	ReadAhead int
 	// Stages receives stage boundaries; may be nil.
 	Stages StageRecorder
+	// CheckpointEvery emits a durable TS_CHECKPOINT record after every
+	// N files in Phase IV, making the dump restartable (§4 of the
+	// paper restarts image dumps at tape boundaries; checkpoints give
+	// the logical stream the same property). 0 disables checkpoints
+	// and keeps the stream byte-identical to older dumps.
+	CheckpointEvery int
+	// Resume continues an interrupted dump from the checkpoint a
+	// failed Dump returned: Phases I-III run again (the new stream
+	// must be self-contained enough for restore to map names), but
+	// Phase IV skips files already durably on the previous stream.
+	Resume *Checkpoint
+	// Log, if set, receives a line per notable recovery event
+	// (hole-mapped blocks, for the operator's damage report).
+	Log func(line string)
+}
+
+// Checkpoint is the durable progress of an interrupted dump. It names
+// the last file inode known to be wholly on media; re-invoking Dump
+// with it resumes after that inode instead of at block zero.
+type Checkpoint struct {
+	Date    int64 // dump date of the interrupted run (kept across streams)
+	Level   int
+	LastIno wafl.Inum // 0 = no file completed
+}
+
+// DamagedBlock identifies a file block the dump could not read even
+// with retries and RAID recovery. The block was hole-mapped, so the
+// restored file reads zeros there; everything else restores intact.
+type DamagedBlock struct {
+	Ino wafl.Inum
+	Fbn uint32 // file block number
+	Err string // the final read error, for the operator's report
 }
 
 // DumpStats reports what a dump did.
@@ -57,7 +89,15 @@ type DumpStats struct {
 	InodesMapped int
 	DirsDumped   int
 	FilesDumped  int
+	FilesSkipped int // already on media per the resume checkpoint
 	BytesWritten int64
+	// Damaged lists file blocks hole-mapped after unrecoverable read
+	// faults — the "exactly which inodes were damaged" report.
+	Damaged []DamagedBlock
+	// Checkpoint is set (alongside a non-nil error) when the dump
+	// aborted but can resume; nil on success or when checkpoints were
+	// disabled and no resume state existed.
+	Checkpoint *Checkpoint
 }
 
 // dumpState carries the four phases' shared working set.
@@ -86,10 +126,21 @@ type dumpState struct {
 	issued   int64
 	consumed int64
 
-	// runBuf is the pooled Phase IV read buffer: contiguous runs of
-	// present file blocks are pulled through one View.ReadAt each,
-	// instead of block at a time.
-	runBuf *[]byte
+	// chunkBuf is the pooled Phase IV read buffer, sized for a full
+	// header's worth of segments: each chunk is read (in runs) before
+	// its header goes out, so an unreadable block can be demoted to a
+	// hole in the map instead of aborting a half-written record.
+	chunkBuf *[]byte
+
+	stats   *DumpStats
+	ckptIno wafl.Inum // last inode durably checkpointed to media
+}
+
+// logf reports a recovery event to the operator's log, if any.
+func (st *dumpState) logf(format string, args ...any) {
+	if st.opts.Log != nil {
+		st.opts.Log(fmt.Sprintf(format, args...))
+	}
 }
 
 // runBlocks is how many file blocks Phase IV reads per bulk ReadAt.
@@ -116,6 +167,15 @@ func Dump(ctx context.Context, opts DumpOptions) (*DumpStats, error) {
 	if opts.Dates != nil {
 		st.ddate = opts.Dates.Base(opts.FSID, opts.Level)
 	}
+	if opts.Resume != nil {
+		if opts.Resume.Level != opts.Level {
+			return nil, fmt.Errorf("logical: resume checkpoint is level %d, dump is level %d", opts.Resume.Level, opts.Level)
+		}
+		// The continuation stream carries the interrupted dump's date,
+		// so all its streams describe one self-consistent dump set.
+		st.date = opts.Resume.Date
+		st.ckptIno = opts.Resume.LastIno
+	}
 	root := wafl.RootIno
 	if opts.Subtree != "" {
 		var err error
@@ -125,8 +185,8 @@ func Dump(ctx context.Context, opts DumpOptions) (*DumpStats, error) {
 		}
 	}
 	st.rootIno = root
-	st.runBuf = bufpool.Get(runBlocks * wafl.BlockSize)
-	defer bufpool.Put(st.runBuf)
+	st.chunkBuf = bufpool.Get(dumpfmt.MaxSegsPerHeader * dumpfmt.TPBSize)
+	defer bufpool.Put(st.chunkBuf)
 
 	begin := func(name string) {
 		if opts.Stages != nil {
@@ -153,6 +213,17 @@ func Dump(ctx context.Context, opts DumpOptions) (*DumpStats, error) {
 	}
 
 	stats := &DumpStats{Date: st.date, BaseDate: st.ddate, InodesMapped: st.used.Count()}
+	st.stats = stats
+
+	// fail wraps an unrecoverable error with the resumable state: the
+	// last inode durably checkpointed (possibly inherited from the
+	// attempt this one resumed), so the next invocation can continue.
+	fail := func(err error) (*DumpStats, error) {
+		if opts.CheckpointEvery > 0 || opts.Resume != nil {
+			stats.Checkpoint = &Checkpoint{Date: st.date, Level: opts.Level, LastIno: st.ckptIno}
+		}
+		return stats, err
+	}
 
 	// Write the two maps the format prescribes: inodes free at dump
 	// time (TS_CLRI) and inodes on this tape (TS_BITS).
@@ -163,10 +234,10 @@ func Dump(ctx context.Context, opts DumpOptions) (*DumpStats, error) {
 		}
 	}
 	if err := writeMap(w, dumpfmt.TSClri, clri, uint32(st.rootIno)); err != nil {
-		return nil, err
+		return fail(err)
 	}
 	if err := writeMap(w, dumpfmt.TSBits, st.dump, uint32(st.rootIno)); err != nil {
-		return nil, err
+		return fail(err)
 	}
 
 	// Phase III: dump directories, in ascending inode order.
@@ -185,27 +256,53 @@ func Dump(ctx context.Context, opts DumpOptions) (*DumpStats, error) {
 	sort.Slice(dirInos, func(i, j int) bool { return dirInos[i] < dirInos[j] })
 	sort.Slice(fileInos, func(i, j int) bool { return fileInos[i] < fileInos[j] })
 	for _, ino := range dirInos {
+		if err := ctx.Err(); err != nil {
+			end()
+			return fail(err)
+		}
 		if err := st.dumpDirectory(ctx, w, ino); err != nil {
-			return nil, err
+			end()
+			return fail(err)
 		}
 		stats.DirsDumped++
 	}
 	end()
 
 	// Phase IV: dump files, in ascending inode order, with the dump
-	// engine's own cross-file read-ahead running in front.
+	// engine's own cross-file read-ahead running in front. A resumed
+	// dump skips the files its checkpoint vouches for.
 	begin("Dumping files")
+	if st.ckptIno > 0 {
+		skip := sort.Search(len(fileInos), func(i int) bool { return fileInos[i] > st.ckptIno })
+		stats.FilesSkipped = skip
+		fileInos = fileInos[skip:]
+	}
 	st.fileList = fileInos
+	sinceCkpt := 0
 	for _, ino := range fileInos {
+		if err := ctx.Err(); err != nil {
+			end()
+			return fail(err)
+		}
 		if err := st.dumpFile(ctx, w, ino); err != nil {
-			return nil, err
+			end()
+			return fail(err)
 		}
 		stats.FilesDumped++
+		sinceCkpt++
+		if opts.CheckpointEvery > 0 && sinceCkpt >= opts.CheckpointEvery {
+			if err := w.Checkpoint(uint32(ino)); err != nil {
+				end()
+				return fail(err)
+			}
+			st.ckptIno = ino
+			sinceCkpt = 0
+		}
 	}
 	end()
 
 	if err := w.Close(); err != nil {
-		return nil, err
+		return fail(err)
 	}
 	stats.BytesWritten = w.Written()
 	if opts.Dates != nil {
@@ -225,6 +322,9 @@ func (st *dumpState) phaseMap(ctx context.Context) error {
 	queue := []qent{{st.rootIno, st.rootIno}}
 	visited := map[wafl.Inum]bool{}
 	for len(queue) > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		cur := queue[0]
 		queue = queue[1:]
 		if visited[cur.ino] {
@@ -430,10 +530,13 @@ func (st *dumpState) dumpFile(ctx context.Context, w *dumpfmt.Writer, ino wafl.I
 	segsPerBlock := wafl.BlockSize / dumpfmt.TPBSize
 	prefetch := st.opts.ReadAhead > 0
 
-	runBuf := *st.runBuf
+	chunkBuf := *st.chunkBuf
 	seg := 0
 	first := true
 	for seg < totalSegs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		chunk := totalSegs - seg
 		if chunk > dumpfmt.MaxSegsPerHeader {
 			chunk = dumpfmt.MaxSegsPerHeader
@@ -450,18 +553,15 @@ func (st *dumpState) dumpFile(ctx context.Context, w *dumpfmt.Writer, ino wafl.I
 				addrs[i] = 1
 			}
 		}
-		t := int32(dumpfmt.TSInode)
-		if !first {
-			t = dumpfmt.TSAddr
-		}
-		h := &dumpfmt.Header{Type: t, Inumber: uint32(ino), Dinode: di, Count: int32(chunk), Addrs: addrs}
-		if err := w.WriteHeader(h); err != nil {
-			return err
-		}
-		// Emit present segments. Contiguous runs of present blocks are
+		// Stage the chunk's present blocks into chunkBuf BEFORE the
+		// header goes out — segment i of the chunk lives at
+		// chunkBuf[i*TPBSize:]. Contiguous runs of present blocks are
 		// pulled in with one bulk ReadAt each (chunks are block-aligned:
 		// MaxSegsPerHeader is a multiple of segsPerBlock), with the dump
-		// engine's own read-ahead running W blocks in front.
+		// engine's own read-ahead running W blocks in front. A run that
+		// fails is salvaged block by block; blocks that stay unreadable
+		// are demoted to holes in addrs, so the header's map and the
+		// segments that follow it always agree.
 		for i := 0; i < chunk; {
 			if addrs[i] == 0 {
 				i++
@@ -469,8 +569,8 @@ func (st *dumpState) dumpFile(ctx context.Context, w *dumpfmt.Writer, ino wafl.I
 			}
 			sIdx := seg + i
 			fbn0 := sIdx / segsPerBlock
-			// Extend the run while the next block is present, in this
-			// chunk and within the run buffer.
+			// Extend the run while the next block is present and in
+			// this chunk.
 			nb := 1
 			for nb < runBlocks {
 				next := (fbn0+nb)*segsPerBlock - seg
@@ -483,28 +583,71 @@ func (st *dumpState) dumpFile(ctx context.Context, w *dumpfmt.Writer, ino wafl.I
 				st.consumed += int64(nb)
 				st.pumpReadAhead(ctx)
 			}
-			rbuf := runBuf[:nb*wafl.BlockSize]
-			if _, err := st.view.ReadAt(ctx, ino, uint64(fbn0)*wafl.BlockSize, rbuf); err != nil {
-				return err
-			}
-			runEnd := (fbn0+nb)*segsPerBlock - seg
-			if runEnd > chunk {
-				runEnd = chunk
-			}
-			for ; i < runEnd; i++ {
-				sIdx = seg + i
-				so := (sIdx/segsPerBlock-fbn0)*wafl.BlockSize + (sIdx%segsPerBlock)*dumpfmt.TPBSize
-				endOff := so + dumpfmt.TPBSize
-				if rem := inode.Size - uint64(sIdx)*dumpfmt.TPBSize; rem < dumpfmt.TPBSize {
-					endOff = so + int(rem)
-				}
-				if err := w.WriteSegment(runBuf[so:endOff]); err != nil {
+			dst := chunkBuf[i*dumpfmt.TPBSize : i*dumpfmt.TPBSize+nb*wafl.BlockSize]
+			if _, err := st.view.ReadAt(ctx, ino, uint64(fbn0)*wafl.BlockSize, dst); err != nil {
+				if err := st.salvageRun(ctx, ino, fbn0, nb, seg, chunk, addrs, chunkBuf); err != nil {
 					return err
 				}
+			}
+			i = (fbn0+nb)*segsPerBlock - seg
+			if i > chunk {
+				i = chunk
+			}
+		}
+		t := int32(dumpfmt.TSInode)
+		if !first {
+			t = dumpfmt.TSAddr
+		}
+		h := &dumpfmt.Header{Type: t, Inumber: uint32(ino), Dinode: di, Count: int32(chunk), Addrs: addrs}
+		if err := w.WriteHeader(h); err != nil {
+			return err
+		}
+		for i := 0; i < chunk; i++ {
+			if addrs[i] == 0 {
+				continue
+			}
+			sIdx := seg + i
+			so := i * dumpfmt.TPBSize
+			endOff := so + dumpfmt.TPBSize
+			if rem := inode.Size - uint64(sIdx)*dumpfmt.TPBSize; rem < dumpfmt.TPBSize {
+				endOff = so + int(rem)
+			}
+			if err := w.WriteSegment(chunkBuf[so:endOff]); err != nil {
+				return err
 			}
 		}
 		seg += chunk
 		first = false
+	}
+	return nil
+}
+
+// salvageRun recovers a failed bulk run one block at a time. A block
+// the storage stack cannot produce even with retries and RAID
+// reconstruction is logged, recorded in the damage report, and
+// demoted to a hole in addrs — the dump continues, per the paper's
+// observation that logical backup degrades per-file rather than
+// per-volume. Cancellation is not damage: it aborts the dump.
+func (st *dumpState) salvageRun(ctx context.Context, ino wafl.Inum, fbn0, nb, seg, chunk int, addrs []byte, chunkBuf []byte) error {
+	segsPerBlock := wafl.BlockSize / dumpfmt.TPBSize
+	for b := 0; b < nb; b++ {
+		fbn := fbn0 + b
+		si := fbn*segsPerBlock - seg // chunk-relative first segment of the block
+		dst := chunkBuf[si*dumpfmt.TPBSize : si*dumpfmt.TPBSize+wafl.BlockSize]
+		_, err := st.view.ReadAt(ctx, ino, uint64(fbn)*wafl.BlockSize, dst)
+		if err == nil {
+			continue
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		for k := 0; k < segsPerBlock; k++ {
+			if si+k < chunk {
+				addrs[si+k] = 0
+			}
+		}
+		st.stats.Damaged = append(st.stats.Damaged, DamagedBlock{Ino: ino, Fbn: uint32(fbn), Err: err.Error()})
+		st.logf("ino %d fbn %d unreadable, hole-mapped: %v", ino, fbn, err)
 	}
 	return nil
 }
@@ -516,6 +659,9 @@ func (st *dumpState) dumpFile(ctx context.Context, w *dumpfmt.Writer, ino wafl.I
 // tape, hiding the per-file first-block seek.
 func (st *dumpState) pumpReadAhead(ctx context.Context) {
 	for st.issued < st.consumed+int64(st.opts.ReadAhead) && st.laFile < len(st.fileList) {
+		if ctx.Err() != nil {
+			return
+		}
 		ino := st.fileList[st.laFile]
 		inode := st.inodes[ino]
 		if st.laFbn >= inode.Blocks() {

@@ -2,6 +2,7 @@ package logical
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -30,6 +31,12 @@ type RestoreOptions struct {
 	// pass) and no user-level data copies. Off models a user-level
 	// BSD restore.
 	KernelIntegrated bool
+	// Salvage tolerates a stream that ends mid-file — the tail left on
+	// tape by a dump that aborted after its last checkpoint. Everything
+	// before the tear restores normally; the torn file is dropped and
+	// TornTail is set in the stats. The resumed dump's stream re-dumps
+	// that file, so a concatenated restore loses nothing.
+	Salvage bool
 	// Stages receives stage boundaries; may be nil.
 	Stages StageRecorder
 }
@@ -42,7 +49,8 @@ type RestoreStats struct {
 	LinksMade     int
 	Deleted       int // entries removed by incremental sync
 	BytesRead     int64
-	SkippedUnits  int // corrupt 1 KB units skipped by resync
+	SkippedUnits  int  // corrupt 1 KB units skipped by resync
+	TornTail      bool // stream ended mid-file and Salvage dropped the tail
 }
 
 // desiccated is restore's in-memory "desiccated file system": the
@@ -137,7 +145,11 @@ func Restore(ctx context.Context, opts RestoreOptions) (*RestoreStats, error) {
 	err = rst.streamFiles(ctx, r, pending)
 	end()
 	if err != nil {
-		return nil, err
+		if opts.Salvage && errors.Is(err, io.ErrUnexpectedEOF) {
+			stats.TornTail = true
+		} else {
+			return nil, err
+		}
 	}
 
 	// Final pass: directory times (and permissions when not
@@ -173,7 +185,7 @@ func readDirectories(r *dumpfmt.Reader, stats *RestoreStats) (*desiccated, *dump
 			return nil, nil, err
 		}
 		switch h.Type {
-		case dumpfmt.TSTape:
+		case dumpfmt.TSTape, dumpfmt.TSCheckpoint:
 			continue
 		case dumpfmt.TSClri, dumpfmt.TSBits:
 			segs, err := r.ReadSegments(countPresent(h.Addrs))
@@ -475,7 +487,7 @@ func (rst *restoreState) streamFiles(ctx context.Context, r *dumpfmt.Reader, pen
 		switch h.Type {
 		case dumpfmt.TSEnd:
 			return nil
-		case dumpfmt.TSTape, dumpfmt.TSClri, dumpfmt.TSBits:
+		case dumpfmt.TSTape, dumpfmt.TSClri, dumpfmt.TSBits, dumpfmt.TSCheckpoint:
 			h = nil
 			continue
 		case dumpfmt.TSAddr:

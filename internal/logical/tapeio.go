@@ -21,24 +21,65 @@ import (
 
 	"repro/internal/dumpfmt"
 	"repro/internal/sim"
+	"repro/internal/storage"
 	"repro/internal/tape"
 )
 
 // DriveSink adapts a tape drive to dumpfmt.Sink, mapping end-of-media
 // and cartridge changes. The sim process (may be nil) is charged for
 // tape time.
+//
+// Media faults are absorbed here, below the stream format: transient
+// write errors are retried with backoff charged to the simulated
+// clock; a persistent media error means the cartridge is bad, which to
+// the stream Writer looks exactly like running off the end of the
+// volume — it is reported as ErrEndOfMedia so the Writer's normal
+// volume-change path moves the dump to the next cartridge. Drive
+// offline is not recoverable at this layer and propagates up, where
+// the dump engines turn it into a checkpointed failure.
 type DriveSink struct {
 	Drive *tape.Drive
 	Proc  *sim.Proc
+	// Retry bounds transient-media-error retries. Zero value means
+	// storage.DefaultRetryPolicy.
+	Retry storage.RetryPolicy
+
+	retries int // transient media errors retried
+	swaps   int // cartridges abandoned to persistent errors
 }
+
+// MediaStats reports transient retries and fault-driven cartridge
+// swaps performed by the sink.
+func (s *DriveSink) MediaStats() (retries, swaps int) { return s.retries, s.swaps }
 
 // WriteRecord implements dumpfmt.Sink.
 func (s *DriveSink) WriteRecord(data []byte) error {
-	err := s.Drive.WriteRecord(s.Proc, data)
-	if errors.Is(err, tape.ErrEndOfMedia) {
-		return dumpfmt.ErrEndOfMedia
+	retry := s.Retry
+	if retry.MaxRetries == 0 && retry.Initial == 0 {
+		retry = storage.DefaultRetryPolicy()
 	}
-	return err
+	err := s.Drive.WriteRecord(s.Proc, data)
+	for attempt := 1; tape.IsTransientMedia(err) && attempt <= retry.MaxRetries; attempt++ {
+		s.retries++
+		if s.Proc != nil {
+			s.Proc.Sleep(retry.Delay(attempt))
+		}
+		err = s.Drive.WriteRecord(s.Proc, data)
+	}
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, tape.ErrEndOfMedia):
+		return dumpfmt.ErrEndOfMedia
+	case errors.Is(err, tape.ErrMediaWrite):
+		// Persistent (or unhealed transient) media error: give up on
+		// this cartridge. What was already written stays readable; the
+		// Writer re-emits the failed record on the next volume.
+		s.swaps++
+		return dumpfmt.ErrEndOfMedia
+	default:
+		return err
+	}
 }
 
 // NextVolume implements dumpfmt.Sink: load the next stacker cartridge.

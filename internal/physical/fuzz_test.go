@@ -1,0 +1,56 @@
+package physical
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/wafl"
+)
+
+// FuzzStreamHeader throws arbitrary bytes at the image-stream preamble
+// parser. The parser sizes an allocation from the root-length field,
+// so the property under test is that nothing the parser accepts can
+// make it read or allocate outside its declared bounds — and that it
+// never panics on torn or corrupted preambles.
+func FuzzStreamHeader(f *testing.F) {
+	// Seed with the preamble of a real dump stream, whole and torn.
+	dev := storage.NewMemDevice(2048)
+	fs, err := wafl.Mkfs(ctx, dev, nil, wafl.Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	fs.WriteFile(ctx, "/seed", make([]byte, 64<<10), 0644)
+	if err := fs.CreateSnapshot(ctx, "s"); err != nil {
+		f.Fatal(err)
+	}
+	sink := &memSink{}
+	if _, err := Dump(ctx, DumpOptions{FS: fs, Vol: dev, SnapName: "s", Sink: sink}); err != nil {
+		f.Fatal(err)
+	}
+	var stream []byte
+	for _, rec := range sink.recs {
+		stream = append(stream, rec...)
+	}
+	preamble := headerFixed + wafl.FsinfoSpan*storage.BlockSize
+	if preamble > len(stream) {
+		preamble = len(stream)
+	}
+	f.Add(stream[:preamble])
+	f.Add(stream[:headerFixed])
+	f.Add(stream[:headerFixed/2])
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := &streamReader{src: &memSource{recs: [][]byte{data}}}
+		h, err := readHeader(r)
+		if err != nil {
+			return
+		}
+		if len(h.root) == 0 || len(h.root) > 1<<20 {
+			t.Fatalf("accepted header with root of %d bytes", len(h.root))
+		}
+		if r.read > int64(len(data)) {
+			t.Fatalf("parser claims to have read %d of %d bytes", r.read, len(data))
+		}
+	})
+}

@@ -41,6 +41,14 @@ const (
 	// record: image dump streams in large records to keep the drive at
 	// speed.
 	RecordBlocks = 15
+	// EndSentinel marks the stream trailer extent; its count field
+	// carries the payload checksum.
+	EndSentinel = 0xFFFFFFFF
+	// CkptSentinel marks a checkpoint extent: everything before it is
+	// durably on media and its count field carries the running payload
+	// checksum, so an interrupted stream is verifiable up to its last
+	// checkpoint.
+	CkptSentinel = 0xFFFFFFFE
 )
 
 // Errors.
@@ -117,14 +125,36 @@ type DumpOptions struct {
 	// applies all shards, in any order. Zero Shards means no sharding.
 	Shard  int
 	Shards int
+	// CheckpointEvery emits a durable checkpoint extent after every N
+	// blocks, making the dump restartable (the paper's §4 restarts
+	// image dumps at tape boundaries). 0 disables checkpoints.
+	CheckpointEvery int
+	// Resume continues an interrupted dump from the checkpoint a failed
+	// Dump returned: the block set is recomputed from the same (frozen)
+	// snapshots and the first BlocksDone entries are skipped.
+	Resume *Checkpoint
+}
+
+// Checkpoint is the durable progress of an interrupted image dump. The
+// block set of a snapshot pair is deterministic, so a count of blocks
+// already on media is a complete resume point.
+type Checkpoint struct {
+	Gen        uint64
+	BaseGen    uint64
+	BlocksDone int // blocks durably on media
 }
 
 // DumpStats reports what an image dump did.
 type DumpStats struct {
-	BlocksDumped int
-	BytesWritten int64
-	Gen          uint64
-	BaseGen      uint64
+	BlocksDumped  int
+	BlocksSkipped int // already on media per the resume checkpoint
+	BytesWritten  int64
+	Gen           uint64
+	BaseGen       uint64
+	// Checkpoint is set (alongside a non-nil error) when the dump
+	// aborted but can resume; nil on success or when checkpoints were
+	// disabled and no resume state existed.
+	Checkpoint *Checkpoint
 }
 
 // streamHeader is the fixed preamble of an image stream.
@@ -196,6 +226,21 @@ func Dump(ctx context.Context, opts DumpOptions) (*DumpStats, error) {
 		blocks = blocks[lo:hi]
 	}
 
+	// A resumed dump recomputes the same deterministic block set (the
+	// snapshots are frozen) and skips what its checkpoint vouches for.
+	skipped := 0
+	if opts.Resume != nil {
+		if opts.Resume.Gen != snap.Gen || opts.Resume.BaseGen != baseGen {
+			return nil, fmt.Errorf("physical: resume checkpoint is for gen %d/base %d, dump is gen %d/base %d",
+				opts.Resume.Gen, opts.Resume.BaseGen, snap.Gen, baseGen)
+		}
+		if opts.Resume.BlocksDone > len(blocks) {
+			return nil, fmt.Errorf("physical: resume checkpoint claims %d of %d blocks", opts.Resume.BlocksDone, len(blocks))
+		}
+		skipped = opts.Resume.BlocksDone
+		blocks = blocks[skipped:]
+	}
+
 	older, err := opts.FS.SnapshotsBefore(opts.SnapName)
 	if err != nil {
 		return nil, err
@@ -213,8 +258,20 @@ func Dump(ctx context.Context, opts DumpOptions) (*DumpStats, error) {
 		blockCount: uint64(len(blocks)),
 		root:       root,
 	}
+
+	stats := &DumpStats{BlocksSkipped: skipped, Gen: snap.Gen, BaseGen: baseGen}
+	// ckptDone is the absolute count of blocks durably on media; fail
+	// wraps an unrecoverable error with it so the caller can resume.
+	ckptDone := skipped
+	fail := func(err error) (*DumpStats, error) {
+		if opts.CheckpointEvery > 0 || opts.Resume != nil {
+			stats.Checkpoint = &Checkpoint{Gen: snap.Gen, BaseGen: baseGen, BlocksDone: ckptDone}
+		}
+		return stats, err
+	}
+
 	if err := w.write(hdr.marshal()); err != nil {
-		return nil, err
+		return fail(err)
 	}
 
 	// Stream extents in ascending block order: sequential on every
@@ -228,51 +285,73 @@ func Dump(ctx context.Context, opts DumpOptions) (*DumpStats, error) {
 	buf := *runBuf
 	crc := crc32.NewIEEE()
 	var ext [8]byte
+	dumped := 0
+	sinceCkpt := 0
 	i := 0
 	for i < len(blocks) {
-		// Coalesce a run of consecutive blocks into one extent.
+		if err := ctx.Err(); err != nil {
+			return fail(err)
+		}
+		// Coalesce a run of consecutive blocks, then emit it as extents
+		// no larger than the device visit (and, with checkpoints on, no
+		// larger than the remaining checkpoint budget, so markers land
+		// between extents).
 		j := i + 1
 		for j < len(blocks) && blocks[j] == blocks[j-1]+1 {
 			j++
-		}
-		binary.LittleEndian.PutUint32(ext[0:], blocks[i])
-		binary.LittleEndian.PutUint32(ext[4:], uint32(j-i))
-		if err := w.write(ext[:]); err != nil {
-			return nil, err
 		}
 		for b := i; b < j; {
 			c := j - b
 			if c > maxRun {
 				c = maxRun
 			}
+			if opts.CheckpointEvery > 0 && c > opts.CheckpointEvery-sinceCkpt {
+				c = opts.CheckpointEvery - sinceCkpt
+			}
+			binary.LittleEndian.PutUint32(ext[0:], blocks[b])
+			binary.LittleEndian.PutUint32(ext[4:], uint32(c))
+			if err := w.write(ext[:]); err != nil {
+				return fail(err)
+			}
 			chunk := buf[:c*storage.BlockSize]
 			if err := storage.ReadRun(ctx, opts.Vol, int(blocks[b]), c, chunk); err != nil {
-				return nil, err
+				return fail(err)
 			}
 			opts.Costs.charge(ctx, time.Duration(c)*opts.Costs.DumpBlock)
 			crc.Write(chunk)
 			if err := w.write(chunk); err != nil {
-				return nil, err
+				return fail(err)
+			}
+			dumped += c
+			sinceCkpt += c
+			if opts.CheckpointEvery > 0 && sinceCkpt >= opts.CheckpointEvery {
+				binary.LittleEndian.PutUint32(ext[0:], CkptSentinel)
+				binary.LittleEndian.PutUint32(ext[4:], crc.Sum32())
+				if err := w.write(ext[:]); err != nil {
+					return fail(err)
+				}
+				if err := w.flushPartial(); err != nil {
+					return fail(err)
+				}
+				ckptDone = skipped + dumped
+				sinceCkpt = 0
 			}
 			b += c
 		}
 		i = j
 	}
 	// Trailer: sentinel extent + checksum of all payload bytes.
-	binary.LittleEndian.PutUint32(ext[0:], 0xFFFFFFFF)
+	binary.LittleEndian.PutUint32(ext[0:], EndSentinel)
 	binary.LittleEndian.PutUint32(ext[4:], crc.Sum32())
 	if err := w.write(ext[:]); err != nil {
-		return nil, err
+		return fail(err)
 	}
 	if err := w.flush(); err != nil {
-		return nil, err
+		return fail(err)
 	}
-	return &DumpStats{
-		BlocksDumped: len(blocks),
-		BytesWritten: w.written,
-		Gen:          snap.Gen,
-		BaseGen:      baseGen,
-	}, nil
+	stats.BlocksDumped = len(blocks)
+	stats.BytesWritten = w.written
+	return stats, nil
 }
 
 // IncrementalBlocks computes the dump set from two snapshot block
@@ -344,14 +423,25 @@ func (w *streamWriter) emit(rec []byte) error {
 	}
 }
 
+// flushPartial emits any pending partial record immediately — the
+// durability point behind checkpoint extents — leaving the writer
+// usable. The next record starts fresh; readers reassemble the byte
+// stream regardless of record boundaries.
+func (w *streamWriter) flushPartial() error {
+	if w.n == 0 {
+		return nil
+	}
+	if err := w.emit((*w.rec)[:w.n]); err != nil {
+		return err
+	}
+	w.n = 0
+	return nil
+}
+
 // flush emits any partial record and recycles the buffer; the writer
 // must not be used afterwards.
 func (w *streamWriter) flush() error {
-	var err error
-	if w.n > 0 {
-		err = w.emit((*w.rec)[:w.n])
-		w.n = 0
-	}
+	err := w.flushPartial()
 	bufpool.Put(w.rec)
 	w.rec = nil
 	return err

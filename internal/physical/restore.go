@@ -26,6 +26,13 @@ type RestoreOptions struct {
 	// incremental, the target's current root generation must equal the
 	// stream's base generation. Full streams ignore the target.
 	ExpectIncremental bool
+	// Salvage tolerates a stream that ends without its trailer — what
+	// an interrupted dump leaves on tape. Blocks up to the tear are
+	// applied (checksum-verified up to the last checkpoint extent), the
+	// root is NOT installed, and TornTail is set in the stats. The
+	// resumed dump's stream re-writes everything past the last
+	// checkpoint and installs the root.
+	Salvage bool
 }
 
 // RestoreStats reports what an image restore did.
@@ -33,6 +40,8 @@ type RestoreStats struct {
 	BlocksRestored int
 	BytesRead      int64
 	Gen            uint64
+	Checkpoints    int  // checkpoint extents seen (each checksum-verified)
+	TornTail       bool // stream ended before its trailer; root not installed
 }
 
 // streamReader presents record-oriented input as a byte stream.
@@ -147,17 +156,33 @@ func restoreBody(ctx context.Context, vol storage.Device, r *streamReader, h *st
 	runBuf := bufpool.Get(maxRestoreRun * storage.BlockSize)
 	defer bufpool.Put(runBuf)
 	buf := *runBuf
+	torn := func(err error) (*RestoreStats, error) {
+		if !opts.Salvage {
+			return nil, err
+		}
+		stats.TornTail = true
+		stats.BytesRead = r.read
+		return stats, nil
+	}
 	for {
 		if err := r.readFull(ext[:]); err != nil {
-			return nil, fmt.Errorf("%w: missing trailer", ErrBadStream)
+			return torn(fmt.Errorf("%w: missing trailer", ErrBadStream))
 		}
 		start := binary.LittleEndian.Uint32(ext[0:])
 		count := binary.LittleEndian.Uint32(ext[4:])
-		if start == 0xFFFFFFFF {
+		if start == EndSentinel {
 			if crc.Sum32() != count {
 				return nil, ErrBadChecksum
 			}
 			break
+		}
+		if start == CkptSentinel {
+			// Checkpoint: verify the payload so far; carry no data.
+			if crc.Sum32() != count {
+				return nil, ErrBadChecksum
+			}
+			stats.Checkpoints++
+			continue
 		}
 		if uint64(start)+uint64(count) > h.nblocks || count == 0 {
 			return nil, fmt.Errorf("%w: extent %d+%d out of range", ErrBadStream, start, count)
@@ -169,6 +194,9 @@ func restoreBody(ctx context.Context, vol storage.Device, r *streamReader, h *st
 			}
 			chunk := buf[:c*storage.BlockSize]
 			if err := r.readFull(chunk); err != nil {
+				if err == io.EOF || err == io.ErrUnexpectedEOF {
+					return torn(fmt.Errorf("%w: stream torn mid-extent", ErrBadStream))
+				}
 				return nil, err
 			}
 			crc.Write(chunk)

@@ -16,9 +16,10 @@ type StreamCheck struct {
 	NBlocks    uint64 // source volume geometry
 	Gen        uint64
 	BaseGen    uint64 // 0 for a full stream
-	BlockCount int    // blocks carried by the stream
-	Extents    int
-	BytesRead  int64
+	BlockCount  int // blocks carried by the stream
+	Extents     int
+	Checkpoints int // checkpoint extents, each checksum-verified
+	BytesRead   int64
 }
 
 // VerifyStream reads an image stream end to end, validating structure
@@ -40,11 +41,18 @@ func VerifyStream(src Source) (*StreamCheck, error) {
 		}
 		start := binary.LittleEndian.Uint32(ext[0:])
 		count := binary.LittleEndian.Uint32(ext[4:])
-		if start == 0xFFFFFFFF {
+		if start == EndSentinel {
 			if crc.Sum32() != count {
 				return nil, ErrBadChecksum
 			}
 			break
+		}
+		if start == CkptSentinel {
+			if crc.Sum32() != count {
+				return nil, ErrBadChecksum
+			}
+			check.Checkpoints++
+			continue
 		}
 		if uint64(start)+uint64(count) > h.nblocks || count == 0 {
 			return nil, fmt.Errorf("%w: extent %d+%d out of range", ErrBadStream, start, count)

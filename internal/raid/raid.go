@@ -58,6 +58,12 @@ type Group struct {
 	// become a phantom bottleneck no real full-stripe writer sees).
 	parityRecent [8]int
 	parityNext   int
+
+	// retry bounds recovery of transient member faults before the
+	// group falls back to parity reconstruction.
+	retry        storage.RetryPolicy
+	retries      int // transient-fault retries performed
+	reconstructs int // single-block degraded reads served from parity
 }
 
 // NewGroup builds a RAID-4 group. All disks must have equal size.
@@ -74,7 +80,7 @@ func NewGroup(data []Disk, parity Disk) (*Group, error) {
 	if parity.NumBlocks() != n {
 		return nil, fmt.Errorf("raid: parity disk size %d != %d", parity.NumBlocks(), n)
 	}
-	g := &Group{data: data, parity: parity, failed: -1}
+	g := &Group{data: data, parity: parity, failed: -1, retry: storage.DefaultRetryPolicy()}
 	for i := range g.parityRecent {
 		g.parityRecent[i] = -1
 	}
@@ -115,28 +121,79 @@ func (g *Group) ReadBlock(ctx context.Context, bno int, buf []byte) error {
 	}
 	disk, dblock := g.locate(bno)
 	if disk != g.failed {
-		return g.data[disk].ReadBlock(ctx, dblock, buf)
+		return g.readMember(ctx, disk, dblock, buf)
 	}
 	return g.reconstruct(ctx, dblock, buf)
+}
+
+// SetRetryPolicy replaces the group's transient-fault retry policy.
+func (g *Group) SetRetryPolicy(p storage.RetryPolicy) { g.retry = p }
+
+// RecoveryStats returns how many transient-fault retries the group has
+// performed and how many single-block reads it has served degraded
+// (reconstructed from parity because the owning block was unreadable).
+func (g *Group) RecoveryStats() (retries, reconstructs int) {
+	return g.retries, g.reconstructs
+}
+
+// readRetry reads dblock of member disk d, retrying transient faults
+// under the group's policy with backoff charged to the simulated
+// clock. Persistent errors come back to the caller.
+func (g *Group) readRetry(ctx context.Context, d Disk, dblock int, buf []byte) error {
+	err := d.ReadBlock(ctx, dblock, buf)
+	for attempt := 1; storage.IsTransient(err) && attempt <= g.retry.MaxRetries; attempt++ {
+		g.retries++
+		g.retry.Charge(ctx, attempt)
+		err = d.ReadBlock(ctx, dblock, buf)
+	}
+	return err
+}
+
+// readMember reads dblock of data disk i. A transient fault is
+// retried; a persistent one (latent sector error) is served in
+// degraded mode by reconstructing the block from the stripe's peers
+// plus parity, without declaring the whole disk failed.
+func (g *Group) readMember(ctx context.Context, i, dblock int, buf []byte) error {
+	err := g.readRetry(ctx, g.data[i], dblock, buf)
+	if err == nil {
+		return nil
+	}
+	if rerr := g.reconstructSkip(ctx, i, dblock, buf); rerr != nil {
+		return fmt.Errorf("raid: disk %d block %d unreadable (%w); reconstruction failed: %v", i, dblock, err, rerr)
+	}
+	g.reconstructs++
+	return nil
 }
 
 // reconstruct rebuilds the failed disk's block dblock into buf by
 // XOR-ing the same stripe position on every surviving disk plus parity.
 func (g *Group) reconstruct(ctx context.Context, dblock int, buf []byte) error {
+	return g.reconstructSkip(ctx, g.failed, dblock, buf)
+}
+
+// reconstructSkip rebuilds disk skip's block dblock from the other
+// members plus parity. It refuses when a different disk is already
+// wholly failed (double failure). Peer reads retry transient faults
+// but do not recurse into reconstruction: two bad blocks in one
+// stripe are genuinely unrecoverable in RAID-4.
+func (g *Group) reconstructSkip(ctx context.Context, skip, dblock int, buf []byte) error {
+	if g.failed >= 0 && g.failed != skip {
+		return ErrDoubleFailure
+	}
 	clear(buf)
 	scratch := bufpool.Get(storage.BlockSize)
 	defer bufpool.Put(scratch)
 	tmp := *scratch
 	for i, d := range g.data {
-		if i == g.failed {
+		if i == skip {
 			continue
 		}
-		if err := d.ReadBlock(ctx, dblock, tmp); err != nil {
+		if err := g.readRetry(ctx, d, dblock, tmp); err != nil {
 			return err
 		}
 		xorInto(buf, tmp)
 	}
-	if err := g.parity.ReadBlock(ctx, dblock, tmp); err != nil {
+	if err := g.readRetry(ctx, g.parity, dblock, tmp); err != nil {
 		return err
 	}
 	xorInto(buf, tmp)
@@ -172,13 +229,13 @@ func (g *Group) WriteBlock(ctx context.Context, bno int, data []byte) error {
 		if err := g.reconstruct(ctx, dblock, old); err != nil {
 			return err
 		}
-	} else if err := g.data[disk].ReadBlock(untimed, dblock, old); err != nil {
+	} else if err := g.readMember(untimed, disk, dblock, old); err != nil {
 		return err
 	}
 	parBuf := bufpool.Get(storage.BlockSize)
 	defer bufpool.Put(parBuf)
 	par := *parBuf
-	if err := g.parity.ReadBlock(untimed, dblock, par); err != nil {
+	if err := g.readRetry(untimed, g.parity, dblock, par); err != nil {
 		return err
 	}
 	xorInto(par, old)

@@ -23,12 +23,7 @@ import (
 // reconstruction.
 func (g *Group) ReadRun(ctx context.Context, bno, n int, buf []byte) error {
 	if g.failed >= 0 {
-		for i := 0; i < n; i++ {
-			if err := g.ReadBlock(ctx, bno+i, buf[i*storage.BlockSize:(i+1)*storage.BlockSize]); err != nil {
-				return err
-			}
-		}
-		return nil
+		return g.readRunDegraded(ctx, bno, n, buf)
 	}
 	nd := len(g.data)
 	if nd == 1 {
@@ -36,7 +31,7 @@ func (g *Group) ReadRun(ctx context.Context, bno, n int, buf []byte) error {
 		// straight into the caller's buffer, no de-striping copy.
 		done, err := g.data[0].ReadRunAsync(ctx, bno, n, buf)
 		if err != nil {
-			return err
+			return g.readRunDegraded(ctx, bno, n, buf)
 		}
 		if p := sim.ProcFrom(ctx); p != nil && done > 0 {
 			p.WaitUntil(done)
@@ -58,7 +53,10 @@ func (g *Group) ReadRun(ctx context.Context, bno, n int, buf []byte) error {
 		tmp := (*scratch)[:count*storage.BlockSize]
 		done, err := g.data[k].ReadRunAsync(ctx, first/nd, count, tmp)
 		if err != nil {
-			return err
+			// A fault inside a member's sub-run: abandon the fast
+			// path and recover block by block, so a single latent
+			// sector costs one reconstruction, not the whole dump.
+			return g.readRunDegraded(ctx, bno, n, buf)
 		}
 		if done > latest {
 			latest = done
@@ -71,6 +69,18 @@ func (g *Group) ReadRun(ctx context.Context, bno, n int, buf []byte) error {
 	}
 	if p := sim.ProcFrom(ctx); p != nil && latest > 0 {
 		p.WaitUntil(latest)
+	}
+	return nil
+}
+
+// readRunDegraded is the per-block slow path behind ReadRun: each
+// block goes through ReadBlock, which retries transient faults and
+// reconstructs persistently unreadable blocks from parity.
+func (g *Group) readRunDegraded(ctx context.Context, bno, n int, buf []byte) error {
+	for i := 0; i < n; i++ {
+		if err := g.ReadBlock(ctx, bno+i, buf[i*storage.BlockSize:(i+1)*storage.BlockSize]); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -87,6 +87,25 @@ func (v *Volume) Groups() []*Group { return v.groups }
 // Traffic returns cumulative bytes read from and written to the volume.
 func (v *Volume) Traffic() (read, written int64) { return v.bytesRead, v.bytesWritten }
 
+// SetRetryPolicy replaces the transient-fault retry policy on every
+// group in the volume.
+func (v *Volume) SetRetryPolicy(p storage.RetryPolicy) {
+	for _, g := range v.groups {
+		g.SetRetryPolicy(p)
+	}
+}
+
+// RecoveryStats sums transient-fault retries and degraded-mode block
+// reconstructions across the volume's groups.
+func (v *Volume) RecoveryStats() (retries, reconstructs int) {
+	for _, g := range v.groups {
+		r, c := g.RecoveryStats()
+		retries += r
+		reconstructs += c
+	}
+	return retries, reconstructs
+}
+
 // locate maps a volume block to (group, group-local block).
 func (v *Volume) locate(bno int) (*Group, int, error) {
 	if bno < 0 || bno >= v.total {

@@ -8,6 +8,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 )
 
@@ -167,6 +168,14 @@ type FaultDevice struct {
 	failReads map[int]error // per-block read errors
 	reads     int
 	writes    int
+
+	// Probabilistic injection state (see faults.go); prof == nil when
+	// only the deterministic Fail/FailRead API is in play.
+	prof       *FaultProfile
+	rng        *rand.Rand
+	transient  map[int]int // block -> failed attempts still owed before heal
+	totalReads int         // block reads observed, for FaultProfile.SkipReads
+	stats      FaultStats
 }
 
 // NewFaultDevice wraps inner with fault injection initially disabled.
@@ -218,6 +227,10 @@ func (d *FaultDevice) ReadBlock(ctx context.Context, bno int, buf []byte) error 
 		d.mu.Unlock()
 		return err
 	}
+	if err := d.readFault(bno, false); err != nil {
+		d.mu.Unlock()
+		return err
+	}
 	d.reads++
 	d.mu.Unlock()
 	return d.Inner.ReadBlock(ctx, bno, buf)
@@ -229,6 +242,10 @@ func (d *FaultDevice) WriteBlock(ctx context.Context, bno int, data []byte) erro
 	if d.failed {
 		d.mu.Unlock()
 		return ErrFailed
+	}
+	if err := d.writeFault(bno); err != nil {
+		d.mu.Unlock()
+		return err
 	}
 	d.writes++
 	d.mu.Unlock()
@@ -248,8 +265,13 @@ func (d *FaultDevice) ReadRun(ctx context.Context, bno, n int, buf []byte) error
 		return ErrFailed
 	}
 	bad, badErr := -1, error(nil)
+	runAt := d.runFaultIndex(n)
 	for i := 0; i < n; i++ {
 		if err, ok := d.failReads[bno+i]; ok {
+			bad, badErr = i, err
+			break
+		}
+		if err := d.readFault(bno+i, i == runAt); err != nil {
 			bad, badErr = i, err
 			break
 		}
@@ -268,12 +290,21 @@ func (d *FaultDevice) ReadRun(ctx context.Context, bno, n int, buf []byte) error
 	return badErr
 }
 
-// WriteRun implements RunDevice.
+// WriteRun implements RunDevice. A probabilistic write fault inside
+// the run fails the whole run before any block is written; the
+// write-behind layers above make a partial stripe indistinguishable
+// from none anyway.
 func (d *FaultDevice) WriteRun(ctx context.Context, bno, n int, buf []byte) error {
 	d.mu.Lock()
 	if d.failed {
 		d.mu.Unlock()
 		return ErrFailed
+	}
+	for i := 0; i < n; i++ {
+		if err := d.writeFault(bno + i); err != nil {
+			d.mu.Unlock()
+			return err
+		}
 	}
 	d.writes += n
 	d.mu.Unlock()

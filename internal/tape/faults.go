@@ -1,0 +1,121 @@
+package tape
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Fault errors for the media model.
+var (
+	// ErrMediaWrite classifies media write errors; match with
+	// errors.Is. The concrete error is a *MediaError.
+	ErrMediaWrite = errors.New("tape: media write error")
+	// ErrOffline is returned once a drive has dropped offline (power,
+	// SCSI bus, robot arm); it stays down until SetOffline(false).
+	ErrOffline = errors.New("tape: drive offline")
+)
+
+// MediaError is an injected media write fault. A transient error
+// clears on retry (a soft write error the drive recovers by
+// rewriting); a persistent one marks the cartridge bad — every later
+// write to it fails, though records already on it remain readable.
+type MediaError struct {
+	Transient bool
+	Record    int // record index at which the fault hit
+}
+
+func (e *MediaError) Error() string {
+	kind := "persistent"
+	if e.Transient {
+		kind = "transient"
+	}
+	return fmt.Sprintf("tape: %s media write error at record %d", kind, e.Record)
+}
+
+// Is lets errors.Is(err, ErrMediaWrite) match.
+func (e *MediaError) Is(target error) bool { return target == ErrMediaWrite }
+
+// IsTransientMedia reports whether err is a transient media write
+// error worth retrying on the same cartridge.
+func IsTransientMedia(err error) bool {
+	var me *MediaError
+	return errors.As(err, &me) && me.Transient
+}
+
+// FaultConfig arms seeded probabilistic faults on a drive.
+type FaultConfig struct {
+	// Seed initialises the drive's private rand.Rand.
+	Seed int64
+	// WriteFault is the per-record probability of a media write error.
+	WriteFault float64
+	// Transient is the fraction of media write errors that are
+	// transient; the rest damage the cartridge.
+	Transient float64
+	// OfflineAfterRecords drops the drive offline right after this
+	// many successful record writes (0 = never) — the mid-dump
+	// power/robot failure that forces a checkpoint restart.
+	OfflineAfterRecords int
+}
+
+// InjectFaults arms cfg on the drive. Deterministic injections via
+// FailNextWrite and SetOffline work whether or not a config is armed.
+func (d *Drive) InjectFaults(cfg FaultConfig) {
+	d.faults = &cfg
+	d.rng = rand.New(rand.NewSource(cfg.Seed))
+}
+
+// FailNextWrite queues a deterministic media error for the next
+// WriteRecord. Multiple calls queue multiple errors, so a test can
+// fail the first write on a fresh cartridge too.
+func (d *Drive) FailNextWrite(transient bool) {
+	d.pendingFail = append(d.pendingFail, transient)
+}
+
+// SetOffline forces the drive offline (true) or returns it to service
+// (false) — the operator power-cycling the library.
+func (d *Drive) SetOffline(off bool) { d.offline = off }
+
+// Offline reports whether the drive is offline.
+func (d *Drive) Offline() bool { return d.offline }
+
+// MediaErrors returns how many media write errors the drive has
+// surfaced (injected deterministically or probabilistically).
+func (d *Drive) MediaErrors() int { return d.mediaErrors }
+
+// Damaged reports whether the cartridge has a latched write fault.
+func (c *Cartridge) Damaged() bool { return c.damaged }
+
+// writeFault decides whether this WriteRecord faults, consuming any
+// queued deterministic failure first.
+func (d *Drive) writeFault() error {
+	if len(d.pendingFail) > 0 {
+		tr := d.pendingFail[0]
+		d.pendingFail = d.pendingFail[1:]
+		if !tr {
+			d.cart.damaged = true
+		}
+		d.mediaErrors++
+		return &MediaError{Transient: tr, Record: len(d.cart.records)}
+	}
+	if d.faults == nil || d.faults.WriteFault <= 0 {
+		return nil
+	}
+	if d.skipDraw {
+		// The previous draw produced a transient error; let the retry
+		// of the same record through instead of re-rolling the dice,
+		// so "transient" keeps its meaning under any WriteFault rate.
+		d.skipDraw = false
+		return nil
+	}
+	if d.rng.Float64() >= d.faults.WriteFault {
+		return nil
+	}
+	d.mediaErrors++
+	if d.rng.Float64() < d.faults.Transient {
+		d.skipDraw = true
+		return &MediaError{Transient: true, Record: len(d.cart.records)}
+	}
+	d.cart.damaged = true
+	return &MediaError{Record: len(d.cart.records)}
+}

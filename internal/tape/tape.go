@@ -9,6 +9,7 @@ package tape
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"repro/internal/sim"
@@ -60,6 +61,7 @@ type Cartridge struct {
 	Label   string
 	records []record
 	used    int64
+	damaged bool // latched by a persistent media write error
 }
 
 // record is one tape record or a file mark.
@@ -122,6 +124,15 @@ type Drive struct {
 	bytesWritten int64
 	bytesRead    int64
 	changes      int
+
+	// Fault-injection state (see faults.go).
+	faults         *FaultConfig
+	rng            *rand.Rand
+	pendingFail    []bool // queued deterministic media errors (transient?)
+	skipDraw       bool   // next probabilistic draw suppressed (retry of a transient)
+	offline        bool
+	mediaErrors    int
+	recordsWritten int // successful data-record writes, for OfflineAfterRecords
 }
 
 // NewDrive creates a drive named name. env may be nil for untimed use.
@@ -153,6 +164,9 @@ func (d *Drive) AddCartridges(carts ...*Cartridge) {
 // Load mounts the next stacker cartridge, unloading any current one
 // back to the rear of the stacker. It charges the change latency.
 func (d *Drive) Load(p *sim.Proc) error {
+	if d.offline {
+		return ErrOffline
+	}
 	if len(d.stacker) == 0 {
 		return ErrNoCartridge
 	}
@@ -197,22 +211,36 @@ func (d *Drive) Rewind(p *sim.Proc) {
 // Load the next cartridge and retry. Writes are buffered: the caller
 // blocks only when the drive buffer is full.
 func (d *Drive) WriteRecord(p *sim.Proc, data []byte) error {
+	if d.offline {
+		return ErrOffline
+	}
 	if d.cart == nil {
 		return ErrNoCartridge
 	}
 	if len(data) == 0 {
 		return errors.New("tape: empty record")
 	}
+	if d.cart.damaged {
+		return &MediaError{Record: len(d.cart.records)}
+	}
 	if d.params.Capacity > 0 && d.cart.used+int64(len(data)) > d.params.Capacity {
 		return ErrEndOfMedia
+	}
+	if err := d.writeFault(); err != nil {
+		return err
 	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
 	d.cart.records = append(d.cart.records, record{data: cp})
 	d.cart.used += int64(len(data))
 	d.bytesWritten += int64(len(data))
+	d.recordsWritten++
 	if d.station != nil {
 		d.station.Async(p, d.params.PerRecord+sim.TimeFor(len(data), d.params.Rate))
+	}
+	if d.faults != nil && d.faults.OfflineAfterRecords > 0 && d.recordsWritten >= d.faults.OfflineAfterRecords {
+		// The record made it to tape; the drive drops dead after it.
+		d.offline = true
 	}
 	return nil
 }
@@ -247,6 +275,9 @@ func (d *Drive) Flush(p *sim.Proc) {
 // which is why the paper's logical restore shows tape utilization
 // under 100% while the filesystem path is the bottleneck.
 func (d *Drive) ReadRecord(p *sim.Proc) ([]byte, error) {
+	if d.offline {
+		return nil, ErrOffline
+	}
 	if d.cart == nil {
 		return nil, ErrNoCartridge
 	}

@@ -87,11 +87,18 @@ type Disk struct {
 	readHeads  headSet
 	writeHeads headSet
 
+	// retry bounds the drive's own recovery of transient read faults
+	// when the store is a fault-injecting device; the backoff is
+	// charged to the simulated clock.
+	retry  storage.RetryPolicy
+	faults *storage.FaultDevice
+
 	// Counters for the benchmark harness. Atomic so harness goroutines
 	// can sample them while concurrent sim procs drive the disk.
 	readBlocks  atomic.Int64
 	writeBlocks atomic.Int64
 	seeks       atomic.Int64
+	retries     atomic.Int64
 }
 
 // New creates a disk of n blocks. env may be nil for untimed use.
@@ -101,6 +108,7 @@ func New(env *sim.Env, name string, n int, p Params) *Disk {
 		params:     p,
 		readHeads:  newHeadSet(),
 		writeHeads: newHeadSet(),
+		retry:      storage.DefaultRetryPolicy(),
 	}
 	if env != nil {
 		d.station = sim.NewStation(env, name, p.WriteBehind)
@@ -119,6 +127,30 @@ func (d *Disk) Station() *sim.Station { return d.station }
 func (d *Disk) Stats() (reads, writes, seeks int64) {
 	return d.readBlocks.Load(), d.writeBlocks.Load(), d.seeks.Load()
 }
+
+// InjectFaults interposes a fault-injecting layer between the drive's
+// timing model and its block store and arms it with p. Calling it
+// again re-arms the same layer. The returned FaultDevice exposes the
+// deterministic Fail/FailRead API and injection stats.
+func (d *Disk) InjectFaults(p storage.FaultProfile) *storage.FaultDevice {
+	if d.faults == nil {
+		d.faults = storage.NewFaultDevice(d.store)
+		d.store = d.faults
+	}
+	d.faults.Arm(p)
+	return d.faults
+}
+
+// Faults returns the drive's fault layer, or nil if InjectFaults was
+// never called.
+func (d *Disk) Faults() *storage.FaultDevice { return d.faults }
+
+// SetRetryPolicy replaces the drive's transient-fault retry policy.
+func (d *Disk) SetRetryPolicy(p storage.RetryPolicy) { d.retry = p }
+
+// Retries returns how many transient-fault retries the drive has
+// performed.
+func (d *Disk) Retries() int64 { return d.retries.Load() }
 
 // runCost computes the cost of an n-block run starting at bno against
 // a head set, and reports whether it counted as a seek. The best head
@@ -161,7 +193,9 @@ func (d *Disk) runCost(hs *headSet, bno, n int) (time.Duration, bool) {
 // the caller waits for the data.
 func (d *Disk) ReadBlock(ctx context.Context, bno int, buf []byte) error {
 	if err := d.store.ReadBlock(ctx, bno, buf); err != nil {
-		return err
+		if err = d.retryRead(ctx, err, bno, 1, buf); err != nil {
+			return err
+		}
 	}
 	d.readBlocks.Add(1)
 	if p := sim.ProcFrom(ctx); p != nil {
@@ -194,7 +228,9 @@ func (d *Disk) Prefetch(ctx context.Context, bno int) {
 // over large runs instead of paying one per block.
 func (d *Disk) ReadRun(ctx context.Context, bno, n int, buf []byte) error {
 	if err := d.store.ReadRun(ctx, bno, n, buf); err != nil {
-		return err
+		if err = d.retryRead(ctx, err, bno, n, buf); err != nil {
+			return err
+		}
 	}
 	d.readBlocks.Add(int64(n))
 	if p := sim.ProcFrom(ctx); p != nil {
@@ -210,7 +246,9 @@ func (d *Disk) ReadRun(ctx context.Context, bno, n int, buf []byte) error {
 // disks of a striped read.
 func (d *Disk) ReadRunAsync(ctx context.Context, bno, n int, buf []byte) (sim.Time, error) {
 	if err := d.store.ReadRun(ctx, bno, n, buf); err != nil {
-		return 0, err
+		if err = d.retryRead(ctx, err, bno, n, buf); err != nil {
+			return 0, err
+		}
 	}
 	d.readBlocks.Add(int64(n))
 	var done sim.Time
@@ -247,6 +285,24 @@ func (d *Disk) WriteBlock(ctx context.Context, bno int, data []byte) error {
 		d.station.Async(p, svc)
 	}
 	return nil
+}
+
+// retryRead recovers a failed store read by re-reading the whole run
+// up to MaxRetries times while the error stays transient, sleeping
+// the policy's backoff on the simulated clock before each attempt.
+// The first error err is what the initial read returned; the final
+// (possibly persistent) error is returned when retries are exhausted.
+func (d *Disk) retryRead(ctx context.Context, err error, bno, n int, buf []byte) error {
+	for attempt := 1; storage.IsTransient(err) && attempt <= d.retry.MaxRetries; attempt++ {
+		d.retries.Add(1)
+		d.retry.Charge(ctx, attempt)
+		if n == 1 {
+			err = d.store.ReadBlock(ctx, bno, buf)
+		} else {
+			err = d.store.ReadRun(ctx, bno, n, buf)
+		}
+	}
+	return err
 }
 
 // Flush blocks until all buffered writes have reached media.
