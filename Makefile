@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 race bench-smoke build vet test chaos fuzz-smoke
+.PHONY: tier1 race bench-smoke build vet test chaos fuzz-smoke transport-race
 
 tier1: ## vet + build + full test suite (the repo's gate)
 	$(GO) vet ./...
@@ -20,6 +20,10 @@ race: ## race-detector pass over the data-path packages and the root suite
 	$(GO) test -race ./internal/storage/ ./internal/vdev/ ./internal/dumpfmt/ \
 		./internal/physical/ ./internal/raid/ ./internal/logical/ ./internal/bufpool/ \
 		./internal/tape/ ./internal/chaos/ .
+
+transport-race: ## race-detector pass over the remote session layer
+	$(GO) test -race -count 1 -run Transport -timeout 120s \
+		./internal/transport/ ./internal/ndmp/ ./cmd/backupctl/
 
 chaos: ## seeded fault-injection property tests, wide seed sweep
 	CHAOS_SEEDS=8 $(GO) test -count 1 -v -run 'TestChaos' ./internal/chaos/

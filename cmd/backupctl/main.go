@@ -187,6 +187,8 @@ func run(args []string) error {
 		return nil
 	case "bench":
 		return benchCommand(rest)
+	case "serve":
+		return serveCommand(rest)
 	}
 
 	// Everything else mounts the volume.
@@ -476,6 +478,8 @@ func volumeCommand(ctx context.Context, fs *wafl.FS, vol, cmd string, rest []str
 		fmt.Printf("restored %d files (%d skipped, %d deleted, %d links)\n",
 			stats.FilesRestored, stats.FilesSkipped, stats.Deleted, stats.LinksMade)
 		return nil
+	case "push":
+		return pushCommand(ctx, fs, vol, rest)
 	case "imagedump":
 		set := flag.NewFlagSet("imagedump", flag.ContinueOnError)
 		out := set.String("o", "", "output stream file")

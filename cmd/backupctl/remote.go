@@ -1,0 +1,247 @@
+// Remote backup: backupctl serve turns a host into a stream
+// receiver, backupctl push drives a dump across TCP into it. Both
+// ends speak the ndmp session protocol, so a push survives the same
+// link faults the chaos suite injects: lost or corrupted frames are
+// replayed from the send window after a redial, and a dead receiver
+// surfaces as a typed error that restarts the dump from its last
+// acknowledged checkpoint on a fresh stream.
+//
+//	backupctl serve -listen :9000 -o /backups/home.dump -once
+//	backupctl -vol home.img push -to filer:9000
+//	backupctl -vol home.img push -to filer:9000 -kind image
+//
+// Each stream of a session lands in its own file: the first at the
+// -o path, resumed streams (after a mid-push failure) beside it with
+// an .s<N> suffix. Restore them in order — all but the last with
+// salvage semantics — exactly like replacement tapes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"repro/internal/logical"
+	"repro/internal/ndmp"
+	"repro/internal/physical"
+	"repro/internal/transport"
+	"repro/internal/wafl"
+)
+
+// streamPath names the file for one stream of a session: the base
+// path for stream 0, base.s<N> for checkpoint-resumed streams.
+func streamPath(base string, stream int) string {
+	if stream == 0 {
+		return base
+	}
+	return fmt.Sprintf("%s.s%d", base, stream)
+}
+
+func serveCommand(rest []string) error {
+	set := flag.NewFlagSet("serve", flag.ContinueOnError)
+	listen := set.String("listen", ":9000", "TCP address to listen on")
+	out := set.String("o", "", "output stream file (resumed streams get .s<N> suffixes)")
+	once := set.Bool("once", false, "exit after one session closes cleanly")
+	idle := set.Duration("idle", 30*time.Second, "drop a connection silent for this long")
+	if err := set.Parse(rest); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("serve: -o required")
+	}
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	fmt.Printf("serving on %s, streams to %s\n", l.Addr(), *out)
+	return serveOn(l, *out, *once, *idle)
+}
+
+// serveOn accepts connections on l and feeds their frames to a single
+// tape host whose sinks are stream files under base. Connections are
+// handled one at a time: a session owns the host until it closes, and
+// a client redialing after a cut first causes the stale connection's
+// read to fail, which drops it back to Accept. Returns after a clean
+// session close when once is set, otherwise serves until l is closed.
+func serveOn(l net.Listener, base string, once bool, idle time.Duration) error {
+	var open []*fileSink
+	closeAll := func() {
+		for _, s := range open {
+			s.Close()
+		}
+		open = open[:0]
+	}
+	defer closeAll()
+	host := ndmp.NewHost(func(h ndmp.Hello) (ndmp.Sink, error) {
+		path := streamPath(base, h.Stream)
+		sink, err := createStream(path, 0)
+		if err != nil {
+			return nil, err
+		}
+		open = append(open, sink)
+		fmt.Printf("receiving session %d stream %d -> %s\n", h.Session, h.Stream, path)
+		return sink, nil
+	})
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		nc := transport.NewNetConn(conn)
+		err = ndmp.Serve(nc, host, idle)
+		nc.Close()
+		if err != nil {
+			// The client redials recoverable faults; keep listening.
+			fmt.Fprintf(os.Stderr, "backupctl: serve: connection dropped: %v\n", err)
+			continue
+		}
+		st := host.Stats()
+		fmt.Printf("session closed: %d stream(s), %d records, %d replayed duplicates\n",
+			st.Streams, st.Records, st.Duplicates)
+		closeAll()
+		if once {
+			return nil
+		}
+	}
+}
+
+func pushCommand(ctx context.Context, fs *wafl.FS, vol string, rest []string) error {
+	set := flag.NewFlagSet("push", flag.ContinueOnError)
+	to := set.String("to", "", "receiver address (host:port)")
+	kind := set.String("kind", "logical", "stream kind: logical or image")
+	level := set.Int("level", 0, "incremental level 0-9 (logical)")
+	snap := set.String("snap", "", "snapshot to dump (image; created if missing)")
+	ckpt := set.Int("ckpt", 0, "checkpoint interval in files (logical) or blocks (image); 0 = default")
+	window := set.Int("window", 0, "session send window in records (0 = protocol default)")
+	session := set.Uint64("session", 0, "session id (0 = derive from clock)")
+	maxResumes := set.Int("max-resumes", 4, "give up after this many checkpoint resumes")
+	dead := set.Duration("dead", 0, "declare the receiver dead after this much silence (0 = protocol default)")
+	if err := set.Parse(rest); err != nil {
+		return err
+	}
+	if *to == "" {
+		return fmt.Errorf("push: -to required")
+	}
+	if *session == 0 {
+		*session = uint64(time.Now().UnixNano())
+	}
+
+	streamKind := byte(ndmp.KindLogical)
+	var lgOpts logical.DumpOptions
+	var phOpts physical.DumpOptions
+	var dates *logical.DumpDates
+	switch *kind {
+	case "logical":
+		if *ckpt <= 0 {
+			*ckpt = 64 // files between resumable checkpoints
+		}
+		dates, _ = loadDates(vol)
+		if err := fs.CreateSnapshot(ctx, "backupctl.push"); err != nil {
+			return err
+		}
+		defer fs.DeleteSnapshot(ctx, "backupctl.push")
+		view, err := fs.SnapshotView("backupctl.push")
+		if err != nil {
+			return err
+		}
+		lgOpts = logical.DumpOptions{
+			View: view, Level: *level, Dates: dates, FSID: vol,
+			Label: "backupctl", ReadAhead: 16, CheckpointEvery: *ckpt,
+		}
+	case "image":
+		streamKind = ndmp.KindImage
+		if *ckpt <= 0 {
+			*ckpt = 256 // blocks between resumable checkpoints
+		}
+		name := *snap
+		if name == "" {
+			name = "backupctl.push"
+		}
+		if _, err := fs.Snapshot(name); err != nil {
+			if err := fs.CreateSnapshot(ctx, name); err != nil {
+				return err
+			}
+		}
+		phOpts = physical.DumpOptions{
+			FS: fs, Vol: fs.Device(), SnapName: name, CheckpointEvery: *ckpt,
+		}
+	default:
+		return fmt.Errorf("push: unknown -kind %q", *kind)
+	}
+
+	dial := func() (transport.Conn, error) {
+		c, err := net.Dial("tcp", *to)
+		if err != nil {
+			return nil, err
+		}
+		return transport.NewNetConn(c), nil
+	}
+
+	// The engine-resume loop: the session absorbs recoverable link
+	// faults internally; only a dead peer or an exhausted redial
+	// budget escapes, and then the dump restarts on a fresh stream
+	// from its last acknowledged checkpoint.
+	reconnects, replayed := 0, 0
+	for attempt := 0; ; attempt++ {
+		if attempt > *maxResumes {
+			return fmt.Errorf("push: gave up after %d checkpoint resumes", *maxResumes)
+		}
+		sess, err := ndmp.Dial(dial, ndmp.Config{
+			Kind: streamKind, Session: *session, Stream: attempt,
+			Window: *window, DeadAfter: *dead, Ctx: ctx,
+		})
+		if err != nil {
+			return fmt.Errorf("push: dial stream %d: %w", attempt, err)
+		}
+
+		var lgStats *logical.DumpStats
+		var phStats *physical.DumpStats
+		if streamKind == ndmp.KindLogical {
+			lgOpts.Sink = sess
+			lgStats, err = logical.Dump(ctx, lgOpts)
+		} else {
+			phOpts.Sink = sess
+			phStats, err = physical.Dump(ctx, phOpts)
+		}
+		if err == nil {
+			err = sess.Close()
+		}
+		st := sess.Stats()
+		reconnects += st.Reconnects
+		replayed += st.Replayed
+		if err == nil {
+			if streamKind == ndmp.KindLogical {
+				if err := saveDates(vol, dates); err != nil {
+					return err
+				}
+				fmt.Printf("pushed %d files, %d dirs, %d bytes (level %d)\n",
+					lgStats.FilesDumped, lgStats.DirsDumped, lgStats.BytesWritten, *level)
+			} else {
+				fmt.Printf("pushed %d blocks (generation %d)\n", phStats.BlocksDumped, phStats.Gen)
+			}
+			fmt.Printf("session %d: %d stream(s), %d acked records, %d reconnects, %d replayed\n",
+				*session, attempt+1, sess.Acked(), reconnects, replayed)
+			return nil
+		}
+		if !errors.Is(err, ndmp.ErrPeerDead) && !errors.Is(err, ndmp.ErrSessionLost) {
+			return fmt.Errorf("push: stream %d: %w", attempt, err)
+		}
+		fmt.Fprintf(os.Stderr, "backupctl: push: stream %d lost (%v)\n", attempt, err)
+		lgOpts.Resume, phOpts.Resume = nil, nil
+		switch {
+		case lgStats != nil && lgStats.Checkpoint != nil:
+			lgOpts.Resume = lgStats.Checkpoint
+			fmt.Fprintf(os.Stderr, "backupctl: push: resuming from acknowledged checkpoint on stream %d\n", attempt+1)
+		case phStats != nil && phStats.Checkpoint != nil:
+			phOpts.Resume = phStats.Checkpoint
+			fmt.Fprintf(os.Stderr, "backupctl: push: resuming from acknowledged checkpoint on stream %d\n", attempt+1)
+		default:
+			fmt.Fprintf(os.Stderr, "backupctl: push: no acknowledged checkpoint; restarting stream\n")
+		}
+	}
+}

@@ -23,6 +23,17 @@ type Sink interface {
 	NextVolume() error
 }
 
+// Syncer is optionally implemented by sinks whose WriteRecord accepts
+// records provisionally (a network session with a send window, a deep
+// write-behind buffer). Sync returns once every record accepted so far
+// is durable on media. The dump engines call it after emitting a
+// checkpoint marker, before recording the checkpoint as reached — the
+// checkpoint contract promises everything up to the marker is on tape,
+// and a provisional accept alone cannot promise that.
+type Syncer interface {
+	Sync() error
+}
+
 // Source is where the Reader pulls blocked records from, io.EOF at the
 // end of the dump. Implementations handle cartridge cycling.
 type Source interface {

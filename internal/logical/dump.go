@@ -295,6 +295,14 @@ func Dump(ctx context.Context, opts DumpOptions) (*DumpStats, error) {
 				end()
 				return fail(err)
 			}
+			// A sink that accepts records provisionally must confirm
+			// durability before the checkpoint may vouch for this file.
+			if sy, ok := opts.Sink.(dumpfmt.Syncer); ok {
+				if err := sy.Sync(); err != nil {
+					end()
+					return fail(err)
+				}
+			}
 			st.ckptIno = ino
 			sinceCkpt = 0
 		}

@@ -16,6 +16,7 @@
 package logical
 
 import (
+	"context"
 	"errors"
 	"io"
 
@@ -43,6 +44,9 @@ type DriveSink struct {
 	// Retry bounds transient-media-error retries. Zero value means
 	// storage.DefaultRetryPolicy.
 	Retry storage.RetryPolicy
+	// Ctx, when set, is polled between backoff sleeps so a canceled
+	// dump stops retrying instead of sleeping out the budget.
+	Ctx context.Context
 
 	retries int // transient media errors retried
 	swaps   int // cartridges abandoned to persistent errors
@@ -60,6 +64,9 @@ func (s *DriveSink) WriteRecord(data []byte) error {
 	}
 	err := s.Drive.WriteRecord(s.Proc, data)
 	for attempt := 1; tape.IsTransientMedia(err) && attempt <= retry.MaxRetries; attempt++ {
+		if s.Ctx != nil && s.Ctx.Err() != nil {
+			return s.Ctx.Err()
+		}
 		s.retries++
 		if s.Proc != nil {
 			s.Proc.Sleep(retry.Delay(attempt))
@@ -90,12 +97,32 @@ func (s *DriveSink) NextVolume() error {
 // DriveSource adapts a tape drive to dumpfmt.Source for restore,
 // cycling through stacker cartridges at end of tape and treating file
 // marks and an empty stacker as end of stream.
+//
+// Media read faults get the same bounded retry-with-backoff the write
+// path has had since the dump engines grew fault tolerance: transient
+// errors (a marginal read the drive recovers on a repositioning pass)
+// are retried up to Retry.MaxRetries with backoff charged to the
+// simulated clock; a persistent error — a damaged spot of tape —
+// either propagates (default, verify wants to know) or, with
+// SkipDamaged, spaces past the bad record and keeps reading, leaning
+// on the stream formats' resynchronization to salvage the rest.
 type DriveSource struct {
 	Drive *tape.Drive
 	Proc  *sim.Proc
+	// Retry bounds transient-read retries. Zero value means
+	// storage.DefaultRetryPolicy.
+	Retry storage.RetryPolicy
+	// Ctx, when set, is polled between backoff sleeps so a canceled
+	// restore stops retrying promptly.
+	Ctx context.Context
+	// SkipDamaged spaces past records with persistent read faults
+	// instead of failing the restore.
+	SkipDamaged bool
 
 	volumes int // cartridges consumed so far
 	max     int // stop after this many (0 = until the stacker empties)
+	retries int // transient read errors retried
+	skipped int // damaged records spaced past
 }
 
 // NewDriveSource reads from drive across at most maxVolumes cartridges
@@ -104,9 +131,21 @@ func NewDriveSource(drive *tape.Drive, proc *sim.Proc, maxVolumes int) *DriveSou
 	return &DriveSource{Drive: drive, Proc: proc, max: maxVolumes}
 }
 
+// ReadStats reports transient read retries and damaged records
+// skipped by the source.
+func (s *DriveSource) ReadStats() (retries, skipped int) { return s.retries, s.skipped }
+
 // ReadRecord implements dumpfmt.Source.
 func (s *DriveSource) ReadRecord() ([]byte, error) {
+	retry := s.Retry
+	if retry.MaxRetries == 0 && retry.Initial == 0 {
+		retry = storage.DefaultRetryPolicy()
+	}
+	attempt := 0
 	for {
+		if s.Ctx != nil && s.Ctx.Err() != nil {
+			return nil, s.Ctx.Err()
+		}
 		rec, err := s.Drive.ReadRecord(s.Proc)
 		switch {
 		case err == nil:
@@ -121,6 +160,25 @@ func (s *DriveSource) ReadRecord() ([]byte, error) {
 			if lerr := s.Drive.Load(s.Proc); lerr != nil {
 				return nil, io.EOF
 			}
+		case tape.IsTransientMedia(err):
+			attempt++
+			if attempt > retry.MaxRetries {
+				return nil, err
+			}
+			s.retries++
+			if s.Proc != nil {
+				s.Proc.Sleep(retry.Delay(attempt))
+			}
+		case errors.Is(err, tape.ErrMediaRead) && s.SkipDamaged:
+			// A latched bad spot: the head is parked before it, so
+			// space one record past and keep going. The dumpfmt
+			// Reader (and physical restore's salvage mode) resync on
+			// the far side.
+			if serr := s.Drive.SpaceRecords(s.Proc, 1); serr != nil {
+				return nil, serr
+			}
+			s.skipped++
+			attempt = 0
 		default:
 			return nil, err
 		}

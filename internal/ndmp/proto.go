@@ -1,0 +1,176 @@
+// Package ndmp is the remote backup session layer, modelled on the
+// Network Data Management Protocol split that the paper's tape
+// architecture assumes: a data mover (the dump engine, client side)
+// pushes a stream to a tape host (server side) that owns the drives.
+//
+// One Session carries either stream format — logical dumpfmt records
+// or physical image extents — because both engines speak the same
+// Sink contract (WriteRecord/NextVolume). The session adds what a
+// lossy wire demands and a local drive never did: cumulative
+// acknowledgments of durably written records, a bounded sliding send
+// window for backpressure, heartbeat-based dead-peer detection, and
+// exponential-backoff reconnect that replays every unacknowledged
+// record idempotently, so a partition mid-dump costs retransmission,
+// never a corrupt or truncated tape.
+package ndmp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/transport"
+)
+
+// Protocol version spoken by both ends.
+const Version = 1
+
+// Message types carried in transport.Frame.Type.
+const (
+	// MsgHello opens (or re-opens) a session: payload names the
+	// stream so the tape host can bind or create the right sink.
+	MsgHello = 0x01
+	// MsgHelloAck answers a Hello with the host's durable high-water
+	// mark, which is what makes reconnect resume instead of restart.
+	MsgHelloAck = 0x02
+	// MsgData carries one record; Frame.Seq orders it.
+	MsgData = 0x03
+	// MsgAck reports the host's cumulative acknowledged sequence.
+	MsgAck = 0x04
+	// MsgHeartbeat probes a silent peer; the host answers with MsgAck.
+	MsgHeartbeat = 0x05
+	// MsgNextVol asks the host to mount the next volume after EOM.
+	MsgNextVol = 0x06
+	// MsgVolAck answers MsgNextVol (distinct from MsgAck so a stale
+	// data ack cannot be mistaken for a completed volume switch).
+	MsgVolAck = 0x07
+	// MsgClose announces a clean end of stream.
+	MsgClose = 0x08
+	// MsgCloseAck confirms the host saw the close.
+	MsgCloseAck = 0x09
+)
+
+// Frame flags.
+const (
+	// FlagAckNow asks the host to acknowledge immediately rather than
+	// batching; clients set it on the last frame of a burst.
+	FlagAckNow = 0x01
+)
+
+// Ack status codes (first payload byte of MsgHelloAck/MsgAck/MsgVolAck).
+const (
+	// AckOK: everything up to the carried sequence is durable.
+	AckOK = 0x00
+	// AckEOM: the current volume is full; the record after the carried
+	// sequence did not fit and the client must request MsgNextVol.
+	AckEOM = 0x01
+	// AckGap: the host saw a sequence jump (frames lost in flight);
+	// the client must replay from the carried sequence + 1.
+	AckGap = 0x02
+	// AckErr: a non-media host-side failure; payload carries a message
+	// and the session is not recoverable by retransmission.
+	AckErr = 0x03
+)
+
+// Stream kinds named in MsgHello, so the tape host can label media.
+const (
+	// KindLogical is a dumpfmt record stream (inode-ordered dump).
+	KindLogical = 0x01
+	// KindImage is a physical block-image extent stream.
+	KindImage = 0x02
+)
+
+// Hello is the session-open payload.
+type Hello struct {
+	Version byte
+	Kind    byte   // KindLogical or KindImage
+	Session uint64 // client-chosen id, constant across reconnects
+	Stream  int    // stream index within the session (volume sequence)
+}
+
+// encodeHello marshals h.
+func encodeHello(h Hello) []byte {
+	buf := make([]byte, 14)
+	buf[0] = h.Version
+	buf[1] = h.Kind
+	binary.LittleEndian.PutUint64(buf[2:], h.Session)
+	binary.LittleEndian.PutUint32(buf[10:], uint32(h.Stream))
+	return buf
+}
+
+// decodeHello unmarshals a Hello payload.
+func decodeHello(p []byte) (Hello, error) {
+	if len(p) < 14 {
+		return Hello{}, fmt.Errorf("%w: hello payload %d bytes", transport.ErrBadFrame, len(p))
+	}
+	return Hello{
+		Version: p[0],
+		Kind:    p[1],
+		Session: binary.LittleEndian.Uint64(p[2:]),
+		Stream:  int(binary.LittleEndian.Uint32(p[10:])),
+	}, nil
+}
+
+// ack is the payload of MsgHelloAck, MsgAck and MsgVolAck: a status
+// byte, the cumulative acknowledged sequence, and (for AckErr) a
+// human-readable reason.
+type ack struct {
+	status byte
+	acked  uint64
+	msg    string
+}
+
+func encodeAck(a ack) []byte {
+	buf := make([]byte, 9+len(a.msg))
+	buf[0] = a.status
+	binary.LittleEndian.PutUint64(buf[1:], a.acked)
+	copy(buf[9:], a.msg)
+	return buf
+}
+
+func decodeAck(p []byte) (ack, error) {
+	if len(p) < 9 {
+		return ack{}, fmt.Errorf("%w: ack payload %d bytes", transport.ErrBadFrame, len(p))
+	}
+	return ack{status: p[0], acked: binary.LittleEndian.Uint64(p[1:]), msg: string(p[9:])}, nil
+}
+
+// RemoteError is a host-side failure relayed over the wire (an AckErr
+// status). It is terminal: retransmission cannot fix a broken stacker
+// or a sink that refused a record for non-media reasons.
+type RemoteError struct {
+	Op  string // what the client was doing
+	Msg string // the host's reason
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("ndmp: remote error during %s: %s", e.Op, e.Msg)
+}
+
+// Typed session failures.
+var (
+	// ErrPeerDead reports heartbeat loss: the peer sent nothing for
+	// the configured DeadAfter window despite probes. Detection is
+	// charged to the (possibly simulated) clock.
+	ErrPeerDead = errors.New("ndmp: peer dead (heartbeat loss)")
+	// ErrSessionLost reports that the redial budget was exhausted
+	// without re-establishing the session; the dump engine should
+	// fall back to checkpoint Resume on a fresh session.
+	ErrSessionLost = errors.New("ndmp: session lost")
+)
+
+// SessionLostError carries the cause of a lost session and how many
+// reconnects succeeded before the budget ran out. errors.Is matches
+// ErrSessionLost.
+type SessionLostError struct {
+	Cause      error
+	Reconnects int
+}
+
+func (e *SessionLostError) Error() string {
+	return fmt.Sprintf("ndmp: session lost after %d reconnects: %v", e.Reconnects, e.Cause)
+}
+func (e *SessionLostError) Unwrap() error { return e.Cause }
+func (e *SessionLostError) Is(target error) bool {
+	return target == ErrSessionLost
+}

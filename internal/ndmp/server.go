@@ -1,0 +1,235 @@
+package ndmp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/dumpfmt"
+	"repro/internal/transport"
+)
+
+// Sink is the durable record consumer a Host writes to — structurally
+// the same contract both dump engines emit (dumpfmt.Sink and
+// physical.Sink): WriteRecord returns dumpfmt.ErrEndOfMedia when the
+// volume is full, and NextVolume mounts the next cartridge.
+type Sink interface {
+	WriteRecord(rec []byte) error
+	NextVolume() error
+}
+
+// SinkFactory opens the durable sink for one stream of a session. The
+// host calls it on the first Hello naming that stream; re-Hellos of
+// the current stream (reconnects) rebind without reopening.
+type SinkFactory func(hello Hello) (Sink, error)
+
+// HostStats counts protocol events on the tape-host side.
+type HostStats struct {
+	Streams    int   // sinks opened
+	Records    int64 // records durably written
+	Duplicates int   // replayed frames already on media
+	Gaps       int   // sequence jumps (loss detected)
+	BadFrames  int   // undecodable frames received
+	Heartbeats int   // probes answered
+	NextVols   int   // volume switches served
+}
+
+// Host is the tape-host side of a session: it owns the sink, tracks
+// the durable high-water mark, and answers frames. It is driven
+// entirely by HandleFrame, so the same code serves a simulated link
+// (as a transport.Handler) and a TCP listener (via Serve).
+type Host struct {
+	mu      sync.Mutex
+	factory SinkFactory
+
+	session uint64
+	stream  int
+	sink    Sink
+	acked   uint64 // cumulative: records 1..acked are durable
+	eom     bool   // current volume full; awaiting MsgNextVol
+	stats   HostStats
+}
+
+// NewHost creates a host that opens sinks through factory.
+func NewHost(factory SinkFactory) *Host {
+	return &Host{factory: factory, stream: -1}
+}
+
+// Stats returns a snapshot of the host's counters.
+func (h *Host) Stats() HostStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stats
+}
+
+// Acked returns the durable high-water mark of the current stream.
+func (h *Host) Acked() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.acked
+}
+
+// HandleFrame consumes one raw frame and returns the frames to send
+// back. It implements transport.Handler, which is how a simulated
+// tape host stays on the client's virtual clock.
+func (h *Host) HandleFrame(raw []byte) [][]byte {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	f, err := transport.Decode(raw)
+	if err != nil {
+		// A frame mangled in flight: treat it as lost, but tell the
+		// client where we are so it can replay without waiting for a
+		// window-full stall.
+		h.stats.BadFrames++
+		return h.ackFrames(MsgAck, ack{status: AckGap, acked: h.acked})
+	}
+	switch f.Type {
+	case MsgHello:
+		return h.handleHello(f)
+	case MsgData:
+		return h.handleData(f)
+	case MsgHeartbeat:
+		h.stats.Heartbeats++
+		return h.ackFrames(MsgAck, ack{status: h.status(), acked: h.acked})
+	case MsgNextVol:
+		return h.handleNextVol()
+	case MsgClose:
+		return h.ackFrames(MsgCloseAck, ack{status: h.status(), acked: h.acked})
+	default:
+		// Unknown type: ignore (forward compatibility); say nothing.
+		return nil
+	}
+}
+
+// status folds the EOM latch into an ack status.
+func (h *Host) status() byte {
+	if h.eom {
+		return AckEOM
+	}
+	return AckOK
+}
+
+func (h *Host) ackFrames(typ byte, a ack) [][]byte {
+	return [][]byte{transport.Encode(&transport.Frame{
+		Type:    typ,
+		Seq:     a.acked,
+		Payload: encodeAck(a),
+	})}
+}
+
+func (h *Host) handleHello(f *transport.Frame) [][]byte {
+	hello, err := decodeHello(f.Payload)
+	if err != nil {
+		h.stats.BadFrames++
+		return h.ackFrames(MsgAck, ack{status: AckGap, acked: h.acked})
+	}
+	if hello.Version != Version {
+		return h.ackFrames(MsgHelloAck, ack{status: AckErr,
+			msg: fmt.Sprintf("version %d not supported", hello.Version)})
+	}
+	if h.sink == nil || hello.Session != h.session || hello.Stream != h.stream {
+		// A genuinely new stream: open its sink and reset the stream
+		// state. A re-Hello of the current stream (reconnect) skips
+		// this and reports the durable high-water mark unchanged.
+		sink, err := h.factory(hello)
+		if err != nil {
+			return h.ackFrames(MsgHelloAck, ack{status: AckErr, msg: err.Error()})
+		}
+		h.session = hello.Session
+		h.stream = hello.Stream
+		h.sink = sink
+		h.acked = 0
+		h.eom = false
+		h.stats.Streams++
+	}
+	return h.ackFrames(MsgHelloAck, ack{status: h.status(), acked: h.acked})
+}
+
+func (h *Host) handleData(f *transport.Frame) [][]byte {
+	if h.sink == nil {
+		return h.ackFrames(MsgAck, ack{status: AckErr, msg: "data before hello"})
+	}
+	switch {
+	case f.Seq <= h.acked:
+		// Idempotent replay: already durable, re-ack so the client
+		// can slide its window.
+		h.stats.Duplicates++
+		return h.ackFrames(MsgAck, ack{status: h.status(), acked: h.acked})
+	case f.Seq > h.acked+1:
+		// Loss: nack with the high-water mark; client replays.
+		h.stats.Gaps++
+		return h.ackFrames(MsgAck, ack{status: AckGap, acked: h.acked})
+	}
+	if h.eom {
+		// Volume still full; remind the client.
+		return h.ackFrames(MsgAck, ack{status: AckEOM, acked: h.acked})
+	}
+	err := h.sink.WriteRecord(f.Payload)
+	switch {
+	case err == nil:
+		h.acked = f.Seq
+		h.stats.Records++
+		if f.Flags&FlagAckNow != 0 {
+			return h.ackFrames(MsgAck, ack{status: AckOK, acked: h.acked})
+		}
+		return nil
+	case errors.Is(err, dumpfmt.ErrEndOfMedia):
+		// The record did not fit. It is NOT durable: latch EOM and
+		// report the high-water mark so the client re-sends it after
+		// the volume switch.
+		h.eom = true
+		return h.ackFrames(MsgAck, ack{status: AckEOM, acked: h.acked})
+	default:
+		return h.ackFrames(MsgAck, ack{status: AckErr, acked: h.acked, msg: err.Error()})
+	}
+}
+
+func (h *Host) handleNextVol() [][]byte {
+	if h.sink == nil {
+		return h.ackFrames(MsgVolAck, ack{status: AckErr, msg: "next-vol before hello"})
+	}
+	if !h.eom {
+		// Duplicate request (our VolAck was lost): the switch already
+		// happened; confirm idempotently.
+		return h.ackFrames(MsgVolAck, ack{status: AckOK, acked: h.acked})
+	}
+	if err := h.sink.NextVolume(); err != nil {
+		return h.ackFrames(MsgVolAck, ack{status: AckErr, acked: h.acked, msg: err.Error()})
+	}
+	h.eom = false
+	h.stats.NextVols++
+	return h.ackFrames(MsgVolAck, ack{status: AckOK, acked: h.acked})
+}
+
+// Serve pumps frames from a real connection through the host until
+// the peer closes or idleTimeout passes with no traffic. It returns
+// nil on a clean MsgClose, io.EOF-ish errors from the conn otherwise.
+// Used by backupctl serve; simulated links attach HandleFrame
+// directly instead.
+func Serve(conn transport.Conn, host *Host, idleTimeout time.Duration) error {
+	if idleTimeout <= 0 {
+		idleTimeout = 30 * time.Second
+	}
+	for {
+		raw, err := conn.Recv(idleTimeout)
+		if err != nil {
+			if errors.Is(err, transport.ErrTimeout) {
+				return fmt.Errorf("ndmp: serve: idle for %v: %w", idleTimeout, ErrPeerDead)
+			}
+			return err
+		}
+		var closing bool
+		if f, derr := transport.Decode(raw); derr == nil && f.Type == MsgClose {
+			closing = true
+		}
+		for _, resp := range host.HandleFrame(raw) {
+			if err := conn.Send(resp); err != nil {
+				return err
+			}
+		}
+		if closing {
+			return nil
+		}
+	}
+}

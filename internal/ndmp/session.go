@@ -1,0 +1,522 @@
+package ndmp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/dumpfmt"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// Dialer opens a fresh connection to the tape host. On a simulated
+// link it returns the same endpoint (the wire persists, the
+// conversation restarts); over TCP it dials anew.
+type Dialer func() (transport.Conn, error)
+
+// Config tunes a Session. Zero values take the documented defaults.
+type Config struct {
+	// Kind labels the stream (KindLogical or KindImage).
+	Kind byte
+	// Session is a client-chosen id, constant across reconnects.
+	Session uint64
+	// Stream is the volume-sequence index within the session.
+	Stream int
+	// Window bounds unacknowledged records in flight (default 16).
+	// WriteRecord blocks — charging the simulated clock — once the
+	// window is full: this is the backpressure that keeps a fast
+	// dump from burying a slow tape host.
+	Window int
+	// HeartbeatEvery is the silence interval after which the client
+	// probes the peer (default 250ms).
+	HeartbeatEvery time.Duration
+	// DeadAfter is the total silence after which the peer is declared
+	// dead with ErrPeerDead (default 2s). Measured on the same clock
+	// the connection runs on — virtual for simulated links.
+	DeadAfter time.Duration
+	// Redial bounds reconnect attempts after a recoverable connection
+	// failure, with exponential backoff charged to the simulated
+	// clock. The zero value takes DefaultRedialPolicy; a negative
+	// MaxRetries disables reconnecting entirely.
+	Redial storage.RetryPolicy
+	// Ctx, when set, is polled between waits so cancellation
+	// interrupts retry and reconnect loops promptly.
+	Ctx context.Context
+	// Proc, when set, charges redial backoff to the virtual clock.
+	// Falls back to the proc carried in Ctx.
+	Proc *sim.Proc
+}
+
+// DefaultRedialPolicy allows six reconnect attempts with 10ms
+// exponential backoff — generous next to the sub-second partitions
+// the chaos scenarios inject, small next to a dump's runtime.
+func DefaultRedialPolicy() storage.RetryPolicy {
+	return storage.RetryPolicy{MaxRetries: 6, Initial: 10 * time.Millisecond, Multiplier: 2}
+}
+
+// SessionStats counts client-side protocol events.
+type SessionStats struct {
+	Records        int64 // records accepted into the stream
+	Replayed       int   // record retransmissions (gap, EOM or reconnect)
+	Reconnects     int   // successful re-dials
+	HeartbeatsSent int
+	Timeouts       int // receive deadlines that expired
+	BadFrames      int // undecodable frames received
+}
+
+// pending is one unacknowledged record in the send window.
+type pending struct {
+	seq  uint64
+	data []byte
+}
+
+// Session is the data-mover side of a remote backup stream. It
+// implements the engines' sink contract (WriteRecord/NextVolume), so
+// a logical dump and a physical image dump thread through it
+// unchanged; Close drains the window and must succeed before the
+// dump may be reported durable.
+//
+// Sequence numbers start at 1; acked is cumulative. The window holds
+// every record the host has not yet acknowledged, which makes replay
+// after a gap, an end-of-media retry, or a reconnect the same
+// operation: retransmit window entries above the high-water mark.
+type Session struct {
+	cfg  Config
+	dial Dialer
+	conn transport.Conn
+
+	window      []pending
+	acked       uint64 // host's durable high-water mark
+	nextSeq     uint64 // next sequence to assign
+	sentThrough uint64 // highest seq transmitted on the current conn
+	maxSent     uint64 // highest seq ever transmitted (replay stats)
+	eom         bool   // host reported end of media
+	silence     time.Duration
+	closed      bool
+	stats       SessionStats
+}
+
+// Dial opens a session: connect, handshake, learn the host's durable
+// high-water mark. Recoverable failures are retried per cfg.Redial.
+func Dial(dial Dialer, cfg Config) (*Session, error) {
+	if cfg.Window <= 0 {
+		cfg.Window = 16
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = 250 * time.Millisecond
+	}
+	if cfg.DeadAfter <= 0 {
+		cfg.DeadAfter = 2 * time.Second
+	}
+	if cfg.Redial.MaxRetries == 0 && cfg.Redial.Initial == 0 {
+		cfg.Redial = DefaultRedialPolicy()
+	}
+	s := &Session{cfg: cfg, dial: dial, nextSeq: 1}
+	if err := s.connect(); err != nil {
+		if isTerminal(err) {
+			return nil, err
+		}
+		if err = s.reconnect(err); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Stats returns a snapshot of the session's counters.
+func (s *Session) Stats() SessionStats { return s.stats }
+
+// Acked returns the host's durable high-water mark as last heard.
+func (s *Session) Acked() uint64 { return s.acked }
+
+func (s *Session) ctxErr() error {
+	if s.cfg.Ctx != nil {
+		return s.cfg.Ctx.Err()
+	}
+	return nil
+}
+
+func (s *Session) proc() *sim.Proc {
+	if s.cfg.Proc != nil {
+		return s.cfg.Proc
+	}
+	if s.cfg.Ctx != nil {
+		return sim.ProcFrom(s.cfg.Ctx)
+	}
+	return nil
+}
+
+// isTerminal reports errors that reconnect-and-replay cannot fix:
+// cancellation, a declared-dead peer, an exhausted redial budget, or
+// a host-side failure relayed over the wire.
+func isTerminal(err error) bool {
+	var re *RemoteError
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, ErrPeerDead) ||
+		errors.Is(err, ErrSessionLost) ||
+		errors.As(err, &re)
+}
+
+// slideTo advances the high-water mark, dropping acknowledged window
+// entries.
+func (s *Session) slideTo(acked uint64) {
+	if acked <= s.acked {
+		return
+	}
+	i := 0
+	for i < len(s.window) && s.window[i].seq <= acked {
+		i++
+	}
+	s.window = s.window[i:]
+	s.acked = acked
+	if s.sentThrough < acked {
+		s.sentThrough = acked
+	}
+}
+
+// connect dials and handshakes. On success the host's high-water
+// mark has been folded in and unacknowledged records are marked for
+// retransmission — the resume handshake in one round trip.
+func (s *Session) connect() error {
+	if s.conn != nil {
+		s.conn.Close()
+	}
+	conn, err := s.dial()
+	if err != nil {
+		return err
+	}
+	s.conn = conn
+	hello := transport.Encode(&transport.Frame{Type: MsgHello, Flags: FlagAckNow,
+		Payload: encodeHello(Hello{Version: Version, Kind: s.cfg.Kind, Session: s.cfg.Session, Stream: s.cfg.Stream})})
+	a, err := s.request(hello, MsgHelloAck)
+	if err != nil {
+		return err
+	}
+	if a.status == AckErr {
+		return &RemoteError{Op: "hello", Msg: a.msg}
+	}
+	if a.acked < s.acked {
+		return &RemoteError{Op: "hello",
+			Msg: fmt.Sprintf("host high-water mark %d below client's %d (host lost stream state)", a.acked, s.acked)}
+	}
+	s.slideTo(a.acked)
+	s.eom = a.status == AckEOM
+	s.sentThrough = s.acked
+	s.silence = 0
+	return nil
+}
+
+// reconnect runs the exponential-backoff redial loop after cause.
+// Backoff is charged to the simulated clock when one is attached.
+func (s *Session) reconnect(cause error) error {
+	for attempt := 1; attempt <= s.cfg.Redial.MaxRetries; attempt++ {
+		if err := s.ctxErr(); err != nil {
+			return err
+		}
+		if p := s.proc(); p != nil {
+			p.Sleep(s.cfg.Redial.Delay(attempt))
+		}
+		err := s.connect()
+		if err == nil {
+			s.stats.Reconnects++
+			return nil
+		}
+		if isTerminal(err) {
+			return err
+		}
+		cause = err
+	}
+	return &SessionLostError{Cause: cause, Reconnects: s.stats.Reconnects}
+}
+
+// request sends req and waits for a response frame of the wanted
+// type, resending req on every receive timeout (the resend doubles
+// as a heartbeat; all our requests are idempotent on the host).
+// Other acks that arrive meanwhile still slide the window.
+func (s *Session) request(req []byte, want byte) (ack, error) {
+	if err := s.conn.Send(req); err != nil {
+		return ack{}, err
+	}
+	var silence time.Duration
+	for {
+		if err := s.ctxErr(); err != nil {
+			return ack{}, err
+		}
+		raw, err := s.conn.Recv(s.cfg.HeartbeatEvery)
+		if err != nil {
+			if !errors.Is(err, transport.ErrTimeout) {
+				return ack{}, err
+			}
+			s.stats.Timeouts++
+			silence += s.cfg.HeartbeatEvery
+			if silence >= s.cfg.DeadAfter {
+				return ack{}, fmt.Errorf("no answer for %v: %w", silence, ErrPeerDead)
+			}
+			if err := s.conn.Send(req); err != nil {
+				return ack{}, err
+			}
+			continue
+		}
+		silence = 0
+		f, derr := transport.Decode(raw)
+		if derr != nil {
+			s.stats.BadFrames++
+			continue
+		}
+		if f.Type == want {
+			a, aerr := decodeAck(f.Payload)
+			if aerr != nil {
+				s.stats.BadFrames++
+				continue
+			}
+			return a, nil
+		}
+		if err := s.handleFrame(f); err != nil {
+			return ack{}, err
+		}
+	}
+}
+
+// transmit sends every window entry above sentThrough. Entries at or
+// past half occupancy request an immediate ack, which keeps the ack
+// stream sparse on a healthy link yet bounds how far the host's
+// high-water mark can lag.
+func (s *Session) transmit() error {
+	if s.eom {
+		return nil // no point pumping a full volume
+	}
+	for i := range s.window {
+		p := &s.window[i]
+		if p.seq <= s.sentThrough {
+			continue
+		}
+		var flags byte
+		if (p.seq-s.acked)*2 >= uint64(s.cfg.Window) {
+			flags = FlagAckNow
+		}
+		raw := transport.Encode(&transport.Frame{Type: MsgData, Flags: flags, Seq: p.seq, Payload: p.data})
+		if err := s.conn.Send(raw); err != nil {
+			return err
+		}
+		if p.seq <= s.maxSent {
+			s.stats.Replayed++
+		} else {
+			s.maxSent = p.seq
+		}
+		s.sentThrough = p.seq
+	}
+	return nil
+}
+
+// probe sends a heartbeat; the host answers with its current status,
+// which doubles as an ack solicitation.
+func (s *Session) probe() error {
+	s.stats.HeartbeatsSent++
+	return s.conn.Send(transport.Encode(&transport.Frame{Type: MsgHeartbeat, Flags: FlagAckNow}))
+}
+
+// recvOnce waits one heartbeat interval for a frame and processes
+// it. Accumulated silence past DeadAfter surfaces ErrPeerDead.
+func (s *Session) recvOnce() error {
+	raw, err := s.conn.Recv(s.cfg.HeartbeatEvery)
+	if err != nil {
+		if !errors.Is(err, transport.ErrTimeout) {
+			return err
+		}
+		s.stats.Timeouts++
+		s.silence += s.cfg.HeartbeatEvery
+		if s.silence >= s.cfg.DeadAfter {
+			return fmt.Errorf("no traffic for %v: %w", s.silence, ErrPeerDead)
+		}
+		return s.probe()
+	}
+	s.silence = 0
+	f, derr := transport.Decode(raw)
+	if derr != nil {
+		// A frame mangled on the way back: ask for a status resend.
+		s.stats.BadFrames++
+		return s.probe()
+	}
+	return s.handleFrame(f)
+}
+
+// handleFrame folds one received ack into the window state.
+func (s *Session) handleFrame(f *transport.Frame) error {
+	if f.Type != MsgAck {
+		return nil // stale handshake/volume/close acks carry nothing new
+	}
+	a, err := decodeAck(f.Payload)
+	if err != nil {
+		s.stats.BadFrames++
+		return nil
+	}
+	switch a.status {
+	case AckErr:
+		return &RemoteError{Op: "data", Msg: a.msg}
+	case AckGap:
+		// Frames lost in flight: replay everything unacknowledged.
+		s.slideTo(a.acked)
+		s.sentThrough = s.acked
+	case AckEOM:
+		s.slideTo(a.acked)
+		s.eom = true
+	default:
+		s.slideTo(a.acked)
+	}
+	return nil
+}
+
+// advance transmits the backlog and processes acks until cond holds,
+// reconnecting (with replay) on recoverable connection failures.
+func (s *Session) advance(cond func() bool) error {
+	for {
+		if err := s.ctxErr(); err != nil {
+			return err
+		}
+		err := s.transmit()
+		if err == nil {
+			if cond() {
+				return nil
+			}
+			err = s.recvOnce()
+		}
+		if err != nil {
+			if isTerminal(err) {
+				return err
+			}
+			if err = s.reconnect(err); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// WriteRecord implements the sink contract over the wire: append the
+// record to the send window, transmit, and block only when the
+// window is full. ErrEndOfMedia is returned for exactly the record
+// that did not fit — it is withdrawn from the window so the engine's
+// resubmission after NextVolume is not a duplicate.
+func (s *Session) WriteRecord(rec []byte) error {
+	if s.closed {
+		return errors.New("ndmp: write on closed session")
+	}
+	if err := s.ctxErr(); err != nil {
+		return err
+	}
+	if s.eom {
+		return dumpfmt.ErrEndOfMedia
+	}
+	seq := s.nextSeq
+	s.nextSeq++
+	cp := make([]byte, len(rec))
+	copy(cp, rec)
+	s.window = append(s.window, pending{seq: seq, data: cp})
+	s.stats.Records++
+	if err := s.advance(func() bool { return s.eom || len(s.window) < s.cfg.Window }); err != nil {
+		return err
+	}
+	if s.eom && s.acked < seq && len(s.window) > 0 && s.window[len(s.window)-1].seq == seq {
+		// The volume filled at (or before) our record and ours is the
+		// youngest unacknowledged one: withdraw it and report EOM, so
+		// the engine retries this exact record on the next volume.
+		// Older unacknowledged records stay in the window and replay
+		// there first, preserving stream order.
+		s.window = s.window[:len(s.window)-1]
+		s.nextSeq = seq
+		s.stats.Records--
+		return dumpfmt.ErrEndOfMedia
+	}
+	return nil
+}
+
+// NextVolume asks the host to mount the next cartridge, then marks
+// the unacknowledged backlog for replay onto it. Idempotent on the
+// host, so lost requests and lost confirmations are both retried
+// safely; a reconnect that lands after the switch already happened
+// simply returns.
+func (s *Session) NextVolume() error {
+	if s.closed {
+		return errors.New("ndmp: next-volume on closed session")
+	}
+	req := transport.Encode(&transport.Frame{Type: MsgNextVol, Flags: FlagAckNow})
+	for {
+		if err := s.ctxErr(); err != nil {
+			return err
+		}
+		a, err := s.request(req, MsgVolAck)
+		if err != nil {
+			if isTerminal(err) {
+				return err
+			}
+			if err = s.reconnect(err); err != nil {
+				return err
+			}
+			if !s.eom {
+				return nil // handshake says the switch already happened
+			}
+			continue
+		}
+		if a.status == AckErr {
+			return &RemoteError{Op: "next-volume", Msg: a.msg}
+		}
+		s.slideTo(a.acked)
+		s.eom = false
+		s.sentThrough = s.acked
+		return nil
+	}
+}
+
+// Sync drains the send window, blocking until every record accepted
+// so far is acknowledged durable. It implements dumpfmt.Syncer: the
+// dump engines call it after emitting a checkpoint marker, which is
+// what makes a checkpoint over the wire mean the same thing it means
+// on a local drive — everything up to the marker is on tape. End of
+// media can surface mid-drain (provisionally accepted tail records
+// did not fit); the volume switch that a local drive would have
+// demanded one write earlier is driven here.
+func (s *Session) Sync() error {
+	if s.closed {
+		return errors.New("ndmp: sync on closed session")
+	}
+	_ = s.probe() // solicit the tail acks; failures recover in advance
+	for {
+		if err := s.advance(func() bool { return len(s.window) == 0 || s.eom }); err != nil {
+			return err
+		}
+		if len(s.window) == 0 {
+			return nil
+		}
+		if err := s.NextVolume(); err != nil {
+			return err
+		}
+	}
+}
+
+// Close drains the send window — every record must be acknowledged
+// durable before the dump may be reported complete — then announces
+// a clean end of stream (best effort: once the data is durable, a
+// lost goodbye costs nothing).
+func (s *Session) Close() error {
+	if s.closed {
+		return nil
+	}
+	err := s.Sync()
+	if err == nil {
+		req := transport.Encode(&transport.Frame{Type: MsgClose, Flags: FlagAckNow})
+		if _, cerr := s.request(req, MsgCloseAck); cerr != nil {
+			var re *RemoteError
+			if errors.As(cerr, &re) {
+				err = cerr
+			}
+		}
+	}
+	s.closed = true
+	if s.conn != nil {
+		s.conn.Close()
+	}
+	return err
+}

@@ -333,6 +333,13 @@ func Dump(ctx context.Context, opts DumpOptions) (*DumpStats, error) {
 				if err := w.flushPartial(); err != nil {
 					return fail(err)
 				}
+				// A provisional-accept sink (network session) must drain
+				// before the checkpoint may vouch for these blocks.
+				if sy, ok := opts.Sink.(dumpfmt.Syncer); ok {
+					if err := sy.Sync(); err != nil {
+						return fail(err)
+					}
+				}
 				ckptDone = skipped + dumped
 				sinceCkpt = 0
 			}

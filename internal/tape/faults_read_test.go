@@ -1,0 +1,110 @@
+package tape
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func readyDrive(t *testing.T, records int) *Drive {
+	t.Helper()
+	d := NewDrive(nil, "t0", DefaultParams())
+	d.AddCartridges(NewCartridge("a"))
+	if err := d.Load(nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < records; i++ {
+		if err := d.WriteRecord(nil, []byte{byte('r'), byte('0' + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Rewind(nil)
+	return d
+}
+
+// TestReadFaultTransientDoesNotAdvance: a transient read error leaves
+// the head parked, so the retry returns the very record that faulted.
+func TestReadFaultTransientDoesNotAdvance(t *testing.T) {
+	d := readyDrive(t, 3)
+	d.FailNextRead(true)
+	_, err := d.ReadRecord(nil)
+	if !errors.Is(err, ErrMediaRead) || !IsTransientMedia(err) {
+		t.Fatalf("want transient media read error, got %v", err)
+	}
+	if errors.Is(err, ErrMediaWrite) {
+		t.Fatal("read error must not classify as a write error")
+	}
+	rec, err := d.ReadRecord(nil)
+	if err != nil || !bytes.Equal(rec, []byte("r0")) {
+		t.Fatalf("retry got %q / %v, want the faulted record", rec, err)
+	}
+	if d.MediaErrors() != 1 || d.Loaded().BadRecords() != 0 {
+		t.Fatalf("errors=%d bad=%d, want 1 transient, nothing latched",
+			d.MediaErrors(), d.Loaded().BadRecords())
+	}
+}
+
+// TestReadFaultPersistentLatches: a persistent read error damages the
+// spot of tape — every re-read fails, even after a rewind — but
+// spacing past it reaches the intact neighbours.
+func TestReadFaultPersistentLatches(t *testing.T) {
+	d := readyDrive(t, 3)
+	d.FailNextRead(false)
+	for attempt := 0; attempt < 3; attempt++ {
+		_, err := d.ReadRecord(nil)
+		if !errors.Is(err, ErrMediaRead) || IsTransientMedia(err) {
+			t.Fatalf("attempt %d: want persistent read error, got %v", attempt, err)
+		}
+	}
+	if err := d.SpaceRecords(nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := d.ReadRecord(nil)
+	if err != nil || !bytes.Equal(rec, []byte("r1")) {
+		t.Fatalf("after spacing past the bad spot got %q / %v", rec, err)
+	}
+	d.Rewind(nil)
+	if _, err := d.ReadRecord(nil); !errors.Is(err, ErrMediaRead) {
+		t.Fatalf("bad spot healed across rewind: %v", err)
+	}
+	if d.Loaded().BadRecords() != 1 {
+		t.Fatalf("bad records = %d, want 1", d.Loaded().BadRecords())
+	}
+}
+
+// TestReadFaultSeededReproduces: the probabilistic read-fault stream
+// is a pure function of the seed and operation sequence.
+func TestReadFaultSeededReproduces(t *testing.T) {
+	run := func() (faults int, got int) {
+		d := readyDrive(t, 40)
+		d.InjectFaults(FaultConfig{Seed: 77, ReadFault: 0.3, ReadTransient: 0.5})
+		for {
+			_, err := d.ReadRecord(nil)
+			switch {
+			case err == nil:
+				got++
+			case IsTransientMedia(err):
+				// bounded retry: the post-fault draw is suppressed
+			case errors.Is(err, ErrMediaRead):
+				if serr := d.SpaceRecords(nil, 1); serr != nil {
+					t.Fatal(serr)
+				}
+			case errors.Is(err, ErrEndOfTape):
+				return d.MediaErrors(), got
+			default:
+				t.Fatal(err)
+			}
+		}
+	}
+	f1, g1 := run()
+	f2, g2 := run()
+	if f1 != f2 || g1 != g2 {
+		t.Fatalf("same seed diverged: %d/%d vs %d/%d", f1, g1, f2, g2)
+	}
+	if f1 == 0 {
+		t.Fatal("read faults never fired")
+	}
+	if g1 == 40 {
+		t.Fatal("expected at least one latched record to be lost")
+	}
+}

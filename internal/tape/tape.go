@@ -58,10 +58,11 @@ func DefaultParams() Params {
 // marks. Cartridges survive being unloaded, so a restore can reload
 // what a backup wrote — or a different filer can (cross-restore).
 type Cartridge struct {
-	Label   string
-	records []record
-	used    int64
-	damaged bool // latched by a persistent media write error
+	Label    string
+	records  []record
+	used     int64
+	damaged  bool         // latched by a persistent media write error
+	badReads map[int]bool // record indexes latched unreadable
 }
 
 // record is one tape record or a file mark.
@@ -126,13 +127,15 @@ type Drive struct {
 	changes      int
 
 	// Fault-injection state (see faults.go).
-	faults         *FaultConfig
-	rng            *rand.Rand
-	pendingFail    []bool // queued deterministic media errors (transient?)
-	skipDraw       bool   // next probabilistic draw suppressed (retry of a transient)
-	offline        bool
-	mediaErrors    int
-	recordsWritten int // successful data-record writes, for OfflineAfterRecords
+	faults          *FaultConfig
+	rng             *rand.Rand
+	pendingFail     []bool // queued deterministic media write errors (transient?)
+	pendingReadFail []bool // queued deterministic media read errors (transient?)
+	skipDraw        bool   // next probabilistic write draw suppressed (retry of a transient)
+	skipReadDraw    bool   // next probabilistic read draw suppressed (retry of a transient)
+	offline         bool
+	mediaErrors     int
+	recordsWritten  int // successful data-record writes, for OfflineAfterRecords
 }
 
 // NewDrive creates a drive named name. env may be nil for untimed use.
@@ -285,10 +288,17 @@ func (d *Drive) ReadRecord(p *sim.Proc) ([]byte, error) {
 		return nil, ErrEndOfTape
 	}
 	r := d.cart.records[d.pos]
-	d.pos++
 	if r.mark {
+		d.pos++
 		return nil, ErrFileMark
 	}
+	// Media read faults surface before the head advances: a transient
+	// retry re-reads this record, a persistent fault parks the head
+	// before the bad spot (SpaceRecords skips past it).
+	if err := d.readFault(); err != nil {
+		return nil, err
+	}
+	d.pos++
 	d.bytesRead += int64(len(r.data))
 	if d.station != nil {
 		d.station.Async(p, d.params.PerRecord+sim.TimeFor(len(r.data), d.params.Rate))

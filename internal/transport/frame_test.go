@@ -1,0 +1,42 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestTransportFrameRoundTrip(t *testing.T) {
+	f := &Frame{Type: 3, Flags: 1, Seq: 0xDEADBEEF01, Payload: []byte("ten records of tape")}
+	raw := Encode(f)
+	got, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != f.Type || got.Flags != f.Flags || got.Seq != f.Seq || !bytes.Equal(got.Payload, f.Payload) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, f)
+	}
+	// Empty payloads are legal (heartbeats).
+	raw = Encode(&Frame{Type: 9})
+	if got, err = Decode(raw); err != nil || len(got.Payload) != 0 {
+		t.Fatalf("empty payload: %v %v", got, err)
+	}
+}
+
+func TestTransportFrameDetectsDamage(t *testing.T) {
+	raw := Encode(&Frame{Type: 2, Seq: 42, Payload: bytes.Repeat([]byte{0xAB}, 64)})
+	// Any single flipped byte must fail the decode.
+	for i := range raw {
+		bad := append([]byte(nil), raw...)
+		bad[i] ^= 0xFF
+		if _, err := Decode(bad); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("flip at %d not detected: %v", i, err)
+		}
+	}
+	if _, err := Decode(raw[:HeaderSize-1]); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("truncated preamble not detected: %v", err)
+	}
+	if _, err := Decode(raw[:len(raw)-3]); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("truncated payload not detected: %v", err)
+	}
+}

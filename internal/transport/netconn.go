@@ -1,0 +1,71 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"time"
+)
+
+// NetConn adapts a real net.Conn (backupctl's serve/push path) to the
+// Conn interface. Frames travel verbatim; the receiver re-reads the
+// frame preamble to learn the payload length, so the wire format is
+// identical to the simulated link's.
+type NetConn struct {
+	c net.Conn
+}
+
+// NewNetConn wraps c.
+func NewNetConn(c net.Conn) *NetConn { return &NetConn{c: c} }
+
+// Send implements Conn.
+func (n *NetConn) Send(raw []byte) error {
+	_, err := n.c.Write(raw)
+	return err
+}
+
+// Recv implements Conn: it reads exactly one frame, honoring timeout
+// as a wall-clock read deadline (0 or negative polls). A frame whose
+// preamble is unparseable poisons the byte stream, so it surfaces as
+// ErrBadFrame and the caller should re-dial.
+func (n *NetConn) Recv(timeout time.Duration) ([]byte, error) {
+	if timeout <= 0 {
+		timeout = time.Millisecond
+	}
+	if err := n.c.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, HeaderSize)
+	if _, err := io.ReadFull(n.c, hdr); err != nil {
+		return nil, mapNetErr(err)
+	}
+	if [4]byte(hdr[:4]) != frameMagic {
+		return nil, fmt.Errorf("%w: bad magic on the wire", ErrBadFrame)
+	}
+	plen := binary.LittleEndian.Uint32(hdr[14:])
+	if plen > MaxPayload {
+		return nil, fmt.Errorf("%w: payload length %d", ErrBadFrame, plen)
+	}
+	raw := make([]byte, HeaderSize+int(plen))
+	copy(raw, hdr)
+	if _, err := io.ReadFull(n.c, raw[HeaderSize:]); err != nil {
+		return nil, mapNetErr(err)
+	}
+	return raw, nil
+}
+
+// Close implements Conn.
+func (n *NetConn) Close() error { return n.c.Close() }
+
+// mapNetErr folds wall-clock deadline errors into ErrTimeout so the
+// session layer sees one timeout type on both transports.
+func mapNetErr(err error) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() || errors.Is(err, os.ErrDeadlineExceeded) {
+		return ErrTimeout
+	}
+	return err
+}

@@ -100,3 +100,23 @@ func TestInjectFaultsPreservesData(t *testing.T) {
 		}
 	}
 }
+
+// TestRetryLoopHonorsCancel: a canceled context interrupts the retry
+// backoff loop instead of sleeping out the remaining budget.
+func TestRetryLoopHonorsCancel(t *testing.T) {
+	d := New(nil, "d0", 128, DefaultParams())
+	// A transient fault that never heals within the retry budget, so
+	// without the cancellation check the loop would run all attempts.
+	d.InjectFaults(storage.FaultProfile{
+		Seed: 3, ReadFault: 1, Transient: 1, HealAfter: 100, MaxFaults: 1,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	buf := make([]byte, storage.BlockSize)
+	if err := d.ReadBlock(ctx, 0, buf); !errors.Is(err, context.Canceled) {
+		t.Fatalf("read returned %v, want context.Canceled", err)
+	}
+	if d.Retries() != 0 {
+		t.Fatalf("retries = %d, want 0: canceled before first backoff", d.Retries())
+	}
+}

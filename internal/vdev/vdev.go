@@ -294,6 +294,11 @@ func (d *Disk) WriteBlock(ctx context.Context, bno int, data []byte) error {
 // (possibly persistent) error is returned when retries are exhausted.
 func (d *Disk) retryRead(ctx context.Context, err error, bno, n int, buf []byte) error {
 	for attempt := 1; storage.IsTransient(err) && attempt <= d.retry.MaxRetries; attempt++ {
+		// A canceled dump must not sleep out the rest of the backoff
+		// budget; surface the cancellation between attempts.
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
 		d.retries.Add(1)
 		d.retry.Charge(ctx, attempt)
 		if n == 1 {
