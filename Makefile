@@ -32,6 +32,7 @@ fuzz-smoke: ## brief real fuzzing of the untrusted-input parsers
 	$(GO) test -fuzz FuzzDecodeDirEnts -fuzztime 10s ./internal/logical/
 	$(GO) test -fuzz FuzzUnmarshalHeader -fuzztime 10s ./internal/dumpfmt/
 	$(GO) test -fuzz FuzzStreamHeader -fuzztime 10s ./internal/physical/
+	$(GO) test -fuzz FuzzDecodeJournal -fuzztime 10s ./internal/catalog/
 
 bench-smoke: ## quick fast-path micro-benchmarks (no JSON report)
 	$(GO) test -run xxx -bench 'RunRead|RunWrite|RecordWrite' -benchtime 100x \

@@ -1,7 +1,6 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
 	"runtime"
@@ -17,7 +16,7 @@ import (
 //	backupctl bench -json BENCH_fastpath.json
 //	backupctl bench -cpuprofile cpu.out -memprofile mem.out
 func benchCommand(args []string) error {
-	set := flag.NewFlagSet("bench", flag.ContinueOnError)
+	set := newFlagSet("bench")
 	jsonPath := set.String("json", "BENCH_fastpath.json", "write the report here ('' = skip)")
 	cpuProf := set.String("cpuprofile", "", "write a CPU profile here")
 	memProf := set.String("memprofile", "", "write a heap profile here")

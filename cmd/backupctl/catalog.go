@@ -1,0 +1,519 @@
+// Backup catalog for backupctl: every completed dump/imagedump/push
+// is recorded in an append-only journal beside the volume image
+// (<vol>.catalog), and the catalog — not the operator — answers "which
+// streams, in which order" at restore time:
+//
+//	backupctl -vol home.img catalog                  # list recorded sets
+//	backupctl -vol home.img plan -at 1234            # show the restore chain
+//	backupctl -vol home.img recover -at 1234         # execute it
+//	backupctl -vol home.img recover -file docs/readme
+//	backupctl -vol home.img catalog -expire 3        # retention by hand
+//
+// The serve side keeps its own catalog (<out>.catalog) of pushed
+// streams, built from the session Hello and the stream headers.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/dumpfmt"
+	"repro/internal/logical"
+	"repro/internal/ndmp"
+	"repro/internal/physical"
+	"repro/internal/wafl"
+)
+
+// catalogPath names the journal beside a volume image.
+func catalogPath(vol string) string { return vol + ".catalog" }
+
+// openVolCatalog opens (creating if absent) the catalog beside vol.
+// Callers must Close the returned store.
+func openVolCatalog(vol string) (*catalog.Catalog, *catalog.FileStore, error) {
+	store, err := catalog.OpenFileStore(catalogPath(vol))
+	if err != nil {
+		return nil, nil, err
+	}
+	cat, err := catalog.Open(store)
+	if err != nil {
+		store.Close()
+		return nil, nil, err
+	}
+	if cat.TornBytes > 0 {
+		fmt.Fprintf(os.Stderr, "backupctl: catalog: dropped %d torn trailing bytes (crash mid-append)\n", cat.TornBytes)
+	}
+	return cat, store, nil
+}
+
+// catalogDates returns the dump-date history for vol: derived from the
+// catalog when it has logical sets (the journal is authoritative),
+// otherwise from the legacy <vol>.dumpdates file.
+func catalogDates(cat *catalog.Catalog, vol string) *logical.DumpDates {
+	d := cat.DumpDates()
+	if len(d.Entries()) > 0 {
+		return d
+	}
+	legacy, _ := loadDates(vol)
+	return legacy
+}
+
+// recordLogicalSet journals one completed logical dump.
+func recordLogicalSet(cat *catalog.Catalog, vol, snap, out string, level int, stats *logical.DumpStats, index []catalog.FileIndexEntry) error {
+	id, err := cat.AppendDumpSet(catalog.DumpSet{
+		Engine: catalog.Logical, FSID: vol, Snap: snap,
+		Level: int32(level), Date: stats.Date, BaseDate: stats.BaseDate,
+		Bytes: stats.BytesWritten, Units: int64(stats.FilesDumped),
+		Media: []catalog.MediaRef{{Volume: out}},
+	})
+	if err != nil {
+		return err
+	}
+	if len(index) > 0 {
+		return cat.AppendFileIndex(id, index)
+	}
+	return nil
+}
+
+// recordImageSet journals one completed image dump. Image sets have no
+// filesystem dump date; the snapshot generation is the monotonic clock
+// that orders them, so it doubles as the set's Date for -at planning.
+func recordImageSet(cat *catalog.Catalog, vol, snap, out string, stats *physical.DumpStats) error {
+	_, err := cat.AppendDumpSet(catalog.DumpSet{
+		Engine: catalog.Image, FSID: vol, Snap: snap, Level: -1,
+		Date: int64(stats.Gen), Gen: stats.Gen, BaseGen: stats.BaseGen,
+		NBlocks: stats.NBlocks, Bytes: stats.BytesWritten,
+		Units: int64(stats.BlocksDumped),
+		Media: []catalog.MediaRef{{Volume: out}},
+	})
+	return err
+}
+
+// catalogCommand lists and edits the catalog beside -vol.
+func catalogCommand(vol string, rest []string) error {
+	set := newFlagSet("catalog")
+	media := set.Bool("media", false, "also list media-lifecycle events")
+	files := set.Uint64("files", 0, "print the file index of this set id")
+	expire := set.Uint64("expire", 0, "mark this set id expired (manual retention)")
+	now := set.Int64("now", 0, "timestamp recorded with -expire")
+	if err := set.Parse(rest); err != nil {
+		return err
+	}
+	if vol == "" {
+		return fmt.Errorf("catalog: -vol required")
+	}
+	cat, store, err := openVolCatalog(vol)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+
+	if *expire != 0 {
+		if err := cat.Expire(*expire, *now); err != nil {
+			return err
+		}
+		fmt.Printf("set %d expired\n", *expire)
+		return nil
+	}
+	if *files != 0 {
+		idx := cat.FileIndex(*files)
+		if len(idx) == 0 {
+			return fmt.Errorf("catalog: set %d has no file index", *files)
+		}
+		for _, e := range idx {
+			fmt.Printf("ino=%-6d unit=%-8d %s\n", e.Ino, e.Unit, e.Path)
+		}
+		return nil
+	}
+
+	sets := cat.Sets()
+	if len(sets) == 0 {
+		fmt.Println("catalog is empty")
+		return nil
+	}
+	for _, ds := range sets {
+		state := "live"
+		if when, dead := cat.Expired(ds.ID); dead {
+			state = fmt.Sprintf("expired@%d", when)
+		}
+		var vols []string
+		for _, m := range ds.Media {
+			vols = append(vols, m.Volume)
+		}
+		if ds.Engine == catalog.Image {
+			fmt.Printf("%-3d image   gen=%-6d base=%-6d %8d blocks %10d bytes %-12s %s\n",
+				ds.ID, ds.Gen, ds.BaseGen, ds.Units, ds.Bytes, state, strings.Join(vols, ","))
+		} else {
+			fmt.Printf("%-3d logical lvl=%-2d date=%-8d base=%-8d %6d files %10d bytes %-12s %s\n",
+				ds.ID, ds.Level, ds.Date, ds.BaseDate, ds.Units, ds.Bytes, state, strings.Join(vols, ","))
+		}
+	}
+	if *media {
+		for _, ev := range cat.MediaEvents() {
+			fmt.Printf("media %-10s %s (pool %s) at %d\n", ev.Kind, ev.Volume, ev.Pool, ev.Time)
+		}
+	}
+	return nil
+}
+
+// planFlags is the flag subset plan and recover share.
+func planFlags(set *flag.FlagSet) (engine *string, at *int64, file *string, expired *bool) {
+	engine = set.String("engine", "logical", "dump family to plan from: logical or image")
+	at = set.Int64("at", 0, "target time: newest state dumped at or before this (0 = latest)")
+	file = set.String("file", "", "plan a single-file recovery of this dump-relative path")
+	expired = set.Bool("expired", false, "allow expired sets (media not yet reclaimed)")
+	return
+}
+
+func parseEngine(s string) (catalog.Engine, error) {
+	switch s {
+	case "logical":
+		return catalog.Logical, nil
+	case "image":
+		return catalog.Image, nil
+	}
+	return 0, fmt.Errorf("unknown -engine %q (want logical or image)", s)
+}
+
+// planCommand prints the restore chain the catalog selects.
+func planCommand(vol string, rest []string) error {
+	set := newFlagSet("plan")
+	engine, at, file, expired := planFlags(set)
+	if err := set.Parse(rest); err != nil {
+		return err
+	}
+	if vol == "" {
+		return fmt.Errorf("plan: -vol required")
+	}
+	eng, err := parseEngine(*engine)
+	if err != nil {
+		return fmt.Errorf("plan: %w", err)
+	}
+	cat, store, err := openVolCatalog(vol)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	plan, err := cat.Plan(catalog.PlanOptions{
+		Engine: eng, FSID: vol, At: *at, File: *file, IncludeExpired: *expired,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(plan.String())
+	fmt.Printf("media: %s\n", strings.Join(plan.Media(), " "))
+	return nil
+}
+
+// recoverCommand executes a catalog-selected restore chain: the
+// operator names a time (or file), the catalog names the streams.
+func recoverCommand(ctx context.Context, vol string, rest []string) error {
+	set := newFlagSet("recover")
+	engine, at, file, expired := planFlags(set)
+	target := set.String("target", "/", "directory to graft a logical recovery onto")
+	wipe := set.Bool("wipe", false, "reformat the volume before a full logical recovery (frees snapshot-pinned space)")
+	if err := set.Parse(rest); err != nil {
+		return err
+	}
+	if vol == "" {
+		return fmt.Errorf("recover: -vol required")
+	}
+	eng, err := parseEngine(*engine)
+	if err != nil {
+		return fmt.Errorf("recover: %w", err)
+	}
+	cat, store, err := openVolCatalog(vol)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	plan, err := cat.Plan(catalog.PlanOptions{
+		Engine: eng, FSID: vol, At: *at, File: *file, IncludeExpired: *expired,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(plan.String())
+	if eng == catalog.Image {
+		return recoverImage(ctx, vol, plan)
+	}
+	return recoverLogical(ctx, vol, plan, *target, *wipe)
+}
+
+// recoverLogical mounts vol and applies the chain's streams in order:
+// the full dump first, then each incremental with deletion sync, so
+// the volume converges on the dumped state — files removed between
+// dumps do not survive the recovery.
+func recoverLogical(ctx context.Context, vol string, plan *catalog.Plan, target string, wipe bool) error {
+	dev, err := openOrCreate(vol, 0)
+	if err != nil {
+		return err
+	}
+	defer dev.Close()
+	var fs *wafl.FS
+	if wipe && plan.File == "" {
+		// Disaster-recovery semantics: reformat so snapshot-pinned
+		// blocks don't starve the restore's copy-on-write allocation.
+		fs, err = wafl.Mkfs(ctx, dev, nil, wafl.Options{})
+	} else {
+		fs, err = wafl.Mount(ctx, dev, nil, wafl.Options{})
+	}
+	if err != nil {
+		return err
+	}
+	var files []string
+	if plan.File != "" {
+		files = []string{plan.File}
+	}
+	for i, step := range plan.Steps {
+		for j, ref := range step.Media {
+			src, _, err := openStream(ref.Volume)
+			if err != nil {
+				return fmt.Errorf("recover: set %d media %s: %w", step.ID, ref.Volume, err)
+			}
+			// A resumed set spans several streams; all but the last are
+			// partial and restore with salvage semantics.
+			stats, err := logical.Restore(ctx, logical.RestoreOptions{
+				FS: fs, Source: src, TargetDir: target, Files: files,
+				SyncDeletes: i > 0, KernelIntegrated: true,
+				Salvage: step.Resumed && j < len(step.Media)-1,
+			})
+			if err != nil {
+				return fmt.Errorf("recover: set %d: %w", step.ID, err)
+			}
+			fmt.Printf("step %d/%d: set %d from %s: %d files restored, %d deleted\n",
+				i+1, len(plan.Steps), step.ID, ref.Volume, stats.FilesRestored, stats.Deleted)
+		}
+	}
+	return nil
+}
+
+// recoverImage rebuilds vol from the chain's image streams, or — for a
+// single-file plan — extracts the file offline without writing the
+// volume at all.
+func recoverImage(ctx context.Context, vol string, plan *catalog.Plan) error {
+	sources := func() ([]physical.Source, error) {
+		var out []physical.Source
+		for _, step := range plan.Steps {
+			for _, ref := range step.Media {
+				src, _, err := openStream(ref.Volume)
+				if err != nil {
+					return nil, fmt.Errorf("recover: set %d media %s: %w", step.ID, ref.Volume, err)
+				}
+				out = append(out, src)
+			}
+		}
+		return out, nil
+	}
+	if plan.File != "" {
+		srcs, err := sources()
+		if err != nil {
+			return err
+		}
+		files, err := physical.Extract(ctx, srcs[0], srcs[1:], plan.File)
+		if err != nil {
+			return err
+		}
+		for p, data := range files {
+			out := strings.ReplaceAll(strings.TrimPrefix(p, "/"), "/", "_")
+			if err := os.WriteFile(out, data, 0644); err != nil {
+				return err
+			}
+			fmt.Printf("extracted %s -> %s (%d bytes)\n", p, out, len(data))
+		}
+		return nil
+	}
+
+	dev, err := openOrCreate(vol, int(plan.Steps[0].NBlocks))
+	if err != nil {
+		return err
+	}
+	defer dev.Close()
+	srcs, err := sources()
+	if err != nil {
+		return err
+	}
+	for i, src := range srcs {
+		stats, err := physical.Restore(ctx, physical.RestoreOptions{
+			Vol: dev, Source: src, ExpectIncremental: i > 0,
+		})
+		if err != nil {
+			return fmt.Errorf("recover: step %d: %w", i+1, err)
+		}
+		fmt.Printf("step %d/%d: %d blocks restored (generation %d)\n",
+			i+1, len(srcs), stats.BlocksRestored, stats.Gen)
+	}
+	return nil
+}
+
+// recvStream is one pushed stream the serve side has landed: the wire
+// Hello that announced it plus the file it was written to.
+type recvStream struct {
+	hello ndmp.Hello
+	path  string
+}
+
+// recordReceived journals a cleanly closed push session in the
+// server's own catalog (<base>.catalog). All streams of a session are
+// one dump — checkpoint resumes add streams, not dumps — so they land
+// as a single DumpSet whose Media lists the stream files in replay
+// order. Engine and level come off the wire Hello; dump dates and
+// generations come from the stream headers, so the server's catalog
+// can plan restore chains exactly like the client's.
+func recordReceived(base string, streams []recvStream) error {
+	if len(streams) == 0 {
+		return nil
+	}
+	cat, store, err := openVolCatalog(base)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	hello := streams[0].hello
+	ds := catalog.DumpSet{
+		FSID: hello.FSID, Level: hello.Level,
+		Resumed: len(streams) > 1,
+	}
+	for _, rs := range streams {
+		fi, err := os.Stat(rs.path)
+		if err != nil {
+			return err
+		}
+		ds.Bytes += fi.Size()
+		ds.Media = append(ds.Media, catalog.MediaRef{Volume: rs.path})
+	}
+	if hello.Kind == ndmp.KindImage {
+		src, _, err := openStream(streams[0].path)
+		if err != nil {
+			return err
+		}
+		nblocks, gen, baseGen, _, err := physical.StreamInfo(src)
+		if err != nil {
+			return fmt.Errorf("serve: catalog %s: %w", streams[0].path, err)
+		}
+		ds.Engine = catalog.Image
+		ds.Gen, ds.BaseGen, ds.NBlocks = gen, baseGen, nblocks
+		ds.Date = int64(gen)
+	} else {
+		h, err := peekDumpHeader(streams[0].path)
+		if err != nil {
+			return fmt.Errorf("serve: catalog %s: %w", streams[0].path, err)
+		}
+		ds.Engine = catalog.Logical
+		ds.Date, ds.BaseDate = h.Date, h.DDate
+		ds.Snap = h.Label
+	}
+	_, err = cat.AppendDumpSet(ds)
+	return err
+}
+
+// peekDumpHeader reads the leading TS_TAPE header of a logical stream
+// file — the dump date and base date the catalog needs.
+func peekDumpHeader(path string) (*dumpfmt.Header, error) {
+	src, _, err := openStream(path)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := src.ReadRecord()
+	if err != nil {
+		return nil, err
+	}
+	if len(rec) < dumpfmt.TPBSize {
+		return nil, fmt.Errorf("backupctl: %d-byte leading record", len(rec))
+	}
+	return dumpfmt.UnmarshalHeader(rec[:dumpfmt.TPBSize])
+}
+
+// --- per-command usage (the help subcommand).
+
+type commandDoc struct {
+	name     string
+	synopsis string
+	detail   string
+}
+
+// commandDocs drives both `backupctl help` and each flag set's Usage.
+var commandDocs = []commandDoc{
+	{"mkfs", "mkfs -blocks N", "format -vol as a fresh filesystem"},
+	{"put", "put <hostfile> </fs/path>", "copy a host file into the volume"},
+	{"cat", "cat </fs/path>", "print a file from the volume"},
+	{"ls", "ls [/fs/path]", "list a directory"},
+	{"rm", "rm </fs/path>", "remove a file"},
+	{"snap", "snap create|delete|ls|revert [name]", "manage snapshots"},
+	{"df", "df", "show block and inode usage"},
+	{"fsck", "fsck", "check filesystem consistency"},
+	{"fill", "fill -mb N [-seed N]", "generate a synthetic dataset"},
+	{"age", "age -rounds N [-seed N]", "churn the dataset to fragment it"},
+	{"dump", "dump -o FILE [-level N] [-subtree DIR]", "logical dump; recorded in <vol>.catalog"},
+	{"restore", "restore -i FILE [-file PATH] [-target DIR] [-sync-deletes]", "apply one logical stream"},
+	{"verify", "verify -i FILE [-subtree DIR]", "compare a logical stream against the volume"},
+	{"imagedump", "imagedump -o FILE [-snap NAME] [-base NAME]", "physical image dump; recorded in <vol>.catalog"},
+	{"imagerestore", "imagerestore -i FILE [-incremental]", "apply one image stream to -vol"},
+	{"imageverify", "imageverify -i FILE", "check an image stream's integrity"},
+	{"extract", "extract -i FULL [-incr A,B] PATH...", "pull files out of image streams offline"},
+	{"catalog", "catalog [-media] [-files ID] [-expire ID -now T]", "list or edit the backup catalog"},
+	{"plan", "plan [-engine E] [-at T] [-file PATH] [-expired]", "show the restore chain the catalog selects"},
+	{"recover", "recover [-engine E] [-at T] [-file PATH] [-target DIR] [-wipe]", "execute a catalog-selected restore chain"},
+	{"push", "push -to HOST:PORT [-kind logical|image] [-level N]", "dump across the network to a serve host"},
+	{"serve", "serve -listen ADDR -o FILE [-once]", "receive pushed streams; recorded in <out>.catalog"},
+	{"bench", "bench [-json FILE] [-cpuprofile FILE]", "run the fast-path micro-benchmarks"},
+	{"help", "help [command]", "show usage"},
+}
+
+func findDoc(name string) *commandDoc {
+	for i := range commandDocs {
+		if commandDocs[i].name == name {
+			return &commandDocs[i]
+		}
+	}
+	return nil
+}
+
+// newFlagSet builds a command's flag set whose -h/usage output names
+// the command's synopsis instead of the bare flag dump.
+func newFlagSet(name string) *flag.FlagSet {
+	set := flag.NewFlagSet(name, flag.ContinueOnError)
+	set.Usage = func() {
+		if doc := findDoc(name); doc != nil {
+			fmt.Fprintf(set.Output(), "usage: backupctl [-vol FILE] %s\n  %s\n", doc.synopsis, doc.detail)
+		} else {
+			fmt.Fprintf(set.Output(), "usage: backupctl %s [flags]\n", name)
+		}
+		set.PrintDefaults()
+	}
+	return set
+}
+
+// helpCommand prints the command table, or one command's usage.
+func helpCommand(rest []string) error {
+	if len(rest) > 0 {
+		doc := findDoc(rest[0])
+		if doc == nil {
+			return fmt.Errorf("help: unknown command %q", rest[0])
+		}
+		fmt.Printf("usage: backupctl [-vol FILE] %s\n  %s\n", doc.synopsis, doc.detail)
+		return nil
+	}
+	fmt.Println("usage: backupctl [-vol FILE] <command> [flags]")
+	fmt.Println()
+	names := make([]string, 0, len(commandDocs))
+	width := 0
+	for _, d := range commandDocs {
+		names = append(names, d.name)
+		if len(d.name) > width {
+			width = len(d.name)
+		}
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		d := findDoc(n)
+		fmt.Printf("  %-*s  %s\n", width, d.name, d.detail)
+	}
+	fmt.Println()
+	fmt.Println("run 'backupctl help <command>' for that command's flags.")
+	return nil
+}

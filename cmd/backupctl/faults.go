@@ -2,7 +2,6 @@ package main
 
 import (
 	"context"
-	"flag"
 	"fmt"
 
 	"repro/internal/chaos"
@@ -19,7 +18,7 @@ import (
 //	backupctl --faults -seed 7 -runs 5          # sweep seeds 7..11
 //	backupctl --faults -engine physical -scenario offline
 func faultsCommand(ctx context.Context, args []string) error {
-	set := flag.NewFlagSet("faults", flag.ContinueOnError)
+	set := newFlagSet("faults")
 	seed := set.Int64("seed", 1, "first scenario seed")
 	runs := set.Int("runs", 3, "seeds per scenario")
 	engine := set.String("engine", "both", "logical, physical, or both")

@@ -29,7 +29,6 @@ package main
 import (
 	"context"
 	"encoding/binary"
-	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -37,6 +36,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/catalog"
 	"repro/internal/dumpfmt"
 	"repro/internal/logical"
 	"repro/internal/physical"
@@ -61,14 +61,14 @@ func run(args []string) error {
 		}
 	}
 
-	global := flag.NewFlagSet("backupctl", flag.ContinueOnError)
+	global := newFlagSet("backupctl")
 	vol := global.String("vol", "", "volume image file")
 	if err := global.Parse(args); err != nil {
 		return err
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("no command; see the package comment for usage")
+		return fmt.Errorf("no command; run 'backupctl help'")
 	}
 	cmd, rest := rest[0], rest[1:]
 	ctx := context.Background()
@@ -76,7 +76,7 @@ func run(args []string) error {
 	// Commands that do not need a mounted volume.
 	switch cmd {
 	case "mkfs":
-		fs := flag.NewFlagSet("mkfs", flag.ContinueOnError)
+		fs := newFlagSet("mkfs")
 		blocks := fs.Int("blocks", 16384, "volume size in 4 KB blocks")
 		if err := fs.Parse(rest); err != nil {
 			return err
@@ -95,7 +95,7 @@ func run(args []string) error {
 		fmt.Printf("formatted %s: %d blocks (%d MB)\n", *vol, *blocks, *blocks*wafl.BlockSize>>20)
 		return nil
 	case "imagerestore":
-		fs := flag.NewFlagSet("imagerestore", flag.ContinueOnError)
+		fs := newFlagSet("imagerestore")
 		in := fs.String("i", "", "image stream file")
 		incr := fs.Bool("incremental", false, "apply as incremental on the current volume state")
 		if err := fs.Parse(rest); err != nil {
@@ -126,7 +126,7 @@ func run(args []string) error {
 		fmt.Printf("restored %d blocks (generation %d)\n", stats.BlocksRestored, stats.Gen)
 		return nil
 	case "imageverify":
-		fs := flag.NewFlagSet("imageverify", flag.ContinueOnError)
+		fs := newFlagSet("imageverify")
 		in := fs.String("i", "", "image stream file")
 		if err := fs.Parse(rest); err != nil {
 			return err
@@ -150,7 +150,7 @@ func run(args []string) error {
 			kind, check.Gen, check.BlockCount, check.Extents, check.NBlocks)
 		return nil
 	case "extract":
-		fs := flag.NewFlagSet("extract", flag.ContinueOnError)
+		fs := newFlagSet("extract")
 		in := fs.String("i", "", "full image stream")
 		incr := fs.String("incr", "", "comma-separated incremental streams, oldest first")
 		if err := fs.Parse(rest); err != nil {
@@ -189,6 +189,16 @@ func run(args []string) error {
 		return benchCommand(rest)
 	case "serve":
 		return serveCommand(rest)
+	case "help":
+		return helpCommand(rest)
+	case "catalog":
+		return catalogCommand(*vol, rest)
+	case "plan":
+		return planCommand(*vol, rest)
+	case "recover":
+		// recover mounts (logical) or rewrites (image) the volume
+		// itself, after the catalog has been consulted.
+		return recoverCommand(ctx, *vol, rest)
 	}
 
 	// Everything else mounts the volume.
@@ -328,7 +338,7 @@ func volumeCommand(ctx context.Context, fs *wafl.FS, vol, cmd string, rest []str
 		}
 		return fmt.Errorf("%d problems found", len(problems))
 	case "fill":
-		set := flag.NewFlagSet("fill", flag.ContinueOnError)
+		set := newFlagSet("fill")
 		mb := set.Int("mb", 8, "approximate dataset size in MiB")
 		seed := set.Int64("seed", 1, "generator seed")
 		if err := set.Parse(rest); err != nil {
@@ -349,7 +359,7 @@ func volumeCommand(ctx context.Context, fs *wafl.FS, vol, cmd string, rest []str
 			len(paths), *mb, fs.UsedBlocks())
 		return nil
 	case "age":
-		set := flag.NewFlagSet("age", flag.ContinueOnError)
+		set := newFlagSet("age")
 		rounds := set.Int("rounds", 4, "churn rounds")
 		seed := set.Int64("seed", 2, "churn seed")
 		if err := set.Parse(rest); err != nil {
@@ -380,7 +390,7 @@ func volumeCommand(ctx context.Context, fs *wafl.FS, vol, cmd string, rest []str
 			*rounds, len(alive), fs.UsedBlocks())
 		return nil
 	case "verify":
-		set := flag.NewFlagSet("verify", flag.ContinueOnError)
+		set := newFlagSet("verify")
 		in := set.String("i", "", "dump stream file")
 		subtree := set.String("subtree", "", "dump root used at dump time")
 		if err := set.Parse(rest); err != nil {
@@ -409,7 +419,7 @@ func volumeCommand(ctx context.Context, fs *wafl.FS, vol, cmd string, rest []str
 		}
 		return fmt.Errorf("%d mismatches", len(res.Problems))
 	case "dump":
-		set := flag.NewFlagSet("dump", flag.ContinueOnError)
+		set := newFlagSet("dump")
 		out := set.String("o", "", "output stream file")
 		level := set.Int("level", 0, "incremental level 0-9")
 		subtree := set.String("subtree", "", "dump only this directory")
@@ -419,7 +429,12 @@ func volumeCommand(ctx context.Context, fs *wafl.FS, vol, cmd string, rest []str
 		if *out == "" {
 			return fmt.Errorf("dump: -o required")
 		}
-		dates, _ := loadDates(vol)
+		cat, store, err := openVolCatalog(vol)
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		dates := catalogDates(cat, vol)
 		if err := fs.CreateSnapshot(ctx, "backupctl.dump"); err != nil {
 			return err
 		}
@@ -432,14 +447,23 @@ func volumeCommand(ctx context.Context, fs *wafl.FS, vol, cmd string, rest []str
 		if err != nil {
 			return err
 		}
+		var index []catalog.FileIndexEntry
 		stats, err := logical.Dump(ctx, logical.DumpOptions{
 			View: view, Level: *level, Dates: dates, FSID: vol,
 			Subtree: *subtree, Sink: sink, Label: "backupctl", ReadAhead: 16,
+			FileIndex: func(path string, ino wafl.Inum, unit int64) {
+				index = append(index, catalog.FileIndexEntry{Path: path, Ino: uint32(ino), Unit: unit})
+			},
 		})
 		if err != nil {
 			return err
 		}
 		if err := sink.Close(); err != nil {
+			return err
+		}
+		// The catalog journal is the authoritative record; the legacy
+		// <vol>.dumpdates file is kept in sync for older tooling.
+		if err := recordLogicalSet(cat, vol, "backupctl.dump", *out, *level, stats, index); err != nil {
 			return err
 		}
 		if err := saveDates(vol, dates); err != nil {
@@ -449,7 +473,7 @@ func volumeCommand(ctx context.Context, fs *wafl.FS, vol, cmd string, rest []str
 			stats.FilesDumped, stats.DirsDumped, stats.BytesWritten, *level, stats.BaseDate)
 		return nil
 	case "restore":
-		set := flag.NewFlagSet("restore", flag.ContinueOnError)
+		set := newFlagSet("restore")
 		in := set.String("i", "", "input stream file")
 		target := set.String("target", "/", "directory to graft the dump onto")
 		syncDel := set.Bool("sync-deletes", false, "apply deletions (incremental chains)")
@@ -481,7 +505,7 @@ func volumeCommand(ctx context.Context, fs *wafl.FS, vol, cmd string, rest []str
 	case "push":
 		return pushCommand(ctx, fs, vol, rest)
 	case "imagedump":
-		set := flag.NewFlagSet("imagedump", flag.ContinueOnError)
+		set := newFlagSet("imagedump")
 		out := set.String("o", "", "output stream file")
 		snap := set.String("snap", "", "snapshot to dump (created if missing)")
 		base := set.String("base", "", "base snapshot for an incremental")
@@ -513,11 +537,19 @@ func volumeCommand(ctx context.Context, fs *wafl.FS, vol, cmd string, rest []str
 		if err := sink.Close(); err != nil {
 			return err
 		}
+		cat, store, err := openVolCatalog(vol)
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		if err := recordImageSet(cat, vol, name, *out, stats); err != nil {
+			return err
+		}
 		fmt.Printf("image-dumped %d blocks (generation %d, base %d)\n",
 			stats.BlocksDumped, stats.Gen, stats.BaseGen)
 		return nil
 	}
-	return fmt.Errorf("unknown command %q", cmd)
+	return fmt.Errorf("unknown command %q; run 'backupctl help'", cmd)
 }
 
 // --- stream files: length-prefixed tape records on the host FS.

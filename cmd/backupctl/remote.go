@@ -19,7 +19,6 @@ package main
 import (
 	"context"
 	"errors"
-	"flag"
 	"fmt"
 	"net"
 	"os"
@@ -42,7 +41,7 @@ func streamPath(base string, stream int) string {
 }
 
 func serveCommand(rest []string) error {
-	set := flag.NewFlagSet("serve", flag.ContinueOnError)
+	set := newFlagSet("serve")
 	listen := set.String("listen", ":9000", "TCP address to listen on")
 	out := set.String("o", "", "output stream file (resumed streams get .s<N> suffixes)")
 	once := set.Bool("once", false, "exit after one session closes cleanly")
@@ -70,6 +69,7 @@ func serveCommand(rest []string) error {
 // session close when once is set, otherwise serves until l is closed.
 func serveOn(l net.Listener, base string, once bool, idle time.Duration) error {
 	var open []*fileSink
+	var received []recvStream
 	closeAll := func() {
 		for _, s := range open {
 			s.Close()
@@ -84,7 +84,9 @@ func serveOn(l net.Listener, base string, once bool, idle time.Duration) error {
 			return nil, err
 		}
 		open = append(open, sink)
-		fmt.Printf("receiving session %d stream %d -> %s\n", h.Session, h.Stream, path)
+		received = append(received, recvStream{hello: h, path: path})
+		fmt.Printf("receiving session %d stream %d (fsid %q level %d) -> %s\n",
+			h.Session, h.Stream, h.FSID, h.Level, path)
 		return sink, nil
 	})
 	for {
@@ -104,6 +106,12 @@ func serveOn(l net.Listener, base string, once bool, idle time.Duration) error {
 		fmt.Printf("session closed: %d stream(s), %d records, %d replayed duplicates\n",
 			st.Streams, st.Records, st.Duplicates)
 		closeAll()
+		// The session closed cleanly, so every landed stream is a
+		// completed dump: record them in the server's own catalog.
+		if err := recordReceived(base, received); err != nil {
+			return fmt.Errorf("serve: recording session in catalog: %w", err)
+		}
+		received = received[:0]
 		if once {
 			return nil
 		}
@@ -111,7 +119,7 @@ func serveOn(l net.Listener, base string, once bool, idle time.Duration) error {
 }
 
 func pushCommand(ctx context.Context, fs *wafl.FS, vol string, rest []string) error {
-	set := flag.NewFlagSet("push", flag.ContinueOnError)
+	set := newFlagSet("push")
 	to := set.String("to", "", "receiver address (host:port)")
 	kind := set.String("kind", "logical", "stream kind: logical or image")
 	level := set.Int("level", 0, "incremental level 0-9 (logical)")
@@ -191,9 +199,14 @@ func pushCommand(ctx context.Context, fs *wafl.FS, vol string, rest []string) er
 		if attempt > *maxResumes {
 			return fmt.Errorf("push: gave up after %d checkpoint resumes", *maxResumes)
 		}
+		pushLevel := int32(*level)
+		if streamKind == ndmp.KindImage {
+			pushLevel = -1
+		}
 		sess, err := ndmp.Dial(dial, ndmp.Config{
 			Kind: streamKind, Session: *session, Stream: attempt,
 			Window: *window, DeadAfter: *dead, Ctx: ctx,
+			FSID: vol, Level: pushLevel,
 		})
 		if err != nil {
 			return fmt.Errorf("push: dial stream %d: %w", attempt, err)

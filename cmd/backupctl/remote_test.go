@@ -7,6 +7,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/catalog"
 )
 
 // TestTransportServePush runs the remote backup path end to end over
@@ -77,6 +79,20 @@ func TestTransportServePush(t *testing.T) {
 		t.Fatalf("push did not persist dump dates: %v", err)
 	}
 
+	// The server catalogs the received stream from the wire Hello and
+	// the stream's own header: engine, fsid, level and dump date.
+	logSets := volSets(t, remoteDump)
+	if len(logSets) != 1 {
+		t.Fatalf("server catalog has %d sets, want 1", len(logSets))
+	}
+	if logSets[0].Engine != catalog.Logical || logSets[0].FSID != vol ||
+		logSets[0].Level != 0 || logSets[0].Date == 0 {
+		t.Fatalf("server-side set %+v", logSets[0])
+	}
+	if len(logSets[0].Media) != 1 || logSets[0].Media[0].Volume != remoteDump {
+		t.Fatalf("server-side media %+v", logSets[0].Media)
+	}
+
 	// Image push: the received stream verifies offline and restores to
 	// a byte-equivalent clone volume.
 	remoteImg := filepath.Join(dir, "remote.stream")
@@ -87,6 +103,12 @@ func TestTransportServePush(t *testing.T) {
 	do("-vol", clone, "imagerestore", "-i", remoteImg)
 	do("-vol", clone, "fsck")
 	do("-vol", clone, "cat", "/docs/payload.txt")
+
+	imgSets := volSets(t, remoteImg)
+	if len(imgSets) != 1 || imgSets[0].Engine != catalog.Image ||
+		imgSets[0].Gen == 0 || imgSets[0].NBlocks == 0 {
+		t.Fatalf("server-side image sets %+v", imgSets)
+	}
 
 	// Error paths.
 	if err := run([]string{"-vol", vol, "push"}); err == nil {

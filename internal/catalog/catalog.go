@@ -1,0 +1,583 @@
+package catalog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/logical"
+)
+
+// Engine identifies which dump engine produced a set.
+type Engine uint8
+
+const (
+	// Logical is the file-based BSD-style dump (internal/logical).
+	Logical Engine = 1
+	// Image is the physical block-image dump (internal/physical).
+	Image Engine = 2
+)
+
+func (e Engine) String() string {
+	switch e {
+	case Logical:
+		return "logical"
+	case Image:
+		return "image"
+	}
+	return fmt.Sprintf("engine(%d)", uint8(e))
+}
+
+// MediaRef names one media volume a dump set's stream occupies, with
+// the raw record index (tape) or byte offset (stream file) where the
+// set's data begins on that volume — everything the planner needs to
+// mount and position the media without operator input.
+type MediaRef struct {
+	Volume string
+	Start  int64
+}
+
+// DumpSet is the catalog's unit of bookkeeping: one completed dump.
+type DumpSet struct {
+	// ID is the journal-assigned sequence number, 1-based. IDs order
+	// sets in completion order, which for one fsid is also date order.
+	ID     uint64
+	Engine Engine
+	// FSID names the filesystem (the dump-date key for logical sets).
+	FSID string
+	// Snap is the snapshot the dump was taken from.
+	Snap string
+	// Level is the incremental level for logical sets (0-9); -1 for
+	// image sets, whose incrementality is the Gen/BaseGen pair.
+	Level int32
+	// Date is the dump date (filesystem clock); BaseDate is the base
+	// the incremental was taken against (0 = full).
+	Date, BaseDate int64
+	// Gen/BaseGen are the snapshot generations of an image set
+	// (BaseGen 0 = full); NBlocks is the source volume geometry, so a
+	// restore can size its target without mounting media.
+	Gen, BaseGen, NBlocks uint64
+	// Bytes is the stream length; Units counts files (logical) or
+	// blocks (image) dumped.
+	Bytes, Units int64
+	// Resumed marks a set completed across a checkpoint resume; its
+	// stream spans the volumes of more than one attempt.
+	Resumed bool
+	// Media lists the volumes holding the stream, in stream order.
+	Media []MediaRef
+}
+
+// Full reports whether the set needs no base.
+func (ds *DumpSet) Full() bool {
+	if ds.Engine == Image {
+		return ds.BaseGen == 0
+	}
+	return ds.BaseDate == 0
+}
+
+// FileIndexEntry locates one file inside a logical dump stream: the
+// stream position (in 1 KB dump units) where the file's header begins.
+// The planner uses presence — which chain members contain a path — and
+// a seek-capable source can use Unit to space directly to the file.
+type FileIndexEntry struct {
+	Path string
+	Ino  uint32
+	Unit int64
+}
+
+// MediaEventKind enumerates media-lifecycle transitions.
+type MediaEventKind uint8
+
+const (
+	// MediaRegister introduces a volume into the pool (scratch).
+	MediaRegister MediaEventKind = 1
+	// MediaActivate marks a volume holding live dump data.
+	MediaActivate MediaEventKind = 2
+	// MediaReclaim returns an expired volume to scratch (erased).
+	MediaReclaim MediaEventKind = 3
+)
+
+func (k MediaEventKind) String() string {
+	switch k {
+	case MediaRegister:
+		return "register"
+	case MediaActivate:
+		return "activate"
+	case MediaReclaim:
+		return "reclaim"
+	}
+	return fmt.Sprintf("media-event(%d)", uint8(k))
+}
+
+// MediaEvent is one lifecycle transition of a media volume.
+type MediaEvent struct {
+	Kind   MediaEventKind
+	Volume string
+	Pool   string
+	Time   int64
+}
+
+// Expiry marks a dump set expired by retention.
+type Expiry struct {
+	SetID uint64
+	Time  int64
+}
+
+// Record is any journal payload; exposed so the fuzzer and tools can
+// decode frames generically.
+type Record interface{ isRecord() }
+
+type fileIndexRecord struct {
+	SetID   uint64
+	Entries []FileIndexEntry
+}
+
+func (DumpSet) isRecord()         {}
+func (fileIndexRecord) isRecord() {}
+func (Expiry) isRecord()          {}
+func (MediaEvent) isRecord()      {}
+
+// Payload kinds.
+const (
+	kindDumpSet   = 1
+	kindFileIndex = 2
+	kindExpiry    = 3
+	kindMedia     = 4
+)
+
+// Catalog is the replayed journal state plus the append side.
+type Catalog struct {
+	store Store
+	next  uint64 // next DumpSet ID
+
+	sets    []DumpSet
+	byID    map[uint64]int
+	index   map[uint64][]FileIndexEntry
+	expired map[uint64]int64
+	events  []MediaEvent
+
+	// TornBytes is how many trailing journal bytes recovery discarded
+	// as a torn or corrupt final record (0 = clean open).
+	TornBytes int64
+}
+
+// Open replays the journal in store and returns the catalog positioned
+// to append. A torn or corrupt tail is truncated away: every record
+// whose Append call returned survives; the one a crash interrupted
+// does not, and was never acknowledged.
+func Open(store Store) (*Catalog, error) {
+	buf, err := store.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	c := &Catalog{
+		store:   store,
+		next:    1,
+		byID:    make(map[uint64]int),
+		index:   make(map[uint64][]FileIndexEntry),
+		expired: make(map[uint64]int64),
+	}
+	valid, err := scanJournal(buf, func(p []byte) error {
+		rec, err := DecodeRecord(p)
+		if err != nil {
+			// An intact frame holding an undecodable payload is
+			// corruption, not a torn tail; surface it rather than
+			// silently dropping acknowledged history.
+			return fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		c.apply(rec)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if valid < int64(len(buf)) {
+		c.TornBytes = int64(len(buf)) - valid
+		// A crash tears at most the single frame whose Append never
+		// returned, and that frame is the journal's last: nothing
+		// intact can follow it. A bad region bigger than one record,
+		// or one with intact frames beyond it, is mid-journal
+		// corruption of acknowledged history — refuse rather than
+		// silently truncate it away.
+		if c.TornBytes > frameHdr+MaxRecord || intactFrameAfter(buf, valid) {
+			return nil, fmt.Errorf("%w: %d bad bytes at offset %d before intact records",
+				ErrCorrupt, c.TornBytes, valid)
+		}
+		if err := store.Truncate(valid); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// apply folds one decoded record into the state.
+func (c *Catalog) apply(rec Record) {
+	switch r := rec.(type) {
+	case DumpSet:
+		c.byID[r.ID] = len(c.sets)
+		c.sets = append(c.sets, r)
+		if r.ID >= c.next {
+			c.next = r.ID + 1
+		}
+	case fileIndexRecord:
+		c.index[r.SetID] = r.Entries
+	case Expiry:
+		c.expired[r.SetID] = r.Time
+	case MediaEvent:
+		c.events = append(c.events, r)
+	}
+}
+
+// append frames, persists and applies one record.
+func (c *Catalog) append(rec Record, payload []byte) error {
+	if err := c.store.Append(frame(payload)); err != nil {
+		return err
+	}
+	c.apply(rec)
+	return nil
+}
+
+// AppendDumpSet records a completed dump set, assigning and returning
+// its ID. The record is durable when AppendDumpSet returns.
+func (c *Catalog) AppendDumpSet(ds DumpSet) (uint64, error) {
+	ds.ID = c.next
+	if err := c.append(ds, encodeDumpSet(&ds)); err != nil {
+		return 0, err
+	}
+	return ds.ID, nil
+}
+
+// AppendFileIndex attaches a per-file seek index to a recorded set.
+func (c *Catalog) AppendFileIndex(setID uint64, entries []FileIndexEntry) error {
+	if _, ok := c.byID[setID]; !ok {
+		return fmt.Errorf("catalog: file index for unknown set %d", setID)
+	}
+	r := fileIndexRecord{SetID: setID, Entries: entries}
+	return c.append(r, encodeFileIndex(&r))
+}
+
+// Expire marks a dump set expired at now. Idempotent.
+func (c *Catalog) Expire(setID uint64, now int64) error {
+	if _, ok := c.byID[setID]; !ok {
+		return fmt.Errorf("catalog: expire unknown set %d", setID)
+	}
+	if _, done := c.expired[setID]; done {
+		return nil
+	}
+	r := Expiry{SetID: setID, Time: now}
+	return c.append(r, encodeExpiry(&r))
+}
+
+// AppendMediaEvent records a media-lifecycle transition.
+func (c *Catalog) AppendMediaEvent(ev MediaEvent) error {
+	return c.append(ev, encodeMediaEvent(&ev))
+}
+
+// Sets returns every recorded dump set, in completion order.
+func (c *Catalog) Sets() []DumpSet {
+	out := make([]DumpSet, len(c.sets))
+	copy(out, c.sets)
+	return out
+}
+
+// Set returns the dump set with the given ID.
+func (c *Catalog) Set(id uint64) (DumpSet, bool) {
+	i, ok := c.byID[id]
+	if !ok {
+		return DumpSet{}, false
+	}
+	return c.sets[i], true
+}
+
+// Expired reports whether a set has been expired, and when.
+func (c *Catalog) Expired(id uint64) (int64, bool) {
+	t, ok := c.expired[id]
+	return t, ok
+}
+
+// Live returns the unexpired dump sets, in completion order.
+func (c *Catalog) Live() []DumpSet {
+	var out []DumpSet
+	for _, ds := range c.sets {
+		if _, dead := c.expired[ds.ID]; !dead {
+			out = append(out, ds)
+		}
+	}
+	return out
+}
+
+// FileIndex returns the per-file index recorded for a set (nil if
+// none was recorded).
+func (c *Catalog) FileIndex(setID uint64) []FileIndexEntry {
+	return c.index[setID]
+}
+
+// MediaEvents returns the recorded media-lifecycle history.
+func (c *Catalog) MediaEvents() []MediaEvent {
+	out := make([]MediaEvent, len(c.events))
+	copy(out, c.events)
+	return out
+}
+
+// DumpDates reconstructs the logical dump-date history from the
+// journal — the durable /etc/dumpdates the in-memory logical.DumpDates
+// used to lose on process exit. Expired sets still count: expiry frees
+// media, it does not rewrite incremental history.
+func (c *Catalog) DumpDates() *logical.DumpDates {
+	d := logical.NewDumpDates()
+	for _, ds := range c.sets {
+		if ds.Engine == Logical {
+			d.Record(ds.FSID, int(ds.Level), ds.Date)
+		}
+	}
+	return d
+}
+
+// FSIDs returns the filesystems with recorded sets, sorted.
+func (c *Catalog) FSIDs() []string {
+	seen := map[string]bool{}
+	for _, ds := range c.sets {
+		seen[ds.FSID] = true
+	}
+	out := make([]string, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- payload encoding: [kind u8][version u8] then fixed LE fields and
+// length-prefixed strings. Decoding is defensive throughout — journal
+// bytes are untrusted input (see the fuzz test).
+
+type enc struct{ b []byte }
+
+func (e *enc) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *enc) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) i64(v int64)  { e.u64(uint64(v)) }
+func (e *enc) str(s string) {
+	e.u32(uint32(len(s)))
+	e.b = append(e.b, s...)
+}
+
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("catalog: truncated record at %d", d.off)
+	}
+}
+func (d *dec) u8() uint8 {
+	if d.err != nil || d.off+1 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+func (d *dec) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+func (d *dec) u64() uint64 {
+	if d.err != nil || d.off+8 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+func (d *dec) i64() int64 { return int64(d.u64()) }
+func (d *dec) str() string {
+	n := int(d.u32())
+	if d.err != nil || n < 0 || n > MaxRecord || d.off+n > len(d.b) {
+		d.fail()
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+func (d *dec) done() error {
+	if d.err == nil && d.off != len(d.b) {
+		return fmt.Errorf("catalog: %d trailing bytes in record", len(d.b)-d.off)
+	}
+	return d.err
+}
+
+func encodeDumpSet(ds *DumpSet) []byte {
+	e := &enc{}
+	e.u8(kindDumpSet)
+	e.u8(1)
+	e.u64(ds.ID)
+	e.u8(uint8(ds.Engine))
+	e.str(ds.FSID)
+	e.str(ds.Snap)
+	e.u32(uint32(ds.Level))
+	e.i64(ds.Date)
+	e.i64(ds.BaseDate)
+	e.u64(ds.Gen)
+	e.u64(ds.BaseGen)
+	e.u64(ds.NBlocks)
+	e.i64(ds.Bytes)
+	e.i64(ds.Units)
+	if ds.Resumed {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+	e.u32(uint32(len(ds.Media)))
+	for _, m := range ds.Media {
+		e.str(m.Volume)
+		e.i64(m.Start)
+	}
+	return e.b
+}
+
+func encodeFileIndex(r *fileIndexRecord) []byte {
+	e := &enc{}
+	e.u8(kindFileIndex)
+	e.u8(1)
+	e.u64(r.SetID)
+	e.u32(uint32(len(r.Entries)))
+	for _, f := range r.Entries {
+		e.str(f.Path)
+		e.u32(f.Ino)
+		e.i64(f.Unit)
+	}
+	return e.b
+}
+
+func encodeExpiry(r *Expiry) []byte {
+	e := &enc{}
+	e.u8(kindExpiry)
+	e.u8(1)
+	e.u64(r.SetID)
+	e.i64(r.Time)
+	return e.b
+}
+
+func encodeMediaEvent(ev *MediaEvent) []byte {
+	e := &enc{}
+	e.u8(kindMedia)
+	e.u8(1)
+	e.u8(uint8(ev.Kind))
+	e.str(ev.Volume)
+	e.str(ev.Pool)
+	e.i64(ev.Time)
+	return e.b
+}
+
+// DecodeRecord parses one journal payload. It is the untrusted-input
+// boundary of the catalog: arbitrary bytes must produce a record or an
+// error, never a panic or an oversized allocation.
+func DecodeRecord(p []byte) (Record, error) {
+	d := &dec{b: p}
+	kind := d.u8()
+	ver := d.u8()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if ver != 1 {
+		return nil, fmt.Errorf("catalog: record version %d", ver)
+	}
+	switch kind {
+	case kindDumpSet:
+		var ds DumpSet
+		ds.ID = d.u64()
+		ds.Engine = Engine(d.u8())
+		ds.FSID = d.str()
+		ds.Snap = d.str()
+		ds.Level = int32(d.u32())
+		ds.Date = d.i64()
+		ds.BaseDate = d.i64()
+		ds.Gen = d.u64()
+		ds.BaseGen = d.u64()
+		ds.NBlocks = d.u64()
+		ds.Bytes = d.i64()
+		ds.Units = d.i64()
+		ds.Resumed = d.u8() != 0
+		n := int(d.u32())
+		if d.err != nil {
+			return nil, d.err
+		}
+		if n < 0 || n > len(p) {
+			return nil, fmt.Errorf("catalog: media count %d", n)
+		}
+		for i := 0; i < n; i++ {
+			var m MediaRef
+			m.Volume = d.str()
+			m.Start = d.i64()
+			if d.err != nil {
+				return nil, d.err
+			}
+			ds.Media = append(ds.Media, m)
+		}
+		if err := d.done(); err != nil {
+			return nil, err
+		}
+		if ds.ID == 0 {
+			return nil, fmt.Errorf("catalog: dump set with id 0")
+		}
+		if ds.Engine != Logical && ds.Engine != Image {
+			return nil, fmt.Errorf("catalog: unknown engine %d", ds.Engine)
+		}
+		return ds, nil
+	case kindFileIndex:
+		var r fileIndexRecord
+		r.SetID = d.u64()
+		n := int(d.u32())
+		if d.err != nil {
+			return nil, d.err
+		}
+		if n < 0 || n > len(p) {
+			return nil, fmt.Errorf("catalog: index count %d", n)
+		}
+		for i := 0; i < n; i++ {
+			var f FileIndexEntry
+			f.Path = d.str()
+			f.Ino = d.u32()
+			f.Unit = d.i64()
+			if d.err != nil {
+				return nil, d.err
+			}
+			r.Entries = append(r.Entries, f)
+		}
+		if err := d.done(); err != nil {
+			return nil, err
+		}
+		return r, nil
+	case kindExpiry:
+		var r Expiry
+		r.SetID = d.u64()
+		r.Time = d.i64()
+		if err := d.done(); err != nil {
+			return nil, err
+		}
+		return r, nil
+	case kindMedia:
+		var ev MediaEvent
+		ev.Kind = MediaEventKind(d.u8())
+		ev.Volume = d.str()
+		ev.Pool = d.str()
+		ev.Time = d.i64()
+		if err := d.done(); err != nil {
+			return nil, err
+		}
+		return ev, nil
+	}
+	return nil, fmt.Errorf("catalog: unknown record kind %d", kind)
+}

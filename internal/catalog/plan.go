@@ -1,0 +1,192 @@
+package catalog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PlanOptions asks the planner for a restore chain.
+type PlanOptions struct {
+	// Engine selects which dump family to plan from.
+	Engine Engine
+	// FSID names the filesystem to recover.
+	FSID string
+	// At is the target time: recover the newest state dumped at or
+	// before it. 0 means the latest recorded state.
+	At int64
+	// File, when set, plans a single-file ("stupidity") recovery of
+	// this dump-relative path instead of the whole volume.
+	File string
+	// IncludeExpired lets the planner use expired sets — a last-resort
+	// recovery from media that retention released but reclamation has
+	// not yet erased.
+	IncludeExpired bool
+}
+
+// Plan is a restore chain: Steps applied in order reproduce the
+// filesystem state of Steps[len-1] — a full dump followed by its
+// incrementals. For a single-file logical plan the chain is pruned to
+// the one set whose index holds the newest copy of the file.
+type Plan struct {
+	Engine Engine
+	FSID   string
+	File   string
+	Steps  []DumpSet
+}
+
+// Media returns the distinct volumes the plan needs, in mount order —
+// the "media list" the operator no longer assembles by hand.
+func (p *Plan) Media() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, s := range p.Steps {
+		for _, m := range s.Media {
+			if !seen[m.Volume] {
+				seen[m.Volume] = true
+				out = append(out, m.Volume)
+			}
+		}
+	}
+	return out
+}
+
+// String renders the plan for operators.
+func (p *Plan) String() string {
+	var b strings.Builder
+	what := "volume"
+	if p.File != "" {
+		what = "file " + p.File
+	}
+	fmt.Fprintf(&b, "%s recovery of %s on %s: %d step(s)\n", p.Engine, what, p.FSID, len(p.Steps))
+	for i, s := range p.Steps {
+		var vols []string
+		for _, m := range s.Media {
+			vols = append(vols, m.Volume)
+		}
+		if s.Engine == Image {
+			fmt.Fprintf(&b, "  %d. set %d image gen %d (base %d), %d blocks, media %s\n",
+				i+1, s.ID, s.Gen, s.BaseGen, s.Units, strings.Join(vols, ","))
+		} else {
+			fmt.Fprintf(&b, "  %d. set %d level %d date %d (base %d), %d files, media %s\n",
+				i+1, s.ID, s.Level, s.Date, s.BaseDate, s.Units, strings.Join(vols, ","))
+		}
+	}
+	return b.String()
+}
+
+// Plan computes the minimal full+incremental chain recovering opts.FSID
+// at opts.At. The chain is found by walking base links backwards from
+// the newest eligible set: a logical incremental's base is the set
+// whose dump date equals its BaseDate; an image incremental's base is
+// the set whose generation equals its BaseGen. A broken link — the
+// base was never recorded, or was expired and IncludeExpired is off —
+// is an error naming the missing base, not a silently shorter chain.
+func (c *Catalog) Plan(opts PlanOptions) (*Plan, error) {
+	if opts.Engine != Logical && opts.Engine != Image {
+		return nil, fmt.Errorf("catalog: plan needs an engine")
+	}
+	pool := c.sets
+	eligible := func(ds *DumpSet) bool {
+		if ds.Engine != opts.Engine || ds.FSID != opts.FSID {
+			return false
+		}
+		if _, dead := c.expired[ds.ID]; dead && !opts.IncludeExpired {
+			return false
+		}
+		return opts.At == 0 || ds.Date <= opts.At
+	}
+
+	// Newest eligible set = the state to reproduce. Ties on Date break
+	// to the later ID (completion order).
+	var target *DumpSet
+	for i := range pool {
+		ds := &pool[i]
+		if !eligible(ds) {
+			continue
+		}
+		if target == nil || ds.Date > target.Date || (ds.Date == target.Date && ds.ID > target.ID) {
+			target = ds
+		}
+	}
+	if target == nil {
+		return nil, fmt.Errorf("catalog: no %s dump of %q at or before %d", opts.Engine, opts.FSID, opts.At)
+	}
+
+	// Walk base links back to the full dump.
+	chain := []DumpSet{*target}
+	cur := target
+	for !cur.Full() {
+		var base *DumpSet
+		for i := range pool {
+			ds := &pool[i]
+			if ds.Engine != opts.Engine || ds.FSID != opts.FSID || ds.ID >= cur.ID {
+				continue
+			}
+			if opts.Engine == Image {
+				if ds.Gen != cur.BaseGen {
+					continue
+				}
+			} else if ds.Date != cur.BaseDate {
+				continue
+			}
+			if base == nil || ds.ID > base.ID {
+				base = ds
+			}
+		}
+		if base == nil {
+			if opts.Engine == Image {
+				return nil, fmt.Errorf("catalog: set %d needs base generation %d, which is not in the catalog", cur.ID, cur.BaseGen)
+			}
+			return nil, fmt.Errorf("catalog: set %d needs base date %d, which is not in the catalog", cur.ID, cur.BaseDate)
+		}
+		if _, dead := c.expired[base.ID]; dead && !opts.IncludeExpired {
+			return nil, fmt.Errorf("catalog: set %d needs set %d, which is expired", cur.ID, base.ID)
+		}
+		chain = append(chain, *base)
+		cur = base
+		if len(chain) > len(pool) {
+			return nil, fmt.Errorf("catalog: base-link cycle involving set %d", cur.ID)
+		}
+	}
+	// Reverse: full first.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+
+	p := &Plan{Engine: opts.Engine, FSID: opts.FSID, File: opts.File, Steps: chain}
+	if opts.File != "" && opts.Engine == Logical {
+		if err := c.pruneForFile(p); err != nil {
+			return nil, err
+		}
+	}
+	// An image plan keeps the whole chain even for one file: blocks of
+	// the file may live in any member, and Extract walks them all.
+	return p, nil
+}
+
+// pruneForFile reduces a logical chain to the single newest member
+// whose file index contains the path: a logical dump carries the whole
+// file whenever it carries it at all, so one set suffices.
+func (c *Catalog) pruneForFile(p *Plan) error {
+	path := normalizePath(p.File)
+	for i := len(p.Steps) - 1; i >= 0; i-- {
+		idx := c.index[p.Steps[i].ID]
+		if idx == nil {
+			// No index recorded for this set: without it we cannot
+			// prune safely, so keep the chain from here down.
+			p.Steps = p.Steps[:i+1]
+			return nil
+		}
+		for _, f := range idx {
+			if normalizePath(f.Path) == path {
+				p.Steps = []DumpSet{p.Steps[i]}
+				return nil
+			}
+		}
+	}
+	return fmt.Errorf("catalog: %q is not in any indexed set of the chain", p.File)
+}
+
+func normalizePath(p string) string {
+	return strings.Trim(p, "/")
+}

@@ -93,6 +93,21 @@ type Filer struct {
 	Dates  *logical.DumpDates
 }
 
+// DumpDatesSource is anything that can reconstruct a durable dump-date
+// history — the backup catalog implements it. Declared structurally so
+// core does not depend on internal/catalog.
+type DumpDatesSource interface {
+	DumpDates() *logical.DumpDates
+}
+
+// AttachCatalog replaces the filer's in-memory dump-date history with
+// the one reconstructed from a durable catalog journal. Before this,
+// Dates evaporated on process exit and every restart forced a level-0;
+// with a catalog attached, incremental levels survive restarts.
+func (f *Filer) AttachCatalog(src DumpDatesSource) {
+	f.Dates = src.DumpDates()
+}
+
 // NewFiler builds and formats a filer.
 func NewFiler(ctx context.Context, cfg FilerConfig) (*Filer, error) {
 	if cfg.Name == "" {
@@ -163,6 +178,24 @@ func NewFiler(ctx context.Context, cfg FilerConfig) (*Filer, error) {
 func (f *Filer) Wipe(ctx context.Context) error {
 	f.NVRAM.Reset()
 	fs, err := wafl.Mkfs(ctx, f.Vol, f.NVRAM, wafl.Options{
+		Costs:       f.Config.FSCosts,
+		Env:         f.Env,
+		CacheBlocks: f.Config.CacheBlocks,
+		ReadAhead:   f.Config.ReadAhead,
+	})
+	if err != nil {
+		return err
+	}
+	f.FS = fs
+	return nil
+}
+
+// Remount re-reads the on-disk filesystem state into a fresh FS — the
+// step after an image restore wrote blocks underneath the mounted
+// filesystem.
+func (f *Filer) Remount(ctx context.Context) error {
+	f.NVRAM.Reset()
+	fs, err := wafl.Mount(ctx, f.Vol, f.NVRAM, wafl.Options{
 		Costs:       f.Config.FSCosts,
 		Env:         f.Env,
 		CacheBlocks: f.Config.CacheBlocks,

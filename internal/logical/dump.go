@@ -62,6 +62,13 @@ type DumpOptions struct {
 	// Log, if set, receives a line per notable recovery event
 	// (hole-mapped blocks, for the operator's damage report).
 	Log func(line string)
+	// FileIndex, if set, receives one entry per file dumped in Phase
+	// IV: the file's dump-relative path, its inode, and the stream
+	// position (in 1 KB dump units) where its header begins. The
+	// backup catalog records these so a later single-file restore can
+	// tell which dump sets contain the path — and a seek-capable
+	// source can space directly to it.
+	FileIndex func(path string, ino wafl.Inum, unit int64)
 }
 
 // Checkpoint is the durable progress of an interrupted dump. It names
@@ -112,6 +119,7 @@ type dumpState struct {
 	dump   *dumpfmt.InoMap // inodes to be dumped
 	isDir  map[wafl.Inum]bool
 	parent map[wafl.Inum]wafl.Inum
+	names  map[wafl.Inum]string // name each inode was first reached by
 	inodes map[wafl.Inum]wafl.Inode
 
 	// Cross-file read-ahead state (Phase IV). The dump engine runs its
@@ -162,6 +170,7 @@ func Dump(ctx context.Context, opts DumpOptions) (*DumpStats, error) {
 		date:   fs.Clock(),
 		isDir:  make(map[wafl.Inum]bool),
 		parent: make(map[wafl.Inum]wafl.Inum),
+		names:  make(map[wafl.Inum]string),
 		inodes: make(map[wafl.Inum]wafl.Inode),
 	}
 	if opts.Dates != nil {
@@ -284,6 +293,12 @@ func Dump(ctx context.Context, opts DumpOptions) (*DumpStats, error) {
 			end()
 			return fail(err)
 		}
+		if opts.FileIndex != nil {
+			// Emitted before the file so Unit names the stream position
+			// of its header. A resumed dump indexes only this stream's
+			// files; the skipped ones are on the prior attempt's index.
+			opts.FileIndex(st.path(ino), ino, w.Tapea())
+		}
 		if err := st.dumpFile(ctx, w, ino); err != nil {
 			end()
 			return fail(err)
@@ -326,8 +341,11 @@ func (st *dumpState) phaseMap(ctx context.Context) error {
 	st.used = dumpfmt.NewInoMap(uint32(st.view.NumInodes(ctx)))
 	st.dump = dumpfmt.NewInoMap(uint32(st.view.NumInodes(ctx)))
 
-	type qent struct{ ino, parent wafl.Inum }
-	queue := []qent{{st.rootIno, st.rootIno}}
+	type qent struct {
+		ino, parent wafl.Inum
+		name        string
+	}
+	queue := []qent{{st.rootIno, st.rootIno, ""}}
 	visited := map[wafl.Inum]bool{}
 	for len(queue) > 0 {
 		if err := ctx.Err(); err != nil {
@@ -345,6 +363,7 @@ func (st *dumpState) phaseMap(ctx context.Context) error {
 		}
 		st.used.Set(uint32(cur.ino))
 		st.parent[cur.ino] = cur.parent
+		st.names[cur.ino] = cur.name // hardlinks: the first name seen wins
 		st.inodes[cur.ino] = inode
 		st.isDir[cur.ino] = wafl.IsDir(inode.Mode)
 		// Changed since the base date? (Level 0 has ddate 0: everything.)
@@ -363,7 +382,7 @@ func (st *dumpState) phaseMap(ctx context.Context) error {
 				if st.opts.Exclude != nil && st.opts.Exclude(e.Name) {
 					continue
 				}
-				queue = append(queue, qent{e.Ino, cur.ino})
+				queue = append(queue, qent{e.Ino, cur.ino, e.Name})
 			}
 		}
 	}
@@ -385,6 +404,32 @@ func (st *dumpState) phaseMap(ctx context.Context) error {
 	}
 	st.dump.Set(uint32(st.rootIno))
 	return nil
+}
+
+// path reconstructs an inode's dump-relative path from the Phase I
+// parent and name maps ("a/b/c", "" for the dump root).
+func (st *dumpState) path(ino wafl.Inum) string {
+	if ino == st.rootIno {
+		return ""
+	}
+	var parts []string
+	for p := ino; p != st.rootIno; {
+		parts = append(parts, st.names[p])
+		par, ok := st.parent[p]
+		if !ok || par == p {
+			break
+		}
+		p = par
+	}
+	// Reverse into root-first order.
+	var b []byte
+	for i := len(parts) - 1; i >= 0; i-- {
+		if len(b) > 0 {
+			b = append(b, '/')
+		}
+		b = append(b, parts[i]...)
+	}
+	return string(b)
 }
 
 // writeMap emits a TS_CLRI or TS_BITS record with the bitmap as data.

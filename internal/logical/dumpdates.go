@@ -51,6 +51,31 @@ func (d *DumpDates) Record(fsid string, level int, date int64) {
 	}
 }
 
+// DumpDateEntry is one (filesystem, level, date) line of the history.
+type DumpDateEntry struct {
+	FSID  string
+	Level int
+	Date  int64
+}
+
+// Entries returns the history as a sorted slice — the iteration the
+// catalog journal needs to persist and compare histories.
+func (d *DumpDates) Entries() []DumpDateEntry {
+	var out []DumpDateEntry
+	for fsid, m := range d.dates {
+		for l, date := range m {
+			out = append(out, DumpDateEntry{FSID: fsid, Level: l, Date: date})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].FSID != out[j].FSID {
+			return out[i].FSID < out[j].FSID
+		}
+		return out[i].Level < out[j].Level
+	})
+	return out
+}
+
 // String renders the history in dumpdates style for diagnostics.
 func (d *DumpDates) String() string {
 	var lines []string

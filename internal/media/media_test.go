@@ -1,0 +1,252 @@
+package media
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/tape"
+)
+
+func newCat(t *testing.T) (*catalog.Catalog, *catalog.MemStore) {
+	t.Helper()
+	store := &catalog.MemStore{}
+	c, err := catalog.Open(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, store
+}
+
+func record(t *testing.T, c *catalog.Catalog, fsid string, level int32, date, baseDate int64, vols ...string) uint64 {
+	t.Helper()
+	var media []catalog.MediaRef
+	for _, v := range vols {
+		media = append(media, catalog.MediaRef{Volume: v})
+	}
+	id, err := c.AppendDumpSet(catalog.DumpSet{
+		Engine: catalog.Logical, FSID: fsid, Snap: "s",
+		Level: level, Date: date, BaseDate: baseDate, Media: media,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestLifecycleAndReclaim(t *testing.T) {
+	c, _ := newCat(t)
+	p := NewPool("main", c)
+	carts := map[string]*tape.Cartridge{}
+	for _, l := range []string{"t0", "t1", "t2"} {
+		carts[l] = tape.NewCartridge(l)
+		if err := p.Register(l, carts[l], 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, l := range []string{"t0", "t1", "t2"} {
+		v, _ := p.Volume(l)
+		if v.State != Scratch {
+			t.Fatalf("%s registered as %v", l, v.State)
+		}
+	}
+
+	// Set 1 spans t0+t1; set 2 lives on t1 alone.
+	id1 := record(t, c, "vol0", 0, 100, 0, "t0", "t1")
+	if err := p.CommitSet(id1, []string{"t0", "t1"}, 100); err != nil {
+		t.Fatal(err)
+	}
+	id2 := record(t, c, "vol0", 3, 200, 100, "t1")
+	if err := p.CommitSet(id2, []string{"t1"}, 200); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range []string{"t0", "t1"} {
+		v, _ := p.Volume(l)
+		if v.State != Active {
+			t.Fatalf("%s after commit: %v", l, v.State)
+		}
+	}
+
+	// Expire set 1 only: t0 becomes reclaimable, t1 must not — set 2
+	// still references it. This is the acceptance criterion.
+	if err := c.Expire(id1, 300); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Reclaim(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []string{"t0"}) {
+		t.Fatalf("reclaimed %v, want [t0]", got)
+	}
+	if v, _ := p.Volume("t0"); v.State != Scratch || carts["t0"].Records() != 0 {
+		t.Fatalf("t0 not erased to scratch: %v, %d records", v.State, carts["t0"].Records())
+	}
+	if v, _ := p.Volume("t1"); v.State != Active {
+		t.Fatalf("t1 reclaimed while set %d lives: %v", id2, v.State)
+	}
+	// Force-erase of a live volume must refuse.
+	if err := p.Erase("t1", 300); err == nil {
+		t.Fatal("Erase of live volume succeeded")
+	}
+
+	// Expire set 2: now t1 goes too.
+	if err := c.Expire(id2, 400); err != nil {
+		t.Fatal(err)
+	}
+	got, err = p.Reclaim(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []string{"t1"}) {
+		t.Fatalf("second reclaim %v, want [t1]", got)
+	}
+}
+
+func TestPoolReplayFromJournal(t *testing.T) {
+	c, store := newCat(t)
+	p := NewPool("main", c)
+	if err := p.Register("t0", nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Register("t1", nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	id1 := record(t, c, "vol0", 0, 100, 0, "t0")
+	if err := p.CommitSet(id1, []string{"t0"}, 100); err != nil {
+		t.Fatal(err)
+	}
+	id2 := record(t, c, "vol0", 3, 200, 100, "t1")
+	if err := p.CommitSet(id2, []string{"t1"}, 200); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Expire(id2, 300); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen the journal: the pool must resume with t0 active, t1
+	// expired (its only set expired), registration order preserved.
+	store2 := &catalog.MemStore{Buf: append([]byte(nil), store.Buf...)}
+	c2, err := catalog.Open(store2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := NewPool("main", c2)
+	var labels []string
+	for _, v := range p2.Volumes() {
+		labels = append(labels, v.Label)
+	}
+	if !reflect.DeepEqual(labels, []string{"t0", "t1"}) {
+		t.Fatalf("replayed order %v", labels)
+	}
+	if v, _ := p2.Volume("t0"); v.State != Active || !reflect.DeepEqual(v.Sets, []uint64{id1}) {
+		t.Fatalf("t0 replayed as %v sets %v", v.State, v.Sets)
+	}
+	if v, _ := p2.Volume("t1"); v.State != Expired {
+		t.Fatalf("t1 replayed as %v, want expired", v.State)
+	}
+
+	// Reclaim in the second life, replay a third: t1 is scratch.
+	if _, err := p2.Reclaim(400); err != nil {
+		t.Fatal(err)
+	}
+	c3, err := catalog.Open(&catalog.MemStore{Buf: store2.Buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3 := NewPool("main", c3)
+	if v, _ := p3.Volume("t1"); v.State != Scratch || len(v.Sets) != 0 {
+		t.Fatalf("t1 after reclaim replay: %v sets %v", v.State, v.Sets)
+	}
+}
+
+func TestKeepLastWithChainClosure(t *testing.T) {
+	c, _ := newCat(t)
+	p := NewPool("main", c)
+	// Full(1) <- inc(2) <- inc(3); keeping only the newest must keep the
+	// whole chain — retention can never break a restore.
+	id1 := record(t, c, "vol0", 0, 100, 0, "t0")
+	id2 := record(t, c, "vol0", 3, 200, 100, "t1")
+	id3 := record(t, c, "vol0", 5, 300, 200, "t2")
+	for i, id := range []uint64{id1, id2, id3} {
+		if err := p.CommitSet(id, []string{[]string{"t0", "t1", "t2"}[i]}, int64(100*(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	expired, err := p.ApplyRetention(KeepLast{N: 1}, "vol0", catalog.Logical, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(expired) != 0 {
+		t.Fatalf("chain closure failed: expired %v", expired)
+	}
+
+	// A second, independent full CAN be dropped.
+	id4 := record(t, c, "vol0", 0, 400, 0, "t3")
+	if err := p.CommitSet(id4, []string{"t3"}, 400); err != nil {
+		t.Fatal(err)
+	}
+	id5 := record(t, c, "vol0", 3, 500, 400, "t4")
+	if err := p.CommitSet(id5, []string{"t4"}, 500); err != nil {
+		t.Fatal(err)
+	}
+	expired, err = p.ApplyRetention(KeepLast{N: 1}, "vol0", catalog.Logical, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep id5 → chain closure keeps id4; the old chain (1,2,3) expires.
+	if !reflect.DeepEqual(expired, []uint64{id1, id2, id3}) {
+		t.Fatalf("expired %v, want [1 2 3]", expired)
+	}
+}
+
+func TestGFSRetention(t *testing.T) {
+	const day = int64(1000)
+	c, _ := newCat(t)
+	p := NewPool("main", c)
+	// Two fulls per day for 10 days.
+	var ids []uint64
+	for d := 0; d < 10; d++ {
+		for h := 0; h < 2; h++ {
+			date := int64(d)*day + int64(h)*100
+			id := record(t, c, "vol0", 0, date, 0, "t0")
+			if err := p.CommitSet(id, []string{"t0"}, date); err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+		}
+	}
+	// Keep 3 dailies + 2 weeklies.
+	g := GFS{Daily: 3, Weekly: 2, Day: day}
+	if _, err := p.ApplyRetention(g, "vol0", catalog.Logical, 10*day); err != nil {
+		t.Fatal(err)
+	}
+	var live []uint64
+	for _, ds := range c.Live() {
+		live = append(live, ds.ID)
+	}
+	// Dailies: newest of days 9, 8, 7 → ids 20, 18, 16.
+	// Weeklies: newest of week buckets [7..9] and [0..6] → ids 20, 14.
+	want := []uint64{14, 16, 18, 20}
+	if !reflect.DeepEqual(live, want) {
+		t.Fatalf("GFS live = %v, want %v", live, want)
+	}
+}
+
+func TestAdoptFromDrive(t *testing.T) {
+	c, _ := newCat(t)
+	d := tape.NewDrive(nil, "bank", tape.Params{})
+	d.AddCartridges(tape.NewCartridge("c0"), tape.NewCartridge("c1"))
+	p := NewPool("main", c)
+	if err := p.Adopt(d, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Volumes()) != 2 {
+		t.Fatalf("adopted %d volumes, want 2", len(p.Volumes()))
+	}
+	for _, v := range p.Volumes() {
+		if v.Cart == nil {
+			t.Fatalf("volume %s not bound to its cartridge", v.Label)
+		}
+	}
+}

@@ -306,7 +306,7 @@ func TestTransportSessionDeadPeerDeadline(t *testing.T) {
 }
 
 func TestTransportProtoRoundTrip(t *testing.T) {
-	h := Hello{Version: Version, Kind: KindImage, Session: 0xC0FFEE, Stream: 3}
+	h := Hello{Version: Version, Kind: KindImage, Session: 0xC0FFEE, Stream: 3, Level: -1, FSID: "home0"}
 	got, err := decodeHello(encodeHello(h))
 	if err != nil || got != h {
 		t.Fatalf("hello round trip: %+v / %v", got, err)

@@ -80,34 +80,51 @@ const (
 	KindImage = 0x02
 )
 
-// Hello is the session-open payload.
+// Hello is the session-open payload. FSID and Level describe what is
+// being dumped, so the tape host can record the pushed stream in its
+// own backup catalog, not just land the bytes.
 type Hello struct {
 	Version byte
 	Kind    byte   // KindLogical or KindImage
 	Session uint64 // client-chosen id, constant across reconnects
 	Stream  int    // stream index within the session (volume sequence)
+	Level   int32  // incremental level (logical); -1 for image streams
+	FSID    string // filesystem the stream dumps ("" = unnamed)
 }
+
+// helloFixed is the fixed-width prefix of an encoded Hello: version,
+// kind, session, stream, level, and the FSID length.
+const helloFixed = 22
 
 // encodeHello marshals h.
 func encodeHello(h Hello) []byte {
-	buf := make([]byte, 14)
+	buf := make([]byte, helloFixed+len(h.FSID))
 	buf[0] = h.Version
 	buf[1] = h.Kind
 	binary.LittleEndian.PutUint64(buf[2:], h.Session)
 	binary.LittleEndian.PutUint32(buf[10:], uint32(h.Stream))
+	binary.LittleEndian.PutUint32(buf[14:], uint32(h.Level))
+	binary.LittleEndian.PutUint32(buf[18:], uint32(len(h.FSID)))
+	copy(buf[helloFixed:], h.FSID)
 	return buf
 }
 
 // decodeHello unmarshals a Hello payload.
 func decodeHello(p []byte) (Hello, error) {
-	if len(p) < 14 {
+	if len(p) < helloFixed {
 		return Hello{}, fmt.Errorf("%w: hello payload %d bytes", transport.ErrBadFrame, len(p))
+	}
+	n := int(binary.LittleEndian.Uint32(p[18:]))
+	if n < 0 || helloFixed+n > len(p) {
+		return Hello{}, fmt.Errorf("%w: hello fsid length %d", transport.ErrBadFrame, n)
 	}
 	return Hello{
 		Version: p[0],
 		Kind:    p[1],
 		Session: binary.LittleEndian.Uint64(p[2:]),
 		Stream:  int(binary.LittleEndian.Uint32(p[10:])),
+		Level:   int32(binary.LittleEndian.Uint32(p[14:])),
+		FSID:    string(p[helloFixed : helloFixed+n]),
 	}, nil
 }
 

@@ -25,6 +25,12 @@ type Config struct {
 	Session uint64
 	// Stream is the volume-sequence index within the session.
 	Stream int
+	// FSID names the dumped filesystem in the Hello, so the tape host
+	// can catalog the pushed stream.
+	FSID string
+	// Level is the incremental level carried in the Hello (-1 for
+	// image streams).
+	Level int32
 	// Window bounds unacknowledged records in flight (default 16).
 	// WriteRecord blocks — charging the simulated clock — once the
 	// window is full: this is the backpressure that keeps a fast
@@ -191,7 +197,8 @@ func (s *Session) connect() error {
 	}
 	s.conn = conn
 	hello := transport.Encode(&transport.Frame{Type: MsgHello, Flags: FlagAckNow,
-		Payload: encodeHello(Hello{Version: Version, Kind: s.cfg.Kind, Session: s.cfg.Session, Stream: s.cfg.Stream})})
+		Payload: encodeHello(Hello{Version: Version, Kind: s.cfg.Kind, Session: s.cfg.Session,
+			Stream: s.cfg.Stream, Level: s.cfg.Level, FSID: s.cfg.FSID})})
 	a, err := s.request(hello, MsgHelloAck)
 	if err != nil {
 		return err

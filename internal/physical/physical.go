@@ -151,6 +151,10 @@ type DumpStats struct {
 	BytesWritten  int64
 	Gen           uint64
 	BaseGen       uint64
+	// NBlocks is the source volume geometry, recorded in the stream
+	// header; the backup catalog keeps it so a restore can size its
+	// target volume without mounting any media.
+	NBlocks uint64
 	// Checkpoint is set (alongside a non-nil error) when the dump
 	// aborted but can resume; nil on success or when checkpoints were
 	// disabled and no resume state existed.
@@ -259,7 +263,7 @@ func Dump(ctx context.Context, opts DumpOptions) (*DumpStats, error) {
 		root:       root,
 	}
 
-	stats := &DumpStats{BlocksSkipped: skipped, Gen: snap.Gen, BaseGen: baseGen}
+	stats := &DumpStats{BlocksSkipped: skipped, Gen: snap.Gen, BaseGen: baseGen, NBlocks: uint64(len(words))}
 	// ckptDone is the absolute count of blocks durably on media; fail
 	// wraps an unrecoverable error with it so the caller can resume.
 	ckptDone := skipped

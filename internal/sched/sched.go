@@ -1,0 +1,365 @@
+// Package sched runs backup level schedules against a core.Filer on
+// the simulated clock, recording every completed run in the backup
+// catalog and committing the media it consumed to the media pool — the
+// nightly-cron layer of the paper's operational story. Its companion
+// half is the recover executor: given a plan computed by the catalog,
+// it mounts and positions the right cartridges and drives the existing
+// logical and physical restore paths end to end, with no
+// operator-assembled media list.
+package sched
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/logical"
+	"repro/internal/media"
+	"repro/internal/physical"
+	"repro/internal/sim"
+	"repro/internal/wafl"
+)
+
+// Policy maps a run number (0-based) to an incremental level.
+type Policy interface {
+	Level(run int) int
+	String() string
+}
+
+// BSDLadder is the classic BSD dump schedule: a level 0, then a
+// repeating ladder chosen so each dump's base is recent and restores
+// need few tapes (dump(8) suggests 3 2 5 4 7 6 9 8).
+type BSDLadder struct {
+	Ladder []int
+}
+
+// DefaultLadder returns the dump(8) manual's suggested sequence.
+func DefaultLadder() BSDLadder { return BSDLadder{Ladder: []int{3, 2, 5, 4, 7, 6, 9, 8}} }
+
+// Level implements Policy.
+func (l BSDLadder) Level(run int) int {
+	if run <= 0 {
+		return 0
+	}
+	lad := l.Ladder
+	if len(lad) == 0 {
+		lad = DefaultLadder().Ladder
+	}
+	return lad[(run-1)%len(lad)]
+}
+
+func (l BSDLadder) String() string { return "bsd-ladder" }
+
+// TowerOfHanoi is the Tower-of-Hanoi schedule: run n (1-based) dumps
+// at level Levels minus the largest power of two dividing n, so each
+// media set is reused at exponentially spaced intervals — deep history
+// with few tapes.
+type TowerOfHanoi struct {
+	// Levels is the deepest level used (default 5).
+	Levels int
+}
+
+// Level implements Policy.
+func (t TowerOfHanoi) Level(run int) int {
+	if run <= 0 {
+		return 0
+	}
+	levels := t.Levels
+	if levels <= 0 {
+		levels = 5
+	}
+	if levels > logical.MaxLevel {
+		levels = logical.MaxLevel
+	}
+	lvl := levels - bits.TrailingZeros(uint(run))
+	if lvl < 1 {
+		lvl = 1
+	}
+	return lvl
+}
+
+func (t TowerOfHanoi) String() string { return "tower-of-hanoi" }
+
+// Config wires a schedule to a filer, catalog and media pool.
+type Config struct {
+	Filer   *core.Filer
+	Catalog *catalog.Catalog
+	Pool    *media.Pool
+	// Engine picks the dump strategy for every run.
+	Engine catalog.Engine
+	// Policy maps run numbers to levels (default: BSD ladder).
+	Policy Policy
+	// Drive is the tape drive index the schedule writes to.
+	Drive int
+	// FSID keys the dump-date history (default: the filer's name).
+	FSID string
+	// Interval is the virtual time between runs when simulating
+	// (default 24h — nightly dumps).
+	Interval time.Duration
+	// SnapPrefix names the schedule's snapshots (default "sched").
+	SnapPrefix string
+	// Retention, when set, is applied after every run, followed by a
+	// reclamation pass.
+	Retention media.RetentionPolicy
+	// Churn, when set, mutates the filesystem before each run after
+	// the first — the users the schedule is protecting.
+	Churn func(ctx context.Context, run int) error
+}
+
+// RunResult describes one completed scheduled dump.
+type RunResult struct {
+	Run     int
+	Level   int
+	SetID   uint64
+	Date    int64
+	Bytes   int64
+	Media   []string
+	Expired []uint64 // sets expired by retention after this run
+}
+
+// imageBase tracks the snapshot a future incremental can base on, per
+// level — the image engine's analogue of /etc/dumpdates.
+type imageBase struct {
+	snap string
+	gen  uint64
+	date int64
+}
+
+// Scheduler executes runs. Create with New, drive with RunN (which
+// handles the simulated clock) or step with RunOne from inside a
+// simulation process.
+type Scheduler struct {
+	cfg   Config
+	bases map[int]imageBase // image engine: level → base candidate
+	runs  int
+}
+
+// New validates cfg and returns a scheduler.
+func New(cfg Config) (*Scheduler, error) {
+	if cfg.Filer == nil || cfg.Catalog == nil || cfg.Pool == nil {
+		return nil, fmt.Errorf("sched: filer, catalog and pool are required")
+	}
+	if cfg.Engine != catalog.Logical && cfg.Engine != catalog.Image {
+		return nil, fmt.Errorf("sched: engine must be logical or image")
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = DefaultLadder()
+	}
+	if cfg.FSID == "" {
+		cfg.FSID = cfg.Filer.Config.Name
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 24 * time.Hour
+	}
+	if cfg.SnapPrefix == "" {
+		cfg.SnapPrefix = "sched"
+	}
+	if cfg.Drive < 0 || cfg.Drive >= len(cfg.Filer.Tapes) {
+		return nil, fmt.Errorf("sched: drive %d of %d", cfg.Drive, len(cfg.Filer.Tapes))
+	}
+	return &Scheduler{cfg: cfg, bases: make(map[int]imageBase)}, nil
+}
+
+// RunN executes n scheduled runs. On a simulating filer it spawns a
+// simulation process, sleeps Interval of virtual time between runs,
+// and drives the event loop; untimed it just loops. Each run's dump is
+// recorded in the catalog before RunN moves on — a crash between runs
+// loses nothing.
+func (s *Scheduler) RunN(ctx context.Context, n int) ([]RunResult, error) {
+	f := s.cfg.Filer
+	if f.Env != nil && sim.ProcFrom(ctx) == nil {
+		var results []RunResult
+		var runErr error
+		f.Env.Spawn("sched/"+s.cfg.Policy.String(), func(p *sim.Proc) {
+			results, runErr = s.runLoop(core.Proc(ctx, p), n)
+		})
+		f.Env.Run()
+		return results, runErr
+	}
+	return s.runLoop(ctx, n)
+}
+
+func (s *Scheduler) runLoop(ctx context.Context, n int) ([]RunResult, error) {
+	var results []RunResult
+	for i := 0; i < n; i++ {
+		res, err := s.RunOne(ctx)
+		if err != nil {
+			return results, err
+		}
+		results = append(results, *res)
+	}
+	return results, nil
+}
+
+// RunOne executes the next scheduled run: churn, advance the clock,
+// dump at the policy's level, record the set (and its file index) in
+// the catalog, and commit the media to the pool.
+func (s *Scheduler) RunOne(ctx context.Context) (*RunResult, error) {
+	run := s.runs
+	f := s.cfg.Filer
+	if run > 0 && s.cfg.Churn != nil {
+		if err := s.cfg.Churn(ctx, run); err != nil {
+			return nil, fmt.Errorf("sched: churn before run %d: %w", run, err)
+		}
+	}
+	if p := sim.ProcFrom(ctx); p != nil {
+		p.Sleep(s.cfg.Interval)
+	}
+	if f.Tapes[s.cfg.Drive].Loaded() == nil {
+		if err := f.Tapes[s.cfg.Drive].Load(sim.ProcFrom(ctx)); err != nil {
+			return nil, fmt.Errorf("sched: mounting media for run %d: %w", run, err)
+		}
+	}
+	level := s.cfg.Policy.Level(run)
+
+	var res *RunResult
+	var err error
+	if s.cfg.Engine == catalog.Logical {
+		res, err = s.logicalRun(ctx, run, level)
+	} else {
+		res, err = s.imageRun(ctx, run, level)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.runs++
+
+	now := f.FS.Clock()
+	if s.cfg.Retention != nil {
+		expired, err := s.cfg.Pool.ApplyRetention(s.cfg.Retention, s.cfg.FSID, s.cfg.Engine, now)
+		if err != nil {
+			return nil, err
+		}
+		res.Expired = expired
+		if _, err := s.cfg.Pool.Reclaim(now); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// logicalRun performs one scheduled logical dump.
+func (s *Scheduler) logicalRun(ctx context.Context, run, level int) (*RunResult, error) {
+	f := s.cfg.Filer
+	snap := fmt.Sprintf("%s.l%d.run%d", s.cfg.SnapPrefix, level, run)
+	if err := f.FS.CreateSnapshot(ctx, snap); err != nil {
+		return nil, err
+	}
+	defer f.FS.DeleteSnapshot(ctx, snap)
+	view, err := f.FS.SnapshotView(snap)
+	if err != nil {
+		return nil, err
+	}
+	track := &media.TrackingSink{Sink: f.Sink(ctx, s.cfg.Drive), Drive: f.Tapes[s.cfg.Drive]}
+	var index []catalog.FileIndexEntry
+	stats, err := logical.Dump(ctx, logical.DumpOptions{
+		View:      view,
+		Level:     level,
+		Dates:     f.Dates,
+		FSID:      s.cfg.FSID,
+		Sink:      track,
+		Label:     snap,
+		ReadAhead: 16,
+		FileIndex: func(path string, ino wafl.Inum, unit int64) {
+			index = append(index, catalog.FileIndexEntry{Path: path, Ino: uint32(ino), Unit: unit})
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sched: run %d level %d: %w", run, level, err)
+	}
+	f.Tapes[s.cfg.Drive].Flush(sim.ProcFrom(ctx))
+
+	id, err := s.cfg.Catalog.AppendDumpSet(catalog.DumpSet{
+		Engine:   catalog.Logical,
+		FSID:     s.cfg.FSID,
+		Snap:     snap,
+		Level:    int32(level),
+		Date:     stats.Date,
+		BaseDate: stats.BaseDate,
+		Bytes:    stats.BytesWritten,
+		Units:    int64(stats.FilesDumped),
+		Media:    track.Refs(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := s.cfg.Catalog.AppendFileIndex(id, index); err != nil {
+		return nil, err
+	}
+	if err := s.cfg.Pool.CommitSet(id, track.Labels(), stats.Date); err != nil {
+		return nil, err
+	}
+	return &RunResult{Run: run, Level: level, SetID: id, Date: stats.Date,
+		Bytes: stats.BytesWritten, Media: track.Labels()}, nil
+}
+
+// imageRun performs one scheduled image dump. Level semantics mirror
+// dumpdates: a level-L dump bases on the newest prior run at a level
+// below L, whose snapshot is retained for exactly that purpose; deeper
+// levels' snapshots are dropped, as a new base invalidates them.
+func (s *Scheduler) imageRun(ctx context.Context, run, level int) (*RunResult, error) {
+	f := s.cfg.Filer
+	snap := fmt.Sprintf("%s.i%d.run%d", s.cfg.SnapPrefix, level, run)
+	if err := f.FS.CreateSnapshot(ctx, snap); err != nil {
+		return nil, err
+	}
+
+	var base imageBase
+	for l, b := range s.bases {
+		if l < level && b.date > base.date {
+			base = b
+		}
+	}
+
+	track := &media.TrackingSink{Sink: f.Sink(ctx, s.cfg.Drive), Drive: f.Tapes[s.cfg.Drive]}
+	stats, err := physical.Dump(ctx, physical.DumpOptions{
+		FS:           f.FS,
+		Vol:          f.Vol,
+		SnapName:     snap,
+		BaseSnapName: base.snap,
+		Sink:         track,
+		Costs:        f.Config.PhysCosts,
+	})
+	if err != nil {
+		f.FS.DeleteSnapshot(ctx, snap)
+		return nil, fmt.Errorf("sched: run %d level %d: %w", run, level, err)
+	}
+	f.Tapes[s.cfg.Drive].Flush(sim.ProcFrom(ctx))
+
+	date := f.FS.Clock()
+	id, err := s.cfg.Catalog.AppendDumpSet(catalog.DumpSet{
+		Engine:  catalog.Image,
+		FSID:    s.cfg.FSID,
+		Snap:    snap,
+		Level:   -1,
+		Date:    date,
+		Gen:     stats.Gen,
+		BaseGen: stats.BaseGen,
+		NBlocks: stats.NBlocks,
+		Bytes:   stats.BytesWritten,
+		Units:   int64(stats.BlocksDumped),
+		Media:   track.Refs(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := s.cfg.Pool.CommitSet(id, track.Labels(), date); err != nil {
+		return nil, err
+	}
+
+	// Update the base table like DumpDates.Record: this level's
+	// snapshot replaces its slot and invalidates deeper levels.
+	for l, b := range s.bases {
+		if l >= level {
+			f.FS.DeleteSnapshot(ctx, b.snap)
+			delete(s.bases, l)
+		}
+	}
+	s.bases[level] = imageBase{snap: snap, gen: stats.Gen, date: date}
+
+	return &RunResult{Run: run, Level: level, SetID: id, Date: date,
+		Bytes: stats.BytesWritten, Media: track.Labels()}, nil
+}

@@ -88,6 +88,24 @@ func (c *Cartridge) Records() int {
 	return n
 }
 
+// Index returns the raw write-head position: the count of records and
+// file marks on the cartridge. The backup catalog records it before a
+// dump starts so a restore can position to the dump's first record
+// with Rewind + SpaceRecords(index), even on a cartridge shared by
+// several dump sets.
+func (c *Cartridge) Index() int { return len(c.records) }
+
+// Erase wipes the cartridge back to scratch: all records, file marks
+// and latched damage are gone. Only the media pool calls this, and
+// only after every dump set on the cartridge has expired — the
+// overwrite protection a tape library's scratch rotation relies on.
+func (c *Cartridge) Erase() {
+	c.records = nil
+	c.used = 0
+	c.damaged = false
+	c.badReads = nil
+}
+
 // CorruptRecord flips bits in recorded record index i (counting data
 // records only), for restore-resilience tests. It reports whether a
 // record was corrupted.
@@ -188,6 +206,14 @@ func (d *Drive) Load(p *sim.Proc) error {
 
 // Loaded returns the mounted cartridge, or nil.
 func (d *Drive) Loaded() *Cartridge { return d.cart }
+
+// Stacker returns the queued cartridges, front (next to load) first.
+// The media pool uses it to adopt a filer's preloaded tape bank.
+func (d *Drive) Stacker() []*Cartridge {
+	out := make([]*Cartridge, len(d.stacker))
+	copy(out, d.stacker)
+	return out
+}
 
 // Rewind positions the read head at the beginning of the cartridge,
 // charging time proportional to the tape to be rewound (at roughly 8x
