@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 race bench-smoke build vet test chaos fuzz-smoke transport-race
+.PHONY: tier1 race bench-smoke build vet test chaos fuzz-smoke transport-race obs-smoke
 
 tier1: ## vet + build + full test suite (the repo's gate)
 	$(GO) vet ./...
@@ -33,6 +33,10 @@ fuzz-smoke: ## brief real fuzzing of the untrusted-input parsers
 	$(GO) test -fuzz FuzzUnmarshalHeader -fuzztime 10s ./internal/dumpfmt/
 	$(GO) test -fuzz FuzzStreamHeader -fuzztime 10s ./internal/physical/
 	$(GO) test -fuzz FuzzDecodeJournal -fuzztime 10s ./internal/catalog/
+
+obs-smoke: ## instrumented dump with tracing + metrics, validated end to end
+	$(GO) run ./cmd/backupctl stats -mb 4 -trace obs_trace.json -check > /dev/null
+	rm -f obs_trace.json
 
 bench-smoke: ## quick fast-path micro-benchmarks (no JSON report)
 	$(GO) test -run xxx -bench 'RunRead|RunWrite|RecordWrite' -benchtime 100x \

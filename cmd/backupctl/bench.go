@@ -1,12 +1,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 // benchCommand runs the fast-path micro-benchmark suite (the bulk
@@ -15,11 +17,13 @@ import (
 //
 //	backupctl bench -json BENCH_fastpath.json
 //	backupctl bench -cpuprofile cpu.out -memprofile mem.out
+//	backupctl bench -obs BENCH_obs.json
 func benchCommand(args []string) error {
 	set := newFlagSet("bench")
 	jsonPath := set.String("json", "BENCH_fastpath.json", "write the report here ('' = skip)")
 	cpuProf := set.String("cpuprofile", "", "write a CPU profile here")
 	memProf := set.String("memprofile", "", "write a heap profile here")
+	obsPath := set.String("obs", "", "also run the instrumented workload and write its metrics report here")
 	if err := set.Parse(args); err != nil {
 		return err
 	}
@@ -52,6 +56,22 @@ func benchCommand(args []string) error {
 			return err
 		}
 		fmt.Printf("report written to %s\n", *jsonPath)
+	}
+	if *obsPath != "" {
+		obsRep, err := bench.RunObs(context.Background(),
+			bench.Config{DataMB: 8, Seed: 1999, AgeRounds: 2}, obs.NewTracer())
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*obsPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := obsRep.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Printf("observability report written to %s\n", *obsPath)
 	}
 	return nil
 }

@@ -39,6 +39,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/dumpfmt"
 	"repro/internal/logical"
+	"repro/internal/obs"
 	"repro/internal/physical"
 	"repro/internal/storage"
 	"repro/internal/wafl"
@@ -187,6 +188,8 @@ func run(args []string) error {
 		return nil
 	case "bench":
 		return benchCommand(rest)
+	case "stats":
+		return statsCommand(ctx, rest)
 	case "serve":
 		return serveCommand(rest)
 	case "help":
@@ -423,11 +426,20 @@ func volumeCommand(ctx context.Context, fs *wafl.FS, vol, cmd string, rest []str
 		out := set.String("o", "", "output stream file")
 		level := set.Int("level", 0, "incremental level 0-9")
 		subtree := set.String("subtree", "", "dump only this directory")
+		trace := set.String("trace", "", "write a Chrome trace of the dump to this file")
 		if err := set.Parse(rest); err != nil {
 			return err
 		}
 		if *out == "" {
 			return fmt.Errorf("dump: -o required")
+		}
+		if *trace != "" {
+			tracer, flush, err := traceToFile(*trace)
+			if err != nil {
+				return err
+			}
+			defer flush()
+			ctx = obs.WithTracer(ctx, tracer)
 		}
 		cat, store, err := openVolCatalog(vol)
 		if err != nil {
@@ -478,11 +490,20 @@ func volumeCommand(ctx context.Context, fs *wafl.FS, vol, cmd string, rest []str
 		target := set.String("target", "/", "directory to graft the dump onto")
 		syncDel := set.Bool("sync-deletes", false, "apply deletions (incremental chains)")
 		file := set.String("file", "", "restore only this dump-relative path")
+		trace := set.String("trace", "", "write a Chrome trace of the restore to this file")
 		if err := set.Parse(rest); err != nil {
 			return err
 		}
 		if *in == "" {
 			return fmt.Errorf("restore: -i required")
+		}
+		if *trace != "" {
+			tracer, flush, err := traceToFile(*trace)
+			if err != nil {
+				return err
+			}
+			defer flush()
+			ctx = obs.WithTracer(ctx, tracer)
 		}
 		src, _, err := openStream(*in)
 		if err != nil {
@@ -509,11 +530,20 @@ func volumeCommand(ctx context.Context, fs *wafl.FS, vol, cmd string, rest []str
 		out := set.String("o", "", "output stream file")
 		snap := set.String("snap", "", "snapshot to dump (created if missing)")
 		base := set.String("base", "", "base snapshot for an incremental")
+		trace := set.String("trace", "", "write a Chrome trace of the image dump to this file")
 		if err := set.Parse(rest); err != nil {
 			return err
 		}
 		if *out == "" {
 			return fmt.Errorf("imagedump: -o required")
+		}
+		if *trace != "" {
+			tracer, flush, err := traceToFile(*trace)
+			if err != nil {
+				return err
+			}
+			defer flush()
+			ctx = obs.WithTracer(ctx, tracer)
 		}
 		name := *snap
 		if name == "" {

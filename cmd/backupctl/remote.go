@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/logical"
 	"repro/internal/ndmp"
+	"repro/internal/obs"
 	"repro/internal/physical"
 	"repro/internal/transport"
 	"repro/internal/wafl"
@@ -46,11 +47,21 @@ func serveCommand(rest []string) error {
 	out := set.String("o", "", "output stream file (resumed streams get .s<N> suffixes)")
 	once := set.Bool("once", false, "exit after one session closes cleanly")
 	idle := set.Duration("idle", 30*time.Second, "drop a connection silent for this long")
+	trace := set.String("trace", "", "write a Chrome trace of served connections to this file")
 	if err := set.Parse(rest); err != nil {
 		return err
 	}
 	if *out == "" {
 		return fmt.Errorf("serve: -o required")
+	}
+	var tr *obs.Tracer
+	if *trace != "" {
+		tracer, flush, err := traceToFile(*trace)
+		if err != nil {
+			return err
+		}
+		defer flush()
+		tr = tracer
 	}
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -58,7 +69,7 @@ func serveCommand(rest []string) error {
 	}
 	defer l.Close()
 	fmt.Printf("serving on %s, streams to %s\n", l.Addr(), *out)
-	return serveOn(l, *out, *once, *idle)
+	return serveOn(l, *out, *once, *idle, tr)
 }
 
 // serveOn accepts connections on l and feeds their frames to a single
@@ -67,7 +78,8 @@ func serveCommand(rest []string) error {
 // a client redialing after a cut first causes the stale connection's
 // read to fail, which drops it back to Accept. Returns after a clean
 // session close when once is set, otherwise serves until l is closed.
-func serveOn(l net.Listener, base string, once bool, idle time.Duration) error {
+func serveOn(l net.Listener, base string, once bool, idle time.Duration, tr *obs.Tracer) error {
+	traceCtx := obs.WithTracer(context.Background(), tr)
 	var open []*fileSink
 	var received []recvStream
 	closeAll := func() {
@@ -95,7 +107,13 @@ func serveOn(l net.Listener, base string, once bool, idle time.Duration) error {
 			return err
 		}
 		nc := transport.NewNetConn(conn)
+		_, span := obs.Start(traceCtx, "serve.conn")
+		span.SetAttr("peer", conn.RemoteAddr().String())
 		err = ndmp.Serve(nc, host, idle)
+		hs := host.Stats()
+		span.SetAttr("records", hs.Records)
+		span.SetAttr("streams", hs.Streams)
+		span.End()
 		nc.Close()
 		if err != nil {
 			// The client redials recoverable faults; keep listening.
@@ -126,9 +144,10 @@ func pushCommand(ctx context.Context, fs *wafl.FS, vol string, rest []string) er
 	snap := set.String("snap", "", "snapshot to dump (image; created if missing)")
 	ckpt := set.Int("ckpt", 0, "checkpoint interval in files (logical) or blocks (image); 0 = default")
 	window := set.Int("window", 0, "session send window in records (0 = protocol default)")
-	session := set.Uint64("session", 0, "session id (0 = derive from clock)")
+	session := set.Uint64("session", 0, "session id (0 = pick at random)")
 	maxResumes := set.Int("max-resumes", 4, "give up after this many checkpoint resumes")
 	dead := set.Duration("dead", 0, "declare the receiver dead after this much silence (0 = protocol default)")
+	trace := set.String("trace", "", "write a Chrome trace of the push to this file")
 	if err := set.Parse(rest); err != nil {
 		return err
 	}
@@ -136,7 +155,24 @@ func pushCommand(ctx context.Context, fs *wafl.FS, vol string, rest []string) er
 		return fmt.Errorf("push: -to required")
 	}
 	if *session == 0 {
-		*session = uint64(time.Now().UnixNano())
+		// Clock-derived ids collide when two pushes start in the same
+		// nanosecond tick (coarse clocks make that real) and, worse, a
+		// collision silently rebinds the receiver's stream state.
+		// Random ids make collisions 2^-64-unlikely; redraw the
+		// reserved id 0, which the protocol uses for "no session".
+		id, err := randomSessionID()
+		if err != nil {
+			return fmt.Errorf("push: deriving session id: %w", err)
+		}
+		*session = id
+	}
+	if *trace != "" {
+		tracer, flush, err := traceToFile(*trace)
+		if err != nil {
+			return err
+		}
+		defer flush()
+		ctx = obs.WithTracer(ctx, tracer)
 	}
 
 	streamKind := byte(ndmp.KindLogical)

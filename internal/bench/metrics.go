@@ -9,21 +9,72 @@ package bench
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"text/tabwriter"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/raid"
 	"repro/internal/sim"
 	"repro/internal/tape"
 )
 
-// Meters knows how to sample every resource of an experiment.
+// Meters knows how to sample every resource of an experiment. Samples
+// are read through an obs.Registry: each resource registers its pull
+// collectors once, and Take aggregates the registry's families, so the
+// same numbers the benchmark reports are exported by backupctl stats.
 type Meters struct {
 	Env   *sim.Env
 	CPU   *sim.Station
 	Vols  []*raid.Volume
 	Tapes []*tape.Drive
+
+	reg  *obs.Registry
+	seen map[any]bool
+}
+
+// Registry returns the registry the meters sample through, creating it
+// and registering every known resource on first use. Resources
+// appended to Vols/Tapes after a sample (parallel experiments grow
+// mid-run) are picked up on the next call.
+func (m *Meters) Registry() *obs.Registry {
+	if m.reg == nil {
+		m.reg = obs.NewRegistry()
+	}
+	m.syncRegistry()
+	return m.reg
+}
+
+func (m *Meters) syncRegistry() {
+	if m.seen == nil {
+		m.seen = make(map[any]bool)
+	}
+	if m.CPU != nil && !m.seen[m.CPU] {
+		m.seen[m.CPU] = true
+		cpu := m.CPU
+		m.reg.RegisterFunc("sim_cpu_busy_seconds", obs.KindGauge, nil,
+			func() float64 { return cpu.Busy().Seconds() })
+	}
+	for _, v := range m.Vols {
+		if !m.seen[v] {
+			m.seen[v] = true
+			v.RegisterMetrics(m.reg)
+		}
+	}
+	for _, t := range m.Tapes {
+		if !m.seen[t] {
+			m.seen[t] = true
+			t.RegisterMetrics(m.reg)
+		}
+	}
+}
+
+// busyDuration converts a busy-seconds gauge back to a duration.
+// Round, not truncate: the float trip through the registry can land a
+// hair under the exact nanosecond count.
+func busyDuration(sec float64) time.Duration {
+	return time.Duration(math.Round(sec * 1e9))
 }
 
 // Sample is a point-in-time reading of all resources.
@@ -36,26 +87,18 @@ type Sample struct {
 	TapeBusy            time.Duration
 }
 
-// Take reads all meters now.
+// Take reads all meters now, through the registry.
 func (m *Meters) Take() Sample {
-	s := Sample{T: m.Env.Now()}
-	if m.CPU != nil {
-		s.CPUBusy = m.CPU.Busy()
+	reg := m.Registry()
+	return Sample{
+		T:         m.Env.Now(),
+		CPUBusy:   busyDuration(reg.Sum("sim_cpu_busy_seconds")),
+		DiskRead:  int64(reg.Sum("raid_read_bytes_total")),
+		DiskWrite: int64(reg.Sum("raid_written_bytes_total")),
+		DiskBusy:  busyDuration(reg.Sum("raid_disk_busy_seconds")),
+		TapeIO:    int64(reg.Sum("tape_written_bytes_total") + reg.Sum("tape_read_bytes_total")),
+		TapeBusy:  busyDuration(reg.Sum("tape_busy_seconds")),
 	}
-	for _, v := range m.Vols {
-		r, w := v.Traffic()
-		s.DiskRead += r
-		s.DiskWrite += w
-		s.DiskBusy += v.DiskBusy()
-	}
-	for _, t := range m.Tapes {
-		w, r, _ := t.Stats()
-		s.TapeIO += w + r
-		if st := t.Station(); st != nil {
-			s.TapeBusy += st.Busy()
-		}
-	}
-	return s
 }
 
 // Stage is one measured phase of an operation.

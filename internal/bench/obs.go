@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/logical"
+	"repro/internal/obs"
+	"repro/internal/physical"
+	"repro/internal/raid"
+	"repro/internal/sim"
+	"repro/internal/wafl"
+)
+
+// ObsReport is what an instrumented smoke run produced: each engine's
+// own statistics next to the registry that observed it, so callers can
+// cross-check the two (backupctl stats -check does exactly that).
+type ObsReport struct {
+	DataBytes int64               `json:"data_bytes"`
+	Logical   *logical.DumpStats  `json:"logical"`
+	Image     *physical.DumpStats `json:"image"`
+	Metrics   []obs.Point         `json:"metrics"`
+	Stages    []*Stage            `json:"-"`
+	Registry  *obs.Registry       `json:"-"`
+	Filer     *core.Filer         `json:"-"`
+}
+
+// WriteJSON dumps the report (with a fresh metrics snapshot) for
+// BENCH_obs.json.
+func (r *ObsReport) WriteJSON(w io.Writer) error {
+	r.Metrics = r.Registry.Snapshot()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// RunObs populates a filer, then runs a level-0 logical dump to drive
+// 0 and a full image dump to drive 1 with metrics and (optionally)
+// tracing threaded through the whole stack — the workload behind
+// backupctl stats and make obs-smoke. The returned report keeps the
+// live registry, so its pull collectors still read the filer.
+func RunObs(ctx context.Context, cfg Config, tr *obs.Tracer) (*ObsReport, error) {
+	tweak := cfg.Tweak
+	cfg.Tweak = func(fc *core.FilerConfig) {
+		// A small cache forces the dumps to the disks, so the vdev and
+		// raid counters observe real traffic instead of cache hits.
+		fc.CacheBlocks = 64
+		if tweak != nil {
+			tweak(fc)
+		}
+	}
+	f, err := buildFiler(ctx, cfg, "obs", 2, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := populate(ctx, f, cfg, "", 0); err != nil {
+		return nil, err
+	}
+	if err := f.FS.CP(ctx); err != nil {
+		return nil, err
+	}
+
+	meters := &Meters{Env: f.Env, CPU: f.CPU, Vols: []*raid.Volume{f.Vol}, Tapes: f.Tapes}
+	reg := meters.Registry()
+	ctx = obs.WithMetrics(ctx, reg)
+	if tr != nil {
+		ctx = obs.WithTracer(ctx, tr)
+	}
+	rep := &ObsReport{
+		DataBytes: int64(f.FS.UsedBlocks()) * wafl.BlockSize,
+		Registry:  reg,
+		Filer:     f,
+	}
+	rec := NewRecorder(meters)
+
+	var dumpErr error
+	f.Env.Spawn("logical-dump", func(p *sim.Proc) {
+		c := sim.WithProc(ctx, p)
+		if dumpErr = f.LoadTape(c, 0); dumpErr != nil {
+			return
+		}
+		rep.Logical, dumpErr = f.LogicalDump(c, 0, 0, "/", "obs-l0", rec)
+	})
+	f.Env.Run()
+	if dumpErr != nil {
+		return nil, fmt.Errorf("bench: obs logical dump: %w", dumpErr)
+	}
+
+	var imgErr error
+	f.Env.Spawn("image-dump", func(p *sim.Proc) {
+		c := sim.WithProc(ctx, p)
+		if imgErr = f.LoadTape(c, 1); imgErr != nil {
+			return
+		}
+		rec.Begin("Dumping blocks")
+		rep.Image, imgErr = f.ImageDump(c, 1, "obs-img", "")
+		rec.End()
+	})
+	f.Env.Run()
+	if imgErr != nil {
+		return nil, fmt.Errorf("bench: obs image dump: %w", imgErr)
+	}
+	rep.Stages = rec.Stages
+	return rep, nil
+}

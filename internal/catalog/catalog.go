@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/logical"
+	"repro/internal/obs"
 )
 
 // Engine identifies which dump engine produced a set.
@@ -159,6 +160,8 @@ type Catalog struct {
 	// TornBytes is how many trailing journal bytes recovery discarded
 	// as a torn or corrupt final record (0 = clean open).
 	TornBytes int64
+
+	appends int64 // journal records appended by this Catalog
 }
 
 // Open replays the journal in store and returns the catalog positioned
@@ -233,8 +236,32 @@ func (c *Catalog) append(rec Record, payload []byte) error {
 	if err := c.store.Append(frame(payload)); err != nil {
 		return err
 	}
+	c.appends++
 	c.apply(rec)
 	return nil
+}
+
+// RegisterMetrics installs pull collectors for the catalog: journal
+// appends, torn-tail recoveries, and the live/total dump-set gauges.
+func (c *Catalog) RegisterMetrics(r *obs.Registry) {
+	r.RegisterFunc("catalog_appends_total", obs.KindCounter, nil, func() float64 {
+		return float64(c.appends)
+	})
+	r.RegisterFunc("catalog_torn_bytes", obs.KindGauge, nil, func() float64 {
+		return float64(c.TornBytes)
+	})
+	r.RegisterFunc("catalog_recoveries_total", obs.KindCounter, nil, func() float64 {
+		if c.TornBytes > 0 {
+			return 1
+		}
+		return 0
+	})
+	r.RegisterFunc("catalog_sets", obs.KindGauge, nil, func() float64 {
+		return float64(len(c.sets))
+	})
+	r.RegisterFunc("catalog_live_sets", obs.KindGauge, nil, func() float64 {
+		return float64(len(c.Live()))
+	})
 }
 
 // AppendDumpSet records a completed dump set, assigning and returning

@@ -25,6 +25,7 @@ import (
 	"sort"
 
 	"repro/internal/logical"
+	"repro/internal/obs"
 	"repro/internal/physical"
 	"repro/internal/raid"
 	"repro/internal/storage"
@@ -95,6 +96,10 @@ type Report struct {
 	// names. The chaos invariant is Identical || Explained.
 	Identical bool
 	Explained bool
+
+	// Metrics is the run's final registry snapshot: every storage and
+	// tape counter the scenario touched, for post-mortem inspection.
+	Metrics []obs.Point
 }
 
 // countingSink wraps a DriveSink to count cartridges consumed, so the
@@ -137,6 +142,9 @@ func Run(ctx context.Context, s Scenario) (*Report, error) {
 		s.MaxResumes = 4
 	}
 	rep := &Report{Engine: s.Engine, Seed: s.Seed}
+	reg := obs.NewRegistry()
+	ctx = obs.WithMetrics(ctx, reg)
+	defer func() { rep.Metrics = reg.Snapshot() }()
 
 	// Build the source filesystem on the chosen topology.
 	const blocks = 8192
@@ -163,10 +171,10 @@ func Run(ctx context.Context, s Scenario) (*Report, error) {
 			return nil, err
 		}
 		dev = vol
+		vol.RegisterMetrics(reg)
 		defer func() {
-			if vol != nil {
-				rep.RaidRetries, rep.Reconstructs = vol.RecoveryStats()
-			}
+			rep.RaidRetries = int(reg.Sum("raid_retries_total"))
+			rep.Reconstructs = int(reg.Sum("raid_reconstructs_total"))
 		}()
 		prof := s.Profile
 		if prof.Seed == 0 {
@@ -282,6 +290,7 @@ func dumpRestoreCycle(ctx context.Context, s Scenario, rep *Report, fs *wafl.FS,
 			cfg.OfflineAfterRecords = 0 // the replacement drive works
 		}
 		d.InjectFaults(cfg)
+		d.RegisterMetrics(obs.MetricsFrom(ctx))
 		return d
 	}
 

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/logical"
 	"repro/internal/ndmp"
+	"repro/internal/obs"
 	"repro/internal/physical"
 	"repro/internal/storage"
 	"repro/internal/tape"
@@ -70,6 +71,11 @@ type NetReport struct {
 
 	DiffPaths []string
 	Identical bool
+
+	// Metrics is the run's final registry snapshot: the host's totals
+	// across all streams, plus the last stream's session counters
+	// (each re-dial re-registers its collectors under the session id).
+	Metrics []obs.Point
 }
 
 // netSink adapts a session to the engines' sink contract while
@@ -129,6 +135,8 @@ func RunNet(ctx context.Context, s NetScenario) (*NetReport, error) {
 		s.MaxResumes = 4
 	}
 	rep := &NetReport{Engine: s.Engine, Seed: s.Seed}
+	reg := obs.NewRegistry()
+	defer func() { rep.Metrics = reg.Snapshot() }()
 
 	// Clean source filesystem: the network is the only chaos here.
 	const blocks = 8192
@@ -185,6 +193,7 @@ func RunNet(ctx context.Context, s NetScenario) (*NetReport, error) {
 		tapes = append(tapes, st)
 		return st.sink, nil
 	})
+	host.RegisterMetrics(reg)
 	link.B().Attach(host.HandleFrame)
 	dial := func() (transport.Conn, error) {
 		if link.Down() {
@@ -221,6 +230,7 @@ func RunNet(ctx context.Context, s NetScenario) (*NetReport, error) {
 		if err != nil {
 			return nil, fmt.Errorf("chaos: dial stream %d: %w", attempt, err)
 		}
+		sess.RegisterMetrics(reg)
 		sink := &netSink{sess: sess, link: link, written: &written, schedule: &schedule, injected: &rep.Partitions}
 
 		var lgCkpt *logical.Checkpoint

@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"repro/internal/dumpfmt"
+	"repro/internal/obs"
 	"repro/internal/wafl"
 )
 
@@ -95,15 +96,26 @@ func Restore(ctx context.Context, opts RestoreOptions) (*RestoreStats, error) {
 	}
 	r := dumpfmt.NewReader(opts.Source)
 	stats := &RestoreStats{}
+	ctx, restoreSpan := obs.Start(ctx, "logical.restore")
+	defer func() {
+		restoreSpan.SetAttr("files", stats.FilesRestored)
+		restoreSpan.SetAttr("dirs", stats.DirsCreated)
+		restoreSpan.SetAttr("bytes", stats.BytesRead)
+		restoreSpan.End()
+	}()
+	var phaseSpan *obs.Span
 	begin := func(name string) {
 		if opts.Stages != nil {
 			opts.Stages.Begin(name)
 		}
+		_, phaseSpan = obs.Start(ctx, "logical."+obs.Slug(name))
 	}
 	end := func() {
 		if opts.Stages != nil {
 			opts.Stages.End()
 		}
+		phaseSpan.End()
+		phaseSpan = nil
 	}
 
 	// Pass one: read maps and directories into the desiccated tree.
@@ -166,6 +178,10 @@ func Restore(ctx context.Context, opts RestoreOptions) (*RestoreStats, error) {
 		return nil, err
 	}
 	stats.SkippedUnits = r.Skipped()
+	m := obs.MetricsFrom(ctx)
+	m.Counter("logical_restore_files_total", nil).Add(int64(stats.FilesRestored))
+	m.Counter("logical_restore_dirs_total", nil).Add(int64(stats.DirsCreated))
+	m.Counter("logical_restore_bytes_total", nil).Add(stats.BytesRead)
 	return stats, nil
 }
 

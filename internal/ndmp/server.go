@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/dumpfmt"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -61,6 +62,26 @@ func (h *Host) Stats() HostStats {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.stats
+}
+
+// RegisterMetrics installs pull collectors for the host's protocol
+// counters. The closures lock the host, so collection is safe while
+// the host is serving.
+func (h *Host) RegisterMetrics(r *obs.Registry) {
+	snap := func(read func(HostStats) float64) func() float64 {
+		return func() float64 {
+			h.mu.Lock()
+			defer h.mu.Unlock()
+			return read(h.stats)
+		}
+	}
+	r.RegisterFunc("ndmp_host_streams_total", obs.KindCounter, nil, snap(func(s HostStats) float64 { return float64(s.Streams) }))
+	r.RegisterFunc("ndmp_host_records_total", obs.KindCounter, nil, snap(func(s HostStats) float64 { return float64(s.Records) }))
+	r.RegisterFunc("ndmp_host_duplicates_total", obs.KindCounter, nil, snap(func(s HostStats) float64 { return float64(s.Duplicates) }))
+	r.RegisterFunc("ndmp_host_gaps_total", obs.KindCounter, nil, snap(func(s HostStats) float64 { return float64(s.Gaps) }))
+	r.RegisterFunc("ndmp_host_bad_frames_total", obs.KindCounter, nil, snap(func(s HostStats) float64 { return float64(s.BadFrames) }))
+	r.RegisterFunc("ndmp_host_heartbeats_total", obs.KindCounter, nil, snap(func(s HostStats) float64 { return float64(s.Heartbeats) }))
+	r.RegisterFunc("ndmp_host_next_vols_total", obs.KindCounter, nil, snap(func(s HostStats) float64 { return float64(s.NextVols) }))
 }
 
 // Acked returns the durable high-water mark of the current stream.

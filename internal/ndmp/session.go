@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/dumpfmt"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/storage"
 	"repro/internal/transport"
@@ -71,6 +72,8 @@ type SessionStats struct {
 	HeartbeatsSent int
 	Timeouts       int // receive deadlines that expired
 	BadFrames      int // undecodable frames received
+	FramesSent     int // frames put on the wire (data, handshake, probes)
+	WindowStalls   int // WriteRecord calls that blocked on a full window
 }
 
 // pending is one unacknowledged record in the send window.
@@ -108,6 +111,11 @@ type Session struct {
 // Dial opens a session: connect, handshake, learn the host's durable
 // high-water mark. Recoverable failures are retried per cfg.Redial.
 func Dial(dial Dialer, cfg Config) (*Session, error) {
+	if cfg.Session == 0 {
+		// Id 0 is reserved as "unset": two clients defaulting to it
+		// would silently merge their streams in the host's catalog.
+		return nil, errors.New("ndmp: session id 0 is reserved; pick a random nonzero id")
+	}
 	if cfg.Window <= 0 {
 		cfg.Window = 16
 	}
@@ -134,6 +142,32 @@ func Dial(dial Dialer, cfg Config) (*Session, error) {
 
 // Stats returns a snapshot of the session's counters.
 func (s *Session) Stats() SessionStats { return s.stats }
+
+// RegisterMetrics installs pull collectors for the session's protocol
+// counters, labeled by session id. A Session is single-goroutine;
+// collect from the same goroutine or after the session closes.
+func (s *Session) RegisterMetrics(r *obs.Registry) {
+	l := obs.Labels{"session": fmt.Sprintf("%d", s.cfg.Session)}
+	counters := []struct {
+		name string
+		fn   func() float64
+	}{
+		{"ndmp_records_total", func() float64 { return float64(s.stats.Records) }},
+		{"ndmp_replayed_total", func() float64 { return float64(s.stats.Replayed) }},
+		{"ndmp_reconnects_total", func() float64 { return float64(s.stats.Reconnects) }},
+		{"ndmp_heartbeats_sent_total", func() float64 { return float64(s.stats.HeartbeatsSent) }},
+		{"ndmp_timeouts_total", func() float64 { return float64(s.stats.Timeouts) }},
+		{"ndmp_bad_frames_total", func() float64 { return float64(s.stats.BadFrames) }},
+		{"ndmp_frames_sent_total", func() float64 { return float64(s.stats.FramesSent) }},
+		{"ndmp_window_stalls_total", func() float64 { return float64(s.stats.WindowStalls) }},
+	}
+	for _, c := range counters {
+		r.RegisterFunc(c.name, obs.KindCounter, l, c.fn)
+	}
+	r.RegisterFunc("ndmp_acked_records", obs.KindGauge, l, func() float64 {
+		return float64(s.acked)
+	})
+}
 
 // Acked returns the host's durable high-water mark as last heard.
 func (s *Session) Acked() uint64 { return s.acked }
@@ -245,6 +279,7 @@ func (s *Session) reconnect(cause error) error {
 // as a heartbeat; all our requests are idempotent on the host).
 // Other acks that arrive meanwhile still slide the window.
 func (s *Session) request(req []byte, want byte) (ack, error) {
+	s.stats.FramesSent++
 	if err := s.conn.Send(req); err != nil {
 		return ack{}, err
 	}
@@ -263,6 +298,7 @@ func (s *Session) request(req []byte, want byte) (ack, error) {
 			if silence >= s.cfg.DeadAfter {
 				return ack{}, fmt.Errorf("no answer for %v: %w", silence, ErrPeerDead)
 			}
+			s.stats.FramesSent++
 			if err := s.conn.Send(req); err != nil {
 				return ack{}, err
 			}
@@ -306,6 +342,7 @@ func (s *Session) transmit() error {
 			flags = FlagAckNow
 		}
 		raw := transport.Encode(&transport.Frame{Type: MsgData, Flags: flags, Seq: p.seq, Payload: p.data})
+		s.stats.FramesSent++
 		if err := s.conn.Send(raw); err != nil {
 			return err
 		}
@@ -323,6 +360,7 @@ func (s *Session) transmit() error {
 // which doubles as an ack solicitation.
 func (s *Session) probe() error {
 	s.stats.HeartbeatsSent++
+	s.stats.FramesSent++
 	return s.conn.Send(transport.Encode(&transport.Frame{Type: MsgHeartbeat, Flags: FlagAckNow}))
 }
 
@@ -423,6 +461,9 @@ func (s *Session) WriteRecord(rec []byte) error {
 	copy(cp, rec)
 	s.window = append(s.window, pending{seq: seq, data: cp})
 	s.stats.Records++
+	if len(s.window) >= s.cfg.Window {
+		s.stats.WindowStalls++
+	}
 	if err := s.advance(func() bool { return s.eom || len(s.window) < s.cfg.Window }); err != nil {
 		return err
 	}

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/bufpool"
 	"repro/internal/dumpfmt"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/storage"
 	"repro/internal/wafl"
@@ -191,6 +192,8 @@ func Dump(ctx context.Context, opts DumpOptions) (*DumpStats, error) {
 	if opts.FS == nil || opts.Vol == nil || opts.Sink == nil {
 		return nil, fmt.Errorf("physical: nil fs, volume or sink")
 	}
+	ctx, dumpSpan := obs.Start(ctx, "physical.dump")
+	defer dumpSpan.End()
 	snap, err := opts.FS.Snapshot(opts.SnapName)
 	if err != nil {
 		return nil, err
@@ -362,6 +365,16 @@ func Dump(ctx context.Context, opts DumpOptions) (*DumpStats, error) {
 	}
 	stats.BlocksDumped = len(blocks)
 	stats.BytesWritten = w.written
+	dumpSpan.SetAttr("blocks", stats.BlocksDumped)
+	dumpSpan.SetAttr("bytes", stats.BytesWritten)
+	dumpSpan.SetAttr("gen", stats.Gen)
+	if opts.Shards > 1 {
+		dumpSpan.SetAttr("shard", opts.Shard)
+	}
+	m := obs.MetricsFrom(ctx)
+	l := obs.Labels{"snap": opts.SnapName}
+	m.Counter("physical_dump_blocks_total", l).Add(int64(stats.BlocksDumped))
+	m.Counter("physical_dump_bytes_total", l).Add(stats.BytesWritten)
 	return stats, nil
 }
 

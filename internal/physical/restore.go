@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/bufpool"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/wafl"
 )
@@ -150,6 +151,12 @@ func Restore(ctx context.Context, opts RestoreOptions) (*RestoreStats, error) {
 // has already been read and validated.
 func restoreBody(ctx context.Context, vol storage.Device, r *streamReader, h *streamHeader, opts RestoreOptions) (*RestoreStats, error) {
 	stats := &RestoreStats{Gen: h.gen}
+	ctx, span := obs.Start(ctx, "physical.restore")
+	defer func() {
+		span.SetAttr("blocks", stats.BlocksRestored)
+		span.SetAttr("bytes", stats.BytesRead)
+		span.End()
+	}()
 	const maxRestoreRun = 512
 	crc := crc32.NewIEEE()
 	var ext [8]byte
@@ -224,6 +231,9 @@ func restoreBody(ctx context.Context, vol storage.Device, r *streamReader, h *st
 		}
 	}
 	stats.BytesRead = r.read
+	m := obs.MetricsFrom(ctx)
+	m.Counter("physical_restore_blocks_total", nil).Add(int64(stats.BlocksRestored))
+	m.Counter("physical_restore_bytes_total", nil).Add(stats.BytesRead)
 	return stats, nil
 }
 

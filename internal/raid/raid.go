@@ -64,6 +64,9 @@ type Group struct {
 	retry        storage.RetryPolicy
 	retries      int // transient-fault retries performed
 	reconstructs int // single-block degraded reads served from parity
+
+	stripeReads  int // bulk ReadRun calls served on the striped fast path
+	degradedRuns int // runs that fell back to per-block degraded reads
 }
 
 // NewGroup builds a RAID-4 group. All disks must have equal size.

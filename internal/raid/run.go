@@ -25,6 +25,7 @@ func (g *Group) ReadRun(ctx context.Context, bno, n int, buf []byte) error {
 	if g.failed >= 0 {
 		return g.readRunDegraded(ctx, bno, n, buf)
 	}
+	g.stripeReads++
 	nd := len(g.data)
 	if nd == 1 {
 		// Single data disk: the group run is the disk run; read
@@ -77,6 +78,7 @@ func (g *Group) ReadRun(ctx context.Context, bno, n int, buf []byte) error {
 // block goes through ReadBlock, which retries transient faults and
 // reconstructs persistently unreadable blocks from parity.
 func (g *Group) readRunDegraded(ctx context.Context, bno, n int, buf []byte) error {
+	g.degradedRuns++
 	for i := 0; i < n; i++ {
 		if err := g.ReadBlock(ctx, bno+i, buf[i*storage.BlockSize:(i+1)*storage.BlockSize]); err != nil {
 			return err

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/storage"
 	"repro/internal/vdev"
@@ -104,6 +105,55 @@ func (v *Volume) RecoveryStats() (retries, reconstructs int) {
 		reconstructs += c
 	}
 	return retries, reconstructs
+}
+
+// RegisterMetrics installs pull collectors for the volume's traffic
+// and recovery counters and registers every member disk that exposes
+// metrics of its own. Idempotent per (registry, volume).
+func (v *Volume) RegisterMetrics(r *obs.Registry) {
+	l := obs.Labels{"vol": v.name}
+	r.RegisterFunc("raid_read_bytes_total", obs.KindCounter, l, func() float64 {
+		return float64(v.bytesRead)
+	})
+	r.RegisterFunc("raid_written_bytes_total", obs.KindCounter, l, func() float64 {
+		return float64(v.bytesWritten)
+	})
+	r.RegisterFunc("raid_retries_total", obs.KindCounter, l, func() float64 {
+		retries, _ := v.RecoveryStats()
+		return float64(retries)
+	})
+	r.RegisterFunc("raid_reconstructs_total", obs.KindCounter, l, func() float64 {
+		_, reconstructs := v.RecoveryStats()
+		return float64(reconstructs)
+	})
+	r.RegisterFunc("raid_stripe_reads_total", obs.KindCounter, l, func() float64 {
+		n := 0
+		for _, g := range v.groups {
+			n += g.stripeReads
+		}
+		return float64(n)
+	})
+	r.RegisterFunc("raid_degraded_runs_total", obs.KindCounter, l, func() float64 {
+		n := 0
+		for _, g := range v.groups {
+			n += g.degradedRuns
+		}
+		return float64(n)
+	})
+	r.RegisterFunc("raid_disk_busy_seconds", obs.KindGauge, l, func() float64 {
+		return v.DiskBusy().Seconds()
+	})
+	type registrar interface{ RegisterMetrics(*obs.Registry) }
+	for _, g := range v.groups {
+		for _, d := range g.data {
+			if m, ok := d.(registrar); ok {
+				m.RegisterMetrics(r)
+			}
+		}
+		if m, ok := g.parity.(registrar); ok {
+			m.RegisterMetrics(r)
+		}
+	}
 }
 
 // locate maps a volume block to (group, group-local block).

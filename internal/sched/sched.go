@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/logical"
 	"repro/internal/media"
+	"repro/internal/obs"
 	"repro/internal/physical"
 	"repro/internal/sim"
 	"repro/internal/wafl"
@@ -200,6 +201,9 @@ func (s *Scheduler) runLoop(ctx context.Context, n int) ([]RunResult, error) {
 func (s *Scheduler) RunOne(ctx context.Context) (*RunResult, error) {
 	run := s.runs
 	f := s.cfg.Filer
+	ctx, span := obs.Start(ctx, fmt.Sprintf("sched.run%d", run))
+	defer span.End()
+	span.SetAttr("engine", s.cfg.Engine.String())
 	if run > 0 && s.cfg.Churn != nil {
 		if err := s.cfg.Churn(ctx, run); err != nil {
 			return nil, fmt.Errorf("sched: churn before run %d: %w", run, err)

@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -171,6 +172,34 @@ func (d *Drive) Name() string { return d.name }
 // Station returns the drive's sim station for utilization accounting
 // (nil when untimed).
 func (d *Drive) Station() *sim.Station { return d.station }
+
+// RegisterMetrics installs pull collectors for the drive's traffic,
+// record, volume-switch and media-error counters. Idempotent per
+// (registry, drive).
+func (d *Drive) RegisterMetrics(r *obs.Registry) {
+	l := obs.Labels{"drive": d.name}
+	r.RegisterFunc("tape_written_bytes_total", obs.KindCounter, l, func() float64 {
+		return float64(d.bytesWritten)
+	})
+	r.RegisterFunc("tape_read_bytes_total", obs.KindCounter, l, func() float64 {
+		return float64(d.bytesRead)
+	})
+	r.RegisterFunc("tape_records_total", obs.KindCounter, l, func() float64 {
+		return float64(d.recordsWritten)
+	})
+	r.RegisterFunc("tape_volume_switches_total", obs.KindCounter, l, func() float64 {
+		return float64(d.changes)
+	})
+	r.RegisterFunc("tape_media_errors_total", obs.KindCounter, l, func() float64 {
+		return float64(d.mediaErrors)
+	})
+	r.RegisterFunc("tape_busy_seconds", obs.KindGauge, l, func() float64 {
+		if d.station == nil {
+			return 0
+		}
+		return d.station.Busy().Seconds()
+	})
+}
 
 // Stats returns bytes written, bytes read and cartridge changes.
 func (d *Drive) Stats() (written, read int64, changes int) {

@@ -28,9 +28,17 @@ func (n *NetConn) Send(raw []byte) error {
 }
 
 // Recv implements Conn: it reads exactly one frame, honoring timeout
-// as a wall-clock read deadline (0 or negative polls). A frame whose
-// preamble is unparseable poisons the byte stream, so it surfaces as
-// ErrBadFrame and the caller should re-dial.
+// as a wall-clock read deadline on the header (0 or negative polls).
+// Once the header commits, the payload gets its own deadline scaled to
+// its length, so a large frame trickling over a slow link is not
+// penalized by a short polling timeout.
+//
+// Timeouts are only retryable (ErrTimeout) when they expire on a frame
+// boundary — zero header bytes read. A deadline that expires mid-frame
+// leaves the TCP stream desynchronized: the unread remainder would be
+// misparsed as a fresh header on the next call. Those surface as
+// ErrBadFrame, which tells the session layer to re-dial rather than
+// poll the poisoned stream again.
 func (n *NetConn) Recv(timeout time.Duration) ([]byte, error) {
 	if timeout <= 0 {
 		timeout = time.Millisecond
@@ -39,7 +47,11 @@ func (n *NetConn) Recv(timeout time.Duration) ([]byte, error) {
 		return nil, err
 	}
 	hdr := make([]byte, HeaderSize)
-	if _, err := io.ReadFull(n.c, hdr); err != nil {
+	if nr, err := io.ReadFull(n.c, hdr); err != nil {
+		if nr > 0 && isTimeout(err) {
+			return nil, fmt.Errorf("%w: deadline expired %d bytes into a %d-byte header (stream desynced)",
+				ErrBadFrame, nr, HeaderSize)
+		}
 		return nil, mapNetErr(err)
 	}
 	if [4]byte(hdr[:4]) != frameMagic {
@@ -49,22 +61,41 @@ func (n *NetConn) Recv(timeout time.Duration) ([]byte, error) {
 	if plen > MaxPayload {
 		return nil, fmt.Errorf("%w: payload length %d", ErrBadFrame, plen)
 	}
+	if err := n.c.SetReadDeadline(time.Now().Add(payloadTimeout(int(plen)))); err != nil {
+		return nil, err
+	}
 	raw := make([]byte, HeaderSize+int(plen))
 	copy(raw, hdr)
-	if _, err := io.ReadFull(n.c, raw[HeaderSize:]); err != nil {
+	if nr, err := io.ReadFull(n.c, raw[HeaderSize:]); err != nil {
+		if isTimeout(err) {
+			return nil, fmt.Errorf("%w: deadline expired %d bytes into a %d-byte payload (stream desynced)",
+				ErrBadFrame, nr, plen)
+		}
 		return nil, mapNetErr(err)
 	}
 	return raw, nil
 }
 
+// payloadTimeout budgets the payload read once the header has
+// committed: a generous base plus time for the bytes at a worst-case
+// trickle (64 KB/s), so the 1 MB ceiling still gets ~17 s.
+func payloadTimeout(plen int) time.Duration {
+	return time.Second + time.Duration(plen)*time.Second/(64<<10)
+}
+
 // Close implements Conn.
 func (n *NetConn) Close() error { return n.c.Close() }
+
+// isTimeout reports whether err is a read-deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout() || errors.Is(err, os.ErrDeadlineExceeded)
+}
 
 // mapNetErr folds wall-clock deadline errors into ErrTimeout so the
 // session layer sees one timeout type on both transports.
 func mapNetErr(err error) error {
-	var ne net.Error
-	if errors.As(err, &ne) && ne.Timeout() || errors.Is(err, os.ErrDeadlineExceeded) {
+	if isTimeout(err) {
 		return ErrTimeout
 	}
 	return err

@@ -1,0 +1,163 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// pipeConn builds a NetConn over one end of a net.Pipe and hands the
+// test the other end to play server with.
+func pipeConn(t *testing.T) (*NetConn, net.Conn) {
+	t.Helper()
+	client, server := net.Pipe()
+	t.Cleanup(func() {
+		client.Close()
+		server.Close()
+	})
+	return NewNetConn(client), server
+}
+
+func TestNetConnRoundTrip(t *testing.T) {
+	nc, server := pipeConn(t)
+	want := Encode(&Frame{Type: 7, Seq: 42, Payload: []byte("hello tape host")})
+	go server.Write(want)
+	raw, err := nc.Recv(time.Second)
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if !bytes.Equal(raw, want) {
+		t.Fatalf("frame mangled: got %x want %x", raw, want)
+	}
+	if _, err := Decode(raw); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+}
+
+func TestNetConnCleanTimeoutIsRetryable(t *testing.T) {
+	nc, _ := pipeConn(t)
+	_, err := nc.Recv(50 * time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("idle Recv = %v, want ErrTimeout", err)
+	}
+	if errors.Is(err, ErrBadFrame) {
+		t.Fatalf("clean timeout must not poison the stream: %v", err)
+	}
+}
+
+// TestNetConnMidHeaderTimeoutDesyncs is the regression test for the
+// deadline-mid-frame bug: a server that dribbles half a header and
+// then stalls used to surface ErrTimeout, which the session layer
+// treats as "poll again" — but the half-read header has desynced the
+// byte stream, so the next Recv would misparse payload bytes as a
+// header. It must surface ErrBadFrame (re-dial) instead.
+func TestNetConnMidHeaderTimeoutDesyncs(t *testing.T) {
+	nc, server := pipeConn(t)
+	frame := Encode(&Frame{Type: 1, Seq: 1, Payload: []byte("abc")})
+	go server.Write(frame[:HeaderSize/2]) // half a header, then stall
+	_, err := nc.Recv(100 * time.Millisecond)
+	if !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("mid-header timeout = %v, want ErrBadFrame", err)
+	}
+	if errors.Is(err, ErrTimeout) {
+		t.Fatalf("mid-header timeout must not look retryable: %v", err)
+	}
+}
+
+func TestNetConnMidPayloadTimeoutDesyncs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("waits out the payload deadline (~1s)")
+	}
+	nc, server := pipeConn(t)
+	frame := Encode(&Frame{Type: 1, Seq: 1, Payload: bytes.Repeat([]byte{0xAB}, 256)})
+	go server.Write(frame[:HeaderSize+10]) // header commits, payload stalls
+	_, err := nc.Recv(100 * time.Millisecond)
+	if !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("mid-payload timeout = %v, want ErrBadFrame", err)
+	}
+}
+
+// TestNetConnSlowLargePayload exercises the second deadline bug: one
+// deadline across the whole frame made a large payload on a slow link
+// time out even though bytes kept arriving. The payload now gets its
+// own deadline once the header commits, so delivery that takes far
+// longer than the Recv (header) timeout still succeeds.
+func TestNetConnSlowLargePayload(t *testing.T) {
+	nc, server := pipeConn(t)
+	want := Encode(&Frame{Type: 2, Seq: 9, Payload: bytes.Repeat([]byte{0x5A}, 4096)})
+	go func() {
+		server.Write(want[:HeaderSize])
+		rest := want[HeaderSize:]
+		for len(rest) > 0 {
+			time.Sleep(60 * time.Millisecond) // total ~0.3s > Recv timeout
+			n := 1024
+			if n > len(rest) {
+				n = len(rest)
+			}
+			server.Write(rest[:n])
+			rest = rest[n:]
+		}
+	}()
+	raw, err := nc.Recv(100 * time.Millisecond)
+	if err != nil {
+		t.Fatalf("slow large payload: %v", err)
+	}
+	if !bytes.Equal(raw, want) {
+		t.Fatalf("frame mangled over slow link")
+	}
+}
+
+func TestNetConnRecvFraming(t *testing.T) {
+	oversize := make([]byte, HeaderSize)
+	copy(oversize, frameMagic[:])
+	binary.LittleEndian.PutUint32(oversize[14:], MaxPayload+1)
+
+	cases := []struct {
+		name string
+		wire []byte
+		want error
+	}{
+		{"bad magic", bytes.Repeat([]byte{'X'}, HeaderSize), ErrBadFrame},
+		{"oversize payload", oversize, ErrBadFrame},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			nc, server := pipeConn(t)
+			go server.Write(tc.wire)
+			_, err := nc.Recv(time.Second)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("Recv(%s) = %v, want %v", tc.name, err, tc.want)
+			}
+		})
+	}
+}
+
+type fakeTimeoutErr struct{}
+
+func (fakeTimeoutErr) Error() string   { return "fake timeout" }
+func (fakeTimeoutErr) Timeout() bool   { return true }
+func (fakeTimeoutErr) Temporary() bool { return true }
+
+func TestMapNetErrFolding(t *testing.T) {
+	cases := []struct {
+		name string
+		in   error
+		want error
+	}{
+		{"deadline exceeded", os.ErrDeadlineExceeded, ErrTimeout},
+		{"wrapped deadline", &net.OpError{Op: "read", Err: os.ErrDeadlineExceeded}, ErrTimeout},
+		{"net.Error timeout", fakeTimeoutErr{}, ErrTimeout},
+		{"EOF passes through", io.EOF, io.EOF},
+		{"other error passes through", io.ErrUnexpectedEOF, io.ErrUnexpectedEOF},
+	}
+	for _, tc := range cases {
+		if got := mapNetErr(tc.in); !errors.Is(got, tc.want) {
+			t.Errorf("mapNetErr(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

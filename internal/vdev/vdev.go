@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/storage"
 )
@@ -80,6 +81,7 @@ func newHeadSet() headSet {
 // what was written) and charges service time per access when the
 // context carries a sim process.
 type Disk struct {
+	name    string
 	store   storage.RunDevice
 	params  Params
 	station *sim.Station
@@ -104,6 +106,7 @@ type Disk struct {
 // New creates a disk of n blocks. env may be nil for untimed use.
 func New(env *sim.Env, name string, n int, p Params) *Disk {
 	d := &Disk{
+		name:       name,
 		store:      storage.NewMemDevice(n),
 		params:     p,
 		readHeads:  newHeadSet(),
@@ -118,6 +121,44 @@ func New(env *sim.Env, name string, n int, p Params) *Disk {
 
 // NumBlocks implements storage.Device.
 func (d *Disk) NumBlocks() int { return d.store.NumBlocks() }
+
+// Name returns the disk's name, used as its metric label.
+func (d *Disk) Name() string { return d.name }
+
+// RegisterMetrics installs pull collectors over the drive's counters:
+// reads, writes, seeks, retry-absorbed ("healed") faults, the injected
+// fault counts, and accumulated busy time. Re-registration is
+// idempotent, so rebuilding a volume on the same registry is safe.
+func (d *Disk) RegisterMetrics(r *obs.Registry) {
+	l := obs.Labels{"disk": d.name}
+	r.RegisterFunc("vdev_read_blocks_total", obs.KindCounter, l, func() float64 {
+		return float64(d.readBlocks.Load())
+	})
+	r.RegisterFunc("vdev_write_blocks_total", obs.KindCounter, l, func() float64 {
+		return float64(d.writeBlocks.Load())
+	})
+	r.RegisterFunc("vdev_seeks_total", obs.KindCounter, l, func() float64 {
+		return float64(d.seeks.Load())
+	})
+	r.RegisterFunc("vdev_retries_total", obs.KindCounter, l, func() float64 {
+		return float64(d.retries.Load())
+	})
+	// Fault injection may be armed after registration; the closures
+	// read d.faults at collection time.
+	r.RegisterFunc("vdev_faults_injected_total", obs.KindCounter, l, func() float64 {
+		if d.faults == nil {
+			return 0
+		}
+		s := d.faults.FaultStats()
+		return float64(s.Transient + s.Persistent + s.Write)
+	})
+	r.RegisterFunc("vdev_busy_seconds", obs.KindGauge, l, func() float64 {
+		if d.station == nil {
+			return 0
+		}
+		return d.station.Busy().Seconds()
+	})
+}
 
 // Station returns the disk's sim station (nil when untimed), exposed
 // for utilization accounting.
