@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 race bench-smoke build vet test chaos fuzz-smoke transport-race obs-smoke
+.PHONY: tier1 race bench-smoke build vet test chaos fuzz-smoke transport-race obs-smoke pipeline-race
 
 tier1: ## vet + build + full test suite (the repo's gate)
 	$(GO) vet ./...
@@ -38,7 +38,14 @@ obs-smoke: ## instrumented dump with tracing + metrics, validated end to end
 	$(GO) run ./cmd/backupctl stats -mb 4 -trace obs_trace.json -check > /dev/null
 	rm -f obs_trace.json
 
-bench-smoke: ## quick fast-path micro-benchmarks (no JSON report)
+pipeline-race: ## race-detector pass over the parallel pipeline, both engines' concurrency tests, and the parallel-shard chaos scenario
+	$(GO) test -race -count 1 ./internal/pipeline/ ./internal/sim/
+	$(GO) test -race -count 1 -run 'Parallel' -timeout 300s \
+		./internal/logical/ ./internal/physical/
+	$(GO) test -race -count 1 -run 'TestChaosParallel' -timeout 300s ./internal/chaos/
+
+bench-smoke: ## quick fast-path micro-benchmarks, gated against the committed baseline
 	$(GO) test -run xxx -bench 'RunRead|RunWrite|RecordWrite' -benchtime 100x \
 		./internal/storage/ ./internal/vdev/ ./internal/raid/ \
 		./internal/dumpfmt/ ./internal/physical/
+	$(GO) run ./cmd/backupctl bench -json '' -compare BENCH_fastpath.json

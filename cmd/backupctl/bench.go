@@ -2,10 +2,13 @@ package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/obs"
@@ -13,19 +16,39 @@ import (
 
 // benchCommand runs the fast-path micro-benchmark suite (the bulk
 // block I/O and record paths) and emits the results as a JSON report,
-// optionally with CPU and heap profiles for pprof:
+// optionally with CPU and heap profiles for pprof; -compare gates the
+// current numbers against a committed baseline, and -parallel runs the
+// drives × readers scaling matrix of Tables 4–5 instead:
 //
 //	backupctl bench -json BENCH_fastpath.json
+//	backupctl bench -json '' -compare BENCH_fastpath.json
 //	backupctl bench -cpuprofile cpu.out -memprofile mem.out
 //	backupctl bench -obs BENCH_obs.json
+//	backupctl bench -parallel -drives 1,2,4 -readers 3 -depth 3
 func benchCommand(args []string) error {
 	set := newFlagSet("bench")
-	jsonPath := set.String("json", "BENCH_fastpath.json", "write the report here ('' = skip)")
+	jsonPath := set.String("json", "BENCH_fastpath.json", "write the report here ('' = skip); -parallel defaults to BENCH_parallel.json")
 	cpuProf := set.String("cpuprofile", "", "write a CPU profile here")
 	memProf := set.String("memprofile", "", "write a heap profile here")
 	obsPath := set.String("obs", "", "also run the instrumented workload and write its metrics report here")
+	comparePath := set.String("compare", "", "diff against this baseline report and fail on regression")
+	tolerance := set.Float64("tolerance", 0.15, "relative regression tolerance for -compare")
+	parallel := set.Bool("parallel", false, "run the parallel dump/restore scaling matrix instead of the fast-path suite")
+	drivesList := set.String("drives", "1,2,4", "comma-separated drive counts for -parallel")
+	readers := set.Int("readers", 0, "parallel readers per shard for -parallel (0 = default)")
+	depth := set.Int("depth", 0, "per-reader read-ahead depth for -parallel (0 = default)")
+	mb := set.Int("mb", 24, "dataset size in MiB for -parallel")
 	if err := set.Parse(args); err != nil {
 		return err
+	}
+	if *parallel {
+		path := *jsonPath
+		explicit := false
+		set.Visit(func(f *flag.Flag) { explicit = explicit || f.Name == "json" })
+		if !explicit {
+			path = "BENCH_parallel.json"
+		}
+		return benchParallel(path, *drivesList, *readers, *depth, *mb)
 	}
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -57,6 +80,19 @@ func benchCommand(args []string) error {
 		}
 		fmt.Printf("report written to %s\n", *jsonPath)
 	}
+	if *comparePath != "" {
+		base, err := bench.ReadFastPathJSON(*comparePath)
+		if err != nil {
+			return err
+		}
+		if regs := bench.Compare(base, rep, *tolerance); len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "regression: %s\n", r)
+			}
+			return fmt.Errorf("bench: %d regression(s) against %s", len(regs), *comparePath)
+		}
+		fmt.Printf("no regressions against %s (tolerance %.0f%%)\n", *comparePath, 100**tolerance)
+	}
 	if *obsPath != "" {
 		obsRep, err := bench.RunObs(context.Background(),
 			bench.Config{DataMB: 8, Seed: 1999, AgeRounds: 2}, obs.NewTracer())
@@ -72,6 +108,37 @@ func benchCommand(args []string) error {
 			return err
 		}
 		fmt.Printf("observability report written to %s\n", *obsPath)
+	}
+	return nil
+}
+
+// benchParallel runs the Tables 4–5 scaling matrix: each operation is
+// one parallel Dump/Restore call fanned across N drives with the
+// configured reader count and read-ahead depth.
+func benchParallel(jsonPath, drivesList string, readers, depth, mb int) error {
+	var counts []int
+	for _, f := range strings.Split(drivesList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bench: bad -drives entry %q", f)
+		}
+		counts = append(counts, n)
+	}
+	cfg := bench.DefaultConfig()
+	cfg.DataMB = mb
+	cfg.AgeRounds = 4
+	cfg.Readers = readers
+	cfg.PipeDepth = depth
+	rep, err := bench.RunParallelReport(context.Background(), cfg, counts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Format())
+	if jsonPath != "" {
+		if err := rep.WriteJSON(jsonPath); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", jsonPath)
 	}
 	return nil
 }

@@ -460,7 +460,7 @@ var commandDocs = []commandDoc{
 	{"recover", "recover [-engine E] [-at T] [-file PATH] [-target DIR] [-wipe]", "execute a catalog-selected restore chain"},
 	{"push", "push -to HOST:PORT [-kind logical|image] [-level N]", "dump across the network to a serve host"},
 	{"serve", "serve -listen ADDR -o FILE [-once]", "receive pushed streams; recorded in <out>.catalog"},
-	{"bench", "bench [-json FILE] [-cpuprofile FILE]", "run the fast-path micro-benchmarks"},
+	{"bench", "bench [-json FILE] [-compare BASE] [-parallel -drives 1,2,4 -readers N]", "run the fast-path micro-benchmarks or the parallel scaling matrix"},
 	{"help", "help [command]", "show usage"},
 }
 

@@ -25,6 +25,13 @@ type Config struct {
 	AgeRounds int
 	// Verify re-reads every restored tree and compares digests.
 	Verify bool
+	// Readers is the per-shard parallel reader count for the pipelined
+	// dump engines in the Table 4/5 experiments; 0 means 3.
+	Readers int
+	// PipeDepth is the per-reader extent read-ahead depth of the
+	// physical dump pipeline; 0 means 3. Depth 1 shows the spindle
+	// plateau the read-ahead batching exists to break.
+	PipeDepth int
 	// Tweak, if set, adjusts the filer configuration (ablations).
 	Tweak func(*core.FilerConfig)
 }
@@ -32,6 +39,21 @@ type Config struct {
 // DefaultConfig returns the standard experiment scale.
 func DefaultConfig() Config {
 	return Config{DataMB: 48, Seed: 1999, AgeRounds: 6, Verify: true}
+}
+
+// readers/pipeDepth apply the Config defaults.
+func (c Config) readers() int {
+	if c.Readers > 0 {
+		return c.Readers
+	}
+	return 3
+}
+
+func (c Config) pipeDepth() int {
+	if c.PipeDepth > 0 {
+		return c.PipeDepth
+	}
+	return 3
 }
 
 // buildFiler sizes a filer for cfg: the paper's home-volume shape

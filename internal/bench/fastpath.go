@@ -75,6 +75,63 @@ func (rep *FastPathReport) WriteJSON(path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0644)
 }
 
+// ReadFastPathJSON loads a committed baseline report.
+func ReadFastPathJSON(path string) (*FastPathReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := &FastPathReport{}
+	if err := json.Unmarshal(data, rep); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// Compare diffs cur against the baseline and returns one line per
+// regression: a benchmark slower than base by more than tol (0.15 =
+// 15%), an allocation count or footprint that grew past the same
+// tolerance, allocations appearing on a previously allocation-free
+// path, or a baseline benchmark missing from the current run. An empty
+// slice means the fast path held.
+func Compare(base, cur *FastPathReport, tol float64) []string {
+	byName := make(map[string]FastPathResult, len(cur.Results))
+	for _, r := range cur.Results {
+		byName[r.Name] = r
+	}
+	var regressions []string
+	for _, b := range base.Results {
+		c, ok := byName[b.Name]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: missing from current run", b.Name))
+			continue
+		}
+		if b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+tol) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.0f ns/op vs baseline %.0f (+%.0f%%, tolerance %.0f%%)",
+				b.Name, c.NsPerOp, b.NsPerOp, 100*(c.NsPerOp/b.NsPerOp-1), 100*tol))
+		}
+		// Allocation regressions: a zero-alloc baseline is a hard
+		// contract (the whole point of the pooled run path); a nonzero
+		// one gets the same relative tolerance as time.
+		exceeded := func(cv, bv int64) bool {
+			if bv == 0 {
+				return cv > 0
+			}
+			return float64(cv) > float64(bv)*(1+tol)
+		}
+		if exceeded(c.AllocsPerOp, b.AllocsPerOp) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %d allocs/op vs baseline %d", b.Name, c.AllocsPerOp, b.AllocsPerOp))
+		}
+		if exceeded(c.BytesPerOp, b.BytesPerOp) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %d alloc bytes/op vs baseline %d", b.Name, c.BytesPerOp, b.BytesPerOp))
+		}
+	}
+	return regressions
+}
+
 func benchMemRunRead(b *testing.B) {
 	const nblocks = 4096
 	d := storage.NewMemDevice(nblocks)
@@ -149,6 +206,13 @@ func benchRaidRunRead(b *testing.B) {
 	v := fastPathVolume(b)
 	ctx := context.Background()
 	buf := make([]byte, fpRun*storage.BlockSize)
+	// Warm each group's de-striping scratch so the timed loop measures
+	// the steady state: run reads allocate nothing once warm.
+	for _, g := range v.Groups() {
+		if err := g.ReadRun(ctx, 0, fpRun, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
 	b.SetBytes(fpRun * storage.BlockSize)
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -39,8 +39,32 @@ type DumpOptions struct {
 	// Exclude, if set, filters out entries by name ("logical backup
 	// schemes often take advantage of filters").
 	Exclude func(name string) bool
-	// Sink receives the stream.
+	// Sink receives the stream of a single-stream dump. Mutually
+	// exclusive with Sinks.
 	Sink dumpfmt.Sink
+	// Sinks fans one Dump call out across parallel tape drives: shard
+	// k of len(Sinks) writes a self-contained stream to Sinks[k] —
+	// full inode maps and all directories (so restore can map names),
+	// plus the k-th contiguous slice of the Phase IV file list in
+	// inode order. The shards stream concurrently on the internal
+	// pipeline; restore applies the shard streams in any order. A
+	// shard failure does not abort its siblings: the other shards run
+	// to completion and the failed shard's checkpoint comes back in
+	// ShardResults for a single-shard resume.
+	Sinks []dumpfmt.Sink
+	// Readers is the number of parallel Phase IV chunk readers per
+	// shard (Sinks mode; default 1). Readers pull file chunks off a
+	// shared plan and the per-drive writer reassembles them in stream
+	// order, so the bytes on tape do not depend on Readers.
+	Readers int
+	// Shard/Shards split the Phase IV file list across parallel tape
+	// drives when the caller drives each shard itself (one Dump call
+	// per drive): shard k of n writes full maps and directories plus
+	// the k-th contiguous slice of the file list — the same slice the
+	// Sinks mode computes, so the streams are interchangeable. Zero
+	// Shards means no sharding. With Sinks set these must be zero.
+	Shard  int
+	Shards int
 	// Label names the dump on tape.
 	Label string
 	// ReadAhead is the dump engine's own read-ahead depth in blocks
@@ -55,11 +79,18 @@ type DumpOptions struct {
 	// the logical stream the same property). 0 disables checkpoints
 	// and keeps the stream byte-identical to older dumps.
 	CheckpointEvery int
-	// Resume continues an interrupted dump from the checkpoint a
-	// failed Dump returned: Phases I-III run again (the new stream
-	// must be self-contained enough for restore to map names), but
-	// Phase IV skips files already durably on the previous stream.
+	// Resume continues an interrupted single-stream dump from the
+	// checkpoint a failed Dump returned: Phases I-III run again (the
+	// new stream must be self-contained enough for restore to map
+	// names), but Phase IV skips files already durably on the previous
+	// stream.
 	Resume *Checkpoint
+	// ResumeShards, len(Sinks) long, resumes individual shards of a
+	// parallel dump: entry k is shard k's checkpoint from a previous
+	// run's ShardResults, or nil to dump that shard from its start.
+	// All checkpoints must carry the same interrupted dump's date, so
+	// every stream of the set describes one self-consistent dump.
+	ResumeShards []*Checkpoint
 	// Log, if set, receives a line per notable recovery event
 	// (hole-mapped blocks, for the operator's damage report).
 	Log func(line string)
@@ -79,6 +110,11 @@ type Checkpoint struct {
 	Date    int64 // dump date of the interrupted run (kept across streams)
 	Level   int
 	LastIno wafl.Inum // 0 = no file completed
+	// Shard/Shards record the shard identity of a sharded dump (both
+	// zero for an unsharded stream), so a resume cannot be applied to
+	// the wrong slice of the file list.
+	Shard  int
+	Shards int
 }
 
 // DamagedBlock identifies a file block the dump could not read even
@@ -102,10 +138,31 @@ type DumpStats struct {
 	// Damaged lists file blocks hole-mapped after unrecoverable read
 	// faults — the "exactly which inodes were damaged" report.
 	Damaged []DamagedBlock
-	// Checkpoint is set (alongside a non-nil error) when the dump
-	// aborted but can resume; nil on success or when checkpoints were
-	// disabled and no resume state existed.
+	// Checkpoint is set (alongside a non-nil error) when a
+	// single-stream dump aborted but can resume; nil on success or
+	// when checkpoints were disabled and no resume state existed.
 	Checkpoint *Checkpoint
+	// ShardResults is the per-shard outcome of a parallel (Sinks)
+	// dump, one entry per stream; nil for a single-stream dump. The
+	// top-level file and byte counters aggregate across shards;
+	// DirsDumped counts unique directories (every stream carries all
+	// of them).
+	ShardResults []ShardResult
+}
+
+// ShardResult is one shard's outcome within a parallel dump.
+type ShardResult struct {
+	Shard        int
+	FilesDumped  int
+	FilesSkipped int // already on media per the resume checkpoint
+	BytesWritten int64
+	// Damaged lists this shard's hole-mapped blocks, in stream order.
+	Damaged []DamagedBlock
+	// Checkpoint is set (alongside a non-nil Err) when the shard
+	// aborted but can resume from its last durable checkpoint.
+	Checkpoint *Checkpoint
+	// Err is the shard's failure, nil when the shard completed.
+	Err error
 }
 
 // dumpState carries the four phases' shared working set.
@@ -156,10 +213,41 @@ func (st *dumpState) logf(format string, args ...any) {
 const runBlocks = 16
 
 // Dump runs the four-phase logical dump and writes the stream to
-// opts.Sink.
+// opts.Sink, or — when opts.Sinks is set — fans Phase IV out across
+// parallel per-drive streams from this one call.
 func Dump(ctx context.Context, opts DumpOptions) (*DumpStats, error) {
-	if opts.View == nil || opts.Sink == nil {
-		return nil, fmt.Errorf("logical: nil view or sink")
+	multi := len(opts.Sinks) > 0
+	if opts.View == nil {
+		return nil, fmt.Errorf("logical: nil view")
+	}
+	if multi {
+		if opts.Sink != nil {
+			return nil, fmt.Errorf("logical: Sink and Sinks are mutually exclusive")
+		}
+		if opts.Shard != 0 || opts.Shards != 0 {
+			return nil, fmt.Errorf("logical: Shard/Shards are caller-driven sharding; Sinks shards internally")
+		}
+		if opts.Resume != nil {
+			return nil, fmt.Errorf("logical: use ResumeShards to resume a parallel dump")
+		}
+		if opts.ResumeShards != nil && len(opts.ResumeShards) != len(opts.Sinks) {
+			return nil, fmt.Errorf("logical: ResumeShards has %d entries for %d sinks", len(opts.ResumeShards), len(opts.Sinks))
+		}
+		for i, s := range opts.Sinks {
+			if s == nil {
+				return nil, fmt.Errorf("logical: nil sink %d", i)
+			}
+		}
+	} else {
+		if opts.Sink == nil {
+			return nil, fmt.Errorf("logical: nil sink")
+		}
+		if opts.ResumeShards != nil {
+			return nil, fmt.Errorf("logical: ResumeShards requires Sinks")
+		}
+		if opts.Shards != 0 && (opts.Shard < 0 || opts.Shard >= opts.Shards) {
+			return nil, fmt.Errorf("logical: shard %d of %d out of range", opts.Shard, opts.Shards)
+		}
 	}
 	if opts.Level < 0 || opts.Level > MaxLevel {
 		return nil, fmt.Errorf("logical: bad level %d", opts.Level)
@@ -181,10 +269,36 @@ func Dump(ctx context.Context, opts DumpOptions) (*DumpStats, error) {
 		if opts.Resume.Level != opts.Level {
 			return nil, fmt.Errorf("logical: resume checkpoint is level %d, dump is level %d", opts.Resume.Level, opts.Level)
 		}
+		if opts.Resume.Shard != opts.Shard || opts.Resume.Shards != opts.Shards {
+			return nil, fmt.Errorf("logical: resume checkpoint is shard %d of %d, dump is shard %d of %d",
+				opts.Resume.Shard, opts.Resume.Shards, opts.Shard, opts.Shards)
+		}
 		// The continuation stream carries the interrupted dump's date,
 		// so all its streams describe one self-consistent dump set.
 		st.date = opts.Resume.Date
 		st.ckptIno = opts.Resume.LastIno
+	}
+	// Parallel resume: every shard checkpoint must describe the same
+	// interrupted dump, whose date the continuation set inherits.
+	var resumeDate int64
+	for k, r := range opts.ResumeShards {
+		if r == nil {
+			continue
+		}
+		if r.Level != opts.Level {
+			return nil, fmt.Errorf("logical: shard %d resume checkpoint is level %d, dump is level %d", k, r.Level, opts.Level)
+		}
+		if r.Shard != k || r.Shards != len(opts.Sinks) {
+			return nil, fmt.Errorf("logical: resume checkpoint for shard %d of %d given as shard %d of %d",
+				r.Shard, r.Shards, k, len(opts.Sinks))
+		}
+		if resumeDate != 0 && resumeDate != r.Date {
+			return nil, fmt.Errorf("logical: shard resume checkpoints disagree on dump date")
+		}
+		resumeDate = r.Date
+	}
+	if resumeDate != 0 {
+		st.date = resumeDate
 	}
 	root := wafl.RootIno
 	if opts.Subtree != "" {
@@ -232,41 +346,15 @@ func Dump(ctx context.Context, opts DumpOptions) (*DumpStats, error) {
 	}
 	end()
 
-	w, err := dumpfmt.NewWriter(opts.Sink, opts.Label, st.date, st.ddate, int32(opts.Level))
-	if err != nil {
-		return nil, err
-	}
-
-	stats := &DumpStats{Date: st.date, BaseDate: st.ddate, InodesMapped: st.used.Count()}
-	st.stats = stats
-
-	// fail wraps an unrecoverable error with the resumable state: the
-	// last inode durably checkpointed (possibly inherited from the
-	// attempt this one resumed), so the next invocation can continue.
-	fail := func(err error) (*DumpStats, error) {
-		if opts.CheckpointEvery > 0 || opts.Resume != nil {
-			stats.Checkpoint = &Checkpoint{Date: st.date, Level: opts.Level, LastIno: st.ckptIno}
-		}
-		return stats, err
-	}
-
-	// Write the two maps the format prescribes: inodes free at dump
-	// time (TS_CLRI) and inodes on this tape (TS_BITS).
+	// The free-inode map and the sorted Phase III/IV worklists are
+	// computed once and shared by the single-stream path and every
+	// parallel shard.
 	clri := dumpfmt.NewInoMap(uint32(st.view.NumInodes(ctx)))
 	for i := uint32(wafl.RootIno); i < uint32(st.view.NumInodes(ctx)); i++ {
 		if !st.used.Has(i) {
 			clri.Set(i)
 		}
 	}
-	if err := writeMap(w, dumpfmt.TSClri, clri, uint32(st.rootIno)); err != nil {
-		return fail(err)
-	}
-	if err := writeMap(w, dumpfmt.TSBits, st.dump, uint32(st.rootIno)); err != nil {
-		return fail(err)
-	}
-
-	// Phase III: dump directories, in ascending inode order.
-	begin("Dumping directories")
 	var dirInos, fileInos []wafl.Inum
 	for ino := range st.inodes {
 		if !st.dump.Has(uint32(ino)) {
@@ -280,6 +368,45 @@ func Dump(ctx context.Context, opts DumpOptions) (*DumpStats, error) {
 	}
 	sort.Slice(dirInos, func(i, j int) bool { return dirInos[i] < dirInos[j] })
 	sort.Slice(fileInos, func(i, j int) bool { return fileInos[i] < fileInos[j] })
+
+	if multi {
+		return st.dumpParallel(ctx, clri, dirInos, fileInos, begin, end)
+	}
+
+	w, err := dumpfmt.NewWriter(opts.Sink, opts.Label, st.date, st.ddate, int32(opts.Level))
+	if err != nil {
+		return nil, err
+	}
+
+	stats := &DumpStats{Date: st.date, BaseDate: st.ddate, InodesMapped: st.used.Count()}
+	st.stats = stats
+
+	// fail wraps an unrecoverable error with the resumable state: the
+	// last inode durably checkpointed (possibly inherited from the
+	// attempt this one resumed), so the next invocation can continue.
+	fail := func(err error) (*DumpStats, error) {
+		if opts.CheckpointEvery > 0 || opts.Resume != nil {
+			stats.Checkpoint = &Checkpoint{
+				Date: st.date, Level: opts.Level, LastIno: st.ckptIno,
+				Shard: opts.Shard, Shards: opts.Shards,
+			}
+		}
+		return stats, err
+	}
+
+	// Write the two maps the format prescribes: inodes free at dump
+	// time (TS_CLRI) and inodes on this tape (TS_BITS). A sharded
+	// stream carries the full maps: restore tolerates TS_BITS naming
+	// files that arrive on sibling streams.
+	if err := writeMap(w, dumpfmt.TSClri, clri, uint32(st.rootIno)); err != nil {
+		return fail(err)
+	}
+	if err := writeMap(w, dumpfmt.TSBits, st.dump, uint32(st.rootIno)); err != nil {
+		return fail(err)
+	}
+
+	// Phase III: dump directories, in ascending inode order.
+	begin("Dumping directories")
 	for _, ino := range dirInos {
 		if err := ctx.Err(); err != nil {
 			end()
@@ -294,9 +421,15 @@ func Dump(ctx context.Context, opts DumpOptions) (*DumpStats, error) {
 	end()
 
 	// Phase IV: dump files, in ascending inode order, with the dump
-	// engine's own cross-file read-ahead running in front. A resumed
-	// dump skips the files its checkpoint vouches for.
+	// engine's own cross-file read-ahead running in front. A
+	// caller-driven shard dumps only its contiguous slice of the list;
+	// a resumed dump skips the files its checkpoint vouches for.
 	begin("Dumping files")
+	if opts.Shards > 1 {
+		lo := len(fileInos) * opts.Shard / opts.Shards
+		hi := len(fileInos) * (opts.Shard + 1) / opts.Shards
+		fileInos = fileInos[lo:hi]
+	}
 	if st.ckptIno > 0 {
 		skip := sort.Search(len(fileInos), func(i int) bool { return fileInos[i] > st.ckptIno })
 		stats.FilesSkipped = skip

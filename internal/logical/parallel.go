@@ -1,0 +1,565 @@
+package logical
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bufpool"
+	"repro/internal/dumpfmt"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+	"repro/internal/wafl"
+)
+
+// The parallel logical dump: Phases I-III run once on the calling
+// process, then each drive gets its own shard pipeline — N chunk
+// readers pulling Phase IV file chunks off a precomputed plan, one
+// writer reassembling them in plan order behind the full maps and the
+// shared directory records. The plan fixes every header boundary
+// before any file I/O starts, so the bytes each shard writes are
+// identical to a caller-driven Shard/Shards dump of the same slice —
+// parallelism changes only the clock.
+
+// viewGate serializes filesystem-view access across parallel Phase IV
+// readers in untimed mode: the wafl block cache is not thread-safe.
+// On the simulator the cooperative scheduler already serializes
+// stages, so the gate is a no-op there (a real mutex must never be
+// held across a simulated wait).
+type viewGate struct {
+	mu   sync.Mutex
+	real bool
+}
+
+func (g *viewGate) lock() {
+	if g.real {
+		g.mu.Lock()
+	}
+}
+
+func (g *viewGate) unlock() {
+	if g.real {
+		g.mu.Unlock()
+	}
+}
+
+// shardPrep is the Phase I-III product shared read-only by every
+// shard: the dump state's maps, the encoded directory records, and the
+// gates serializing view access and operator callbacks.
+type shardPrep struct {
+	st       *dumpState
+	clri     *dumpfmt.InoMap
+	dirInos  []wafl.Inum
+	dirBlobs map[wafl.Inum][]byte
+	gate     *viewGate
+	cbMu     sync.Mutex
+}
+
+// callback runs an operator callback (Log, FileIndex), serialized
+// across shard writers when they are real goroutines.
+func (p *shardPrep) callback(f func()) {
+	if p.gate.real {
+		p.cbMu.Lock()
+		defer p.cbMu.Unlock()
+	}
+	f()
+}
+
+// fileJob is one planned Phase IV chunk: up to MaxSegsPerHeader
+// segments of one file, block-aligned exactly like the sequential
+// engine's chunks so the stream bytes match it byte for byte.
+type fileJob struct {
+	ino        wafl.Inum
+	seg, nsegs int
+	first      bool // first chunk of its file: TSInode header + FileIndex
+	last       bool // last chunk of its file: checkpoint accounting
+}
+
+// planFiles expands a shard's file slice into its chunk-job plan.
+func planFiles(st *dumpState, files []wafl.Inum) []fileJob {
+	var plan []fileJob
+	for _, ino := range files {
+		inode := st.inodes[ino]
+		totalSegs := int((inode.Size + dumpfmt.TPBSize - 1) / dumpfmt.TPBSize)
+		if totalSegs == 0 {
+			plan = append(plan, fileJob{ino: ino, first: true, last: true})
+			continue
+		}
+		for seg := 0; seg < totalSegs; {
+			n := totalSegs - seg
+			if n > dumpfmt.MaxSegsPerHeader {
+				n = dumpfmt.MaxSegsPerHeader
+			}
+			plan = append(plan, fileJob{
+				ino: ino, seg: seg, nsegs: n,
+				first: seg == 0, last: seg+n >= totalSegs,
+			})
+			seg += n
+		}
+	}
+	return plan
+}
+
+// chunkRes is one staged chunk moving from a reader to the writer.
+type chunkRes struct {
+	seq     int
+	addrs   []byte  // hole map, after salvage demotion
+	buf     *[]byte // pooled segment data; nil for an empty file
+	damaged []DamagedBlock
+}
+
+// shardPump is one shard's cross-file read-ahead cursor, walking the
+// shard's own (file, block) sequence in front of its readers.
+type shardPump struct {
+	files    []wafl.Inum
+	laFile   int
+	laFbn    uint32
+	issued   int64
+	consumed int64
+}
+
+// pumpShard advances the lookahead cursor until ReadAhead blocks are
+// in flight beyond the blocks the shard's readers have consumed.
+// Callers hold the view gate.
+func pumpShard(ctx context.Context, st *dumpState, pump *shardPump) {
+	for pump.issued < pump.consumed+int64(st.opts.ReadAhead) && pump.laFile < len(pump.files) {
+		if ctx.Err() != nil {
+			return
+		}
+		ino := pump.files[pump.laFile]
+		inode := st.inodes[ino]
+		if pump.laFbn >= inode.Blocks() {
+			pump.laFile++
+			pump.laFbn = 0
+			continue
+		}
+		pbn, err := st.view.BlockAt(ctx, ino, pump.laFbn)
+		pump.laFbn++
+		pump.issued++ // holes count: the tape cursor skips them too
+		if err != nil || pbn <= 1 {
+			continue
+		}
+		st.view.PrefetchBlock(ctx, pbn)
+	}
+}
+
+// stageChunk reads one chunk's hole map and present blocks into a
+// pooled buffer, salvaging failed runs block by block: blocks that
+// stay unreadable are demoted to holes in addrs and recorded in the
+// result's damage list (the writer folds them into the stream-order
+// report). Mirrors dumpFile's staging loop exactly.
+func stageChunk(ctx context.Context, st *dumpState, gate *viewGate, pump *shardPump, seq int, j fileJob) (chunkRes, error) {
+	res := chunkRes{seq: seq}
+	if j.nsegs == 0 {
+		return res, nil
+	}
+	segsPerBlock := wafl.BlockSize / dumpfmt.TPBSize
+	prefetch := st.opts.ReadAhead > 0
+	res.buf = bufpool.Get(dumpfmt.MaxSegsPerHeader * dumpfmt.TPBSize)
+	chunkBuf := *res.buf
+	addrs := make([]byte, j.nsegs)
+	fail := func(err error) (chunkRes, error) {
+		bufpool.Put(res.buf)
+		res.buf = nil
+		return res, err
+	}
+	gate.lock()
+	defer gate.unlock()
+	for i := 0; i < j.nsegs; i++ {
+		fbn := uint32((j.seg + i) / segsPerBlock)
+		pbn, err := st.view.BlockAt(ctx, j.ino, fbn)
+		if err != nil {
+			return fail(err)
+		}
+		if pbn != 0 {
+			addrs[i] = 1
+		}
+	}
+	for i := 0; i < j.nsegs; {
+		if addrs[i] == 0 {
+			i++
+			continue
+		}
+		sIdx := j.seg + i
+		fbn0 := sIdx / segsPerBlock
+		nb := 1
+		for nb < runBlocks {
+			next := (fbn0+nb)*segsPerBlock - j.seg
+			if next >= j.nsegs || addrs[next] == 0 {
+				break
+			}
+			nb++
+		}
+		if prefetch {
+			pump.consumed += int64(nb)
+			pumpShard(ctx, st, pump)
+		}
+		dst := chunkBuf[i*dumpfmt.TPBSize : i*dumpfmt.TPBSize+nb*wafl.BlockSize]
+		if _, err := st.view.ReadAt(ctx, j.ino, uint64(fbn0)*wafl.BlockSize, dst); err != nil {
+			// Salvage block by block; unreadable blocks demote to holes.
+			// Cancellation is not damage: it aborts the shard.
+			for b := 0; b < nb; b++ {
+				fbn := fbn0 + b
+				si := fbn*segsPerBlock - j.seg
+				d := chunkBuf[si*dumpfmt.TPBSize : si*dumpfmt.TPBSize+wafl.BlockSize]
+				_, rerr := st.view.ReadAt(ctx, j.ino, uint64(fbn)*wafl.BlockSize, d)
+				if rerr == nil {
+					continue
+				}
+				if cerr := ctx.Err(); cerr != nil {
+					return fail(cerr)
+				}
+				for k := 0; k < segsPerBlock; k++ {
+					if si+k < j.nsegs {
+						addrs[si+k] = 0
+					}
+				}
+				res.damaged = append(res.damaged, DamagedBlock{Ino: j.ino, Fbn: uint32(fbn), Err: rerr.Error()})
+			}
+		}
+		i = (fbn0+nb)*segsPerBlock - j.seg
+		if i > j.nsegs {
+			i = j.nsegs
+		}
+	}
+	res.addrs = addrs
+	return res, nil
+}
+
+// shardChunkReader pulls chunk jobs off the shared plan by atomic
+// counter, stages each, and hands it to the writer queue.
+func shardChunkReader(ctx context.Context, st *dumpState, gate *viewGate, pump *shardPump, plan []fileJob, next *atomic.Int64, out *pipeline.Queue[chunkRes]) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		seq := int(next.Add(1)) - 1
+		if seq >= len(plan) {
+			return nil
+		}
+		res, err := stageChunk(ctx, st, gate, pump, seq, plan[seq])
+		if err != nil {
+			return err
+		}
+		if err := out.Put(ctx, res); err != nil {
+			if res.buf != nil {
+				bufpool.Put(res.buf)
+			}
+			return err
+		}
+	}
+}
+
+// writerState is the shard writer's progress, read by dumpLogicalShard
+// after the pipeline joins (single writer, so no locking).
+type writerState struct {
+	filesDumped int
+	bytes       int64
+	ckptIno     wafl.Inum
+	damaged     []DamagedBlock
+}
+
+// emitChunk writes one reassembled chunk: TSInode/TSAddr header, then
+// the present segments with the last segment trimmed to the file size.
+func emitChunk(st *dumpState, w *dumpfmt.Writer, j fileJob, res chunkRes) error {
+	inode := st.inodes[j.ino]
+	di := toDumpInode(&inode)
+	if j.nsegs == 0 {
+		return w.WriteHeader(&dumpfmt.Header{Type: dumpfmt.TSInode, Inumber: uint32(j.ino), Dinode: di})
+	}
+	t := int32(dumpfmt.TSInode)
+	if !j.first {
+		t = dumpfmt.TSAddr
+	}
+	h := &dumpfmt.Header{Type: t, Inumber: uint32(j.ino), Dinode: di, Count: int32(j.nsegs), Addrs: res.addrs}
+	if err := w.WriteHeader(h); err != nil {
+		return err
+	}
+	chunkBuf := *res.buf
+	for i := 0; i < j.nsegs; i++ {
+		if res.addrs[i] == 0 {
+			continue
+		}
+		sIdx := j.seg + i
+		so := i * dumpfmt.TPBSize
+		endOff := so + dumpfmt.TPBSize
+		if rem := inode.Size - uint64(sIdx)*dumpfmt.TPBSize; rem < dumpfmt.TPBSize {
+			endOff = so + int(rem)
+		}
+		if err := w.WriteSegment(chunkBuf[so:endOff]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shardStreamWriter writes one shard's complete stream: label header,
+// full maps, every directory (replayed from the shared blobs), then
+// the Phase IV chunks reassembled in plan order from the reader queue,
+// checkpointing after every CheckpointEvery completed files.
+func shardStreamWriter(ctx context.Context, prep *shardPrep, sink dumpfmt.Sink, plan []fileJob, out *pipeline.Queue[chunkRes], ws *writerState) error {
+	st := prep.st
+	opts := &st.opts
+	defer pipeline.BindStageProc(ctx, sink)()
+
+	w, err := dumpfmt.NewWriter(sink, opts.Label, st.date, st.ddate, int32(opts.Level))
+	if err != nil {
+		return err
+	}
+	// Full maps on every stream: restore tolerates TS_BITS naming
+	// files that arrive on sibling streams.
+	if err := writeMap(w, dumpfmt.TSClri, prep.clri, uint32(st.rootIno)); err != nil {
+		return err
+	}
+	if err := writeMap(w, dumpfmt.TSBits, st.dump, uint32(st.rootIno)); err != nil {
+		return err
+	}
+	// Phase III: every stream carries all directories, so each is
+	// self-contained enough for restore to map names on its own.
+	for _, ino := range prep.dirInos {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		data := prep.dirBlobs[ino]
+		inode := st.inodes[ino]
+		di := toDumpInode(&inode)
+		di.Size = uint64(len(data))
+		if err := writeBlob(w, dumpfmt.TSInode, uint32(ino), di, data); err != nil {
+			return err
+		}
+	}
+
+	// Phase IV: drain the queue, reassembling plan order (readers
+	// finish out of order; pending chunks are bounded by the reader
+	// count plus the queue).
+	pending := make(map[int]chunkRes)
+	defer func() {
+		for _, r := range pending {
+			if r.buf != nil {
+				bufpool.Put(r.buf)
+			}
+		}
+	}()
+	sinceCkpt := 0
+	for emitted := 0; emitted < len(plan); {
+		res, ready := pending[emitted]
+		if !ready {
+			c, ok, err := out.Get(ctx)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("logical: chunk stream ended at %d of %d", emitted, len(plan))
+			}
+			pending[c.seq] = c
+			continue
+		}
+		delete(pending, emitted)
+		j := plan[emitted]
+		if j.first && opts.FileIndex != nil {
+			unit := w.Tapea()
+			prep.callback(func() { opts.FileIndex(st.path(j.ino), j.ino, unit) })
+		}
+		err := emitChunk(st, w, j, res)
+		if res.buf != nil {
+			bufpool.Put(res.buf)
+		}
+		if err != nil {
+			return err
+		}
+		// Damage reports fold in here, in stream order, so the report
+		// is deterministic for any reader count.
+		for _, d := range res.damaged {
+			ws.damaged = append(ws.damaged, d)
+			if opts.Log != nil {
+				d := d
+				prep.callback(func() {
+					st.logf("ino %d fbn %d unreadable, hole-mapped: %s", d.Ino, d.Fbn, d.Err)
+				})
+			}
+		}
+		if j.last {
+			ws.filesDumped++
+			sinceCkpt++
+			if opts.CheckpointEvery > 0 && sinceCkpt >= opts.CheckpointEvery {
+				if err := w.Checkpoint(uint32(j.ino)); err != nil {
+					return err
+				}
+				// A sink that accepts records provisionally must confirm
+				// durability before the checkpoint may vouch for them.
+				if sy, ok := sink.(dumpfmt.Syncer); ok {
+					if err := sy.Sync(); err != nil {
+						return err
+					}
+				}
+				ws.ckptIno = j.ino
+				sinceCkpt = 0
+			}
+		}
+		emitted++
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	ws.bytes = w.Written()
+	return nil
+}
+
+// dumpLogicalShard runs one shard's pipeline to completion. The error
+// (with resume checkpoint) stays in the ShardResult so sibling shards
+// are unaffected.
+func dumpLogicalShard(ctx context.Context, prep *shardPrep, sink dumpfmt.Sink, files []wafl.Inum, ckShard, ckShards int, resume *Checkpoint) ShardResult {
+	st := prep.st
+	opts := &st.opts
+	res := ShardResult{Shard: ckShard}
+
+	ckptIno := wafl.Inum(0)
+	if resume != nil {
+		ckptIno = resume.LastIno
+	}
+	if ckptIno > 0 {
+		skip := sort.Search(len(files), func(i int) bool { return files[i] > ckptIno })
+		res.FilesSkipped = skip
+		files = files[skip:]
+	}
+	plan := planFiles(st, files)
+
+	readers := opts.Readers
+	if readers < 1 {
+		readers = 1
+	}
+	if readers > len(plan) && len(plan) > 0 {
+		readers = len(plan)
+	}
+
+	pump := &shardPump{files: files}
+	pl := pipeline.New(ctx)
+	out := pipeline.NewQueue[chunkRes](pl, fmt.Sprintf("logical.shard%d", ckShard), 2*readers+2)
+	var next atomic.Int64
+	var live atomic.Int64
+	live.Store(int64(readers))
+	for r := 0; r < readers; r++ {
+		pl.Go(fmt.Sprintf("logical.shard%d.reader%d", ckShard, r), func(ctx context.Context) error {
+			err := shardChunkReader(ctx, st, prep.gate, pump, plan, &next, out)
+			if live.Add(-1) == 0 {
+				out.CloseSend() // last reader out ends the stream
+			}
+			return err
+		})
+	}
+	ws := &writerState{ckptIno: ckptIno}
+	pl.Go(fmt.Sprintf("logical.shard%d.writer", ckShard), func(ctx context.Context) error {
+		return shardStreamWriter(ctx, prep, sink, plan, out, ws)
+	})
+	err := pl.Wait()
+	res.FilesDumped = ws.filesDumped
+	res.Damaged = ws.damaged
+	if err != nil {
+		res.Err = err
+		if opts.CheckpointEvery > 0 || resume != nil {
+			res.Checkpoint = &Checkpoint{
+				Date: st.date, Level: opts.Level, LastIno: ws.ckptIno,
+				Shard: ckShard, Shards: ckShards,
+			}
+		}
+		return res
+	}
+	res.BytesWritten = ws.bytes
+	return res
+}
+
+// dumpParallel is the Sinks-mode Phase III/IV driver: directories are
+// read and encoded once, then each sink's shard rides its own pipeline
+// and a plain group joins them — one drive's failure leaves the
+// sibling shards streaming to completion.
+func (st *dumpState) dumpParallel(ctx context.Context, clri *dumpfmt.InoMap, dirInos, fileInos []wafl.Inum, begin func(string), end func()) (*DumpStats, error) {
+	opts := &st.opts
+	nShards := len(opts.Sinks)
+
+	stats := &DumpStats{Date: st.date, BaseDate: st.ddate, InodesMapped: st.used.Count()}
+	st.stats = stats
+
+	// Phase III prep: read and encode every directory once, so only
+	// Phase IV touches the filesystem concurrently.
+	begin("Dumping directories")
+	prep := &shardPrep{
+		st: st, clri: clri, dirInos: dirInos,
+		dirBlobs: make(map[wafl.Inum][]byte, len(dirInos)),
+		gate:     &viewGate{real: sim.ProcFrom(ctx) == nil},
+	}
+	for _, ino := range dirInos {
+		if err := ctx.Err(); err != nil {
+			end()
+			return stats, err
+		}
+		ents, err := st.view.Readdir(ctx, ino)
+		if err != nil {
+			end()
+			return stats, err
+		}
+		kept := ents[:0]
+		for _, e := range ents {
+			if e.Name != "." && e.Name != ".." && opts.Exclude != nil && opts.Exclude(e.Name) {
+				continue
+			}
+			kept = append(kept, e)
+		}
+		prep.dirBlobs[ino] = encodeDirEnts(kept)
+	}
+	stats.DirsDumped = len(dirInos)
+	end()
+
+	// Phase IV: shard pipelines joined by a plain group; per-shard
+	// errors stay in the results so siblings are unaffected.
+	begin("Dumping files")
+	results := make([]ShardResult, nShards)
+	g := pipeline.NewGroup(ctx)
+	for k := 0; k < nShards; k++ {
+		k := k
+		lo := len(fileInos) * k / nShards
+		hi := len(fileInos) * (k + 1) / nShards
+		var resume *Checkpoint
+		if opts.ResumeShards != nil {
+			resume = opts.ResumeShards[k]
+		}
+		g.Go(fmt.Sprintf("logical.shard%d", k), func(ctx context.Context) error {
+			results[k] = dumpLogicalShard(ctx, prep, opts.Sinks[k], fileInos[lo:hi], k, nShards, resume)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		end()
+		return stats, err
+	}
+	end()
+
+	stats.ShardResults = results
+	var errs []error
+	for k := range results {
+		r := &results[k]
+		stats.FilesDumped += r.FilesDumped
+		stats.FilesSkipped += r.FilesSkipped
+		stats.BytesWritten += r.BytesWritten
+		stats.Damaged = append(stats.Damaged, r.Damaged...)
+		if r.Err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", r.Shard, r.Err))
+		}
+	}
+	if len(errs) > 0 {
+		return stats, errors.Join(errs...)
+	}
+	if opts.Dates != nil {
+		opts.Dates.Record(opts.FSID, opts.Level, st.date)
+	}
+	m := obs.MetricsFrom(ctx)
+	l := obs.Labels{"fsid": opts.FSID}
+	m.Counter("logical_dump_files_total", l).Add(int64(stats.FilesDumped))
+	m.Counter("logical_dump_dirs_total", l).Add(int64(stats.DirsDumped))
+	m.Counter("logical_dump_bytes_total", l).Add(stats.BytesWritten)
+	m.Counter("logical_dump_damaged_blocks_total", l).Add(int64(len(stats.Damaged)))
+	return stats, nil
+}

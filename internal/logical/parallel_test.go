@@ -1,0 +1,332 @@
+package logical
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/dumpfmt"
+	"repro/internal/tape"
+	"repro/internal/wafl"
+	"repro/internal/workload"
+)
+
+// memSink collects a shard stream's records for byte comparison and
+// replay.
+type memSink struct{ recs [][]byte }
+
+func (s *memSink) WriteRecord(data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.recs = append(s.recs, cp)
+	return nil
+}
+
+func (s *memSink) NextVolume() error { return errors.New("memSink: single volume") }
+
+func (s *memSink) bytes() []byte {
+	var b []byte
+	for _, r := range s.recs {
+		b = append(b, r...)
+	}
+	return b
+}
+
+type memSource struct {
+	recs [][]byte
+	pos  int
+}
+
+func (s *memSink) source() *memSource { return &memSource{recs: s.recs} }
+
+func (s *memSource) ReadRecord() ([]byte, error) {
+	if s.pos >= len(s.recs) {
+		return nil, io.EOF
+	}
+	r := s.recs[s.pos]
+	s.pos++
+	return r, nil
+}
+
+func parallelLogicalFS(t *testing.T, seed int64) (*wafl.FS, *wafl.View) {
+	t.Helper()
+	src := newFS(t, 16384)
+	if _, err := workload.Generate(ctx, src, workload.Spec{
+		Seed: seed, Files: 40, DirFanout: 6, MeanFileSize: 12 << 10,
+		Symlinks: 3, Hardlinks: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.CreateSnapshot(ctx, "s"); err != nil {
+		t.Fatal(err)
+	}
+	sv, _ := src.SnapshotView("s")
+	return src, sv
+}
+
+// TestLogicalParallelMatchesShardedStreams proves the tentpole
+// byte-identity contract: one Sinks dump with parallel readers writes,
+// per shard, exactly the stream a caller-driven Shard/Shards dump of
+// the same slice writes. Parallelism changes only the clock.
+func TestLogicalParallelMatchesShardedStreams(t *testing.T) {
+	_, sv := parallelLogicalFS(t, 71)
+	const nShards = 4
+
+	// Reference: one sequential dump per shard, caller-driven.
+	want := make([]*memSink, nShards)
+	for k := 0; k < nShards; k++ {
+		want[k] = &memSink{}
+		if _, err := Dump(ctx, DumpOptions{
+			View: sv, Sink: want[k], Label: "par", ReadAhead: 8,
+			Shard: k, Shards: nShards, CheckpointEvery: 3,
+		}); err != nil {
+			t.Fatalf("shard %d reference dump: %v", k, err)
+		}
+	}
+
+	// One parallel invocation drives all four streams.
+	sinks := make([]dumpfmt.Sink, nShards)
+	got := make([]*memSink, nShards)
+	for k := range sinks {
+		got[k] = &memSink{}
+		sinks[k] = got[k]
+	}
+	stats, err := Dump(ctx, DumpOptions{
+		View: sv, Sinks: sinks, Label: "par", ReadAhead: 8,
+		Readers: 3, CheckpointEvery: 3,
+	})
+	if err != nil {
+		t.Fatalf("parallel dump: %v", err)
+	}
+
+	if len(stats.ShardResults) != nShards {
+		t.Fatalf("ShardResults = %d entries, want %d", len(stats.ShardResults), nShards)
+	}
+	files, bytes := 0, int64(0)
+	for k, r := range stats.ShardResults {
+		if r.Err != nil {
+			t.Fatalf("shard %d: %v", k, r.Err)
+		}
+		files += r.FilesDumped
+		bytes += r.BytesWritten
+	}
+	if files != stats.FilesDumped || bytes != stats.BytesWritten {
+		t.Fatalf("shard sums files=%d bytes=%d != totals files=%d bytes=%d",
+			files, bytes, stats.FilesDumped, stats.BytesWritten)
+	}
+	if stats.FilesDumped == 0 {
+		t.Fatal("parallel dump dumped no files")
+	}
+
+	for k := 0; k < nShards; k++ {
+		w, g := want[k].bytes(), got[k].bytes()
+		if string(w) != string(g) {
+			t.Fatalf("shard %d stream differs: sequential %d bytes, parallel %d bytes", k, len(w), len(g))
+		}
+	}
+}
+
+// TestLogicalParallelRestoreOrderIndependence: each shard stream is
+// self-contained (full maps, all directories), so restore may apply
+// the set in any order and converge to the same tree.
+func TestLogicalParallelRestoreOrderIndependence(t *testing.T) {
+	_, sv := parallelLogicalFS(t, 72)
+	const nShards = 4
+
+	sinks := make([]dumpfmt.Sink, nShards)
+	streams := make([]*memSink, nShards)
+	for k := range sinks {
+		streams[k] = &memSink{}
+		sinks[k] = streams[k]
+	}
+	if _, err := Dump(ctx, DumpOptions{
+		View: sv, Sinks: sinks, Label: "perm", ReadAhead: 8, Readers: 2,
+	}); err != nil {
+		t.Fatalf("parallel dump: %v", err)
+	}
+
+	wantTree := digests(t, sv, "/")
+	for _, order := range [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}, {2, 0, 3, 1}, {1, 3, 0, 2}} {
+		dst := newFS(t, 16384)
+		for _, k := range order {
+			if _, err := Restore(ctx, RestoreOptions{
+				FS: dst, Source: streams[k].source(), KernelIntegrated: true,
+			}); err != nil {
+				t.Fatalf("order %v: restoring shard %d: %v", order, k, err)
+			}
+		}
+		assertTreesEqual(t, wantTree, digests(t, dst.ActiveView(), "/"))
+		if err := dst.MustCheck(ctx); err != nil {
+			t.Fatalf("order %v: %v", order, err)
+		}
+	}
+}
+
+// TestLogicalParallelShardFaultIsolatedAndResumes is the chaos story
+// on the logical engine: one drive of four drops offline mid-dump, the
+// sibling shards run to completion, the torn shard hands back its own
+// checkpoint, a ResumeShards re-invocation redumps only that shard's
+// remainder, and restoring all the streams rebuilds the exact tree.
+func TestLogicalParallelShardFaultIsolatedAndResumes(t *testing.T) {
+	_, sv := parallelLogicalFS(t, 73)
+	const nShards = 4
+	const faulted = 2
+
+	drives := make([]*tape.Drive, nShards)
+	sinks := make([]dumpfmt.Sink, nShards)
+	for k := range drives {
+		drives[k] = newTape(t, 0, 1)
+		sinks[k] = &DriveSink{Drive: drives[k]}
+	}
+	drives[faulted].InjectFaults(tape.FaultConfig{OfflineAfterRecords: 14})
+
+	stats, err := Dump(ctx, DumpOptions{
+		View: sv, Sinks: sinks, Label: "chaos", ReadAhead: 8,
+		Readers: 2, CheckpointEvery: 2,
+	})
+	if err == nil {
+		t.Fatal("dump with a dead drive reported success")
+	}
+	if !errors.Is(err, tape.ErrOffline) {
+		t.Fatalf("dump error = %v, want drive offline", err)
+	}
+	for k, r := range stats.ShardResults {
+		if k == faulted {
+			if r.Err == nil {
+				t.Fatal("faulted shard reported no error")
+			}
+			if r.Checkpoint == nil || r.Checkpoint.Shard != faulted || r.Checkpoint.Shards != nShards {
+				t.Fatalf("faulted shard checkpoint = %+v", r.Checkpoint)
+			}
+			if r.Checkpoint.LastIno == 0 || r.FilesDumped == 0 {
+				t.Fatalf("offline hit before shard made progress (files=%d, ckpt=%+v); raise OfflineAfterRecords",
+					r.FilesDumped, r.Checkpoint)
+			}
+			continue
+		}
+		if r.Err != nil {
+			t.Fatalf("sibling shard %d did not complete: %v", k, r.Err)
+		}
+		if r.BytesWritten == 0 {
+			t.Fatalf("sibling shard %d wrote nothing", k)
+		}
+	}
+
+	// The drive comes back; what reached tape before the outage is
+	// intact. Resume redumps only the torn shard: siblings get
+	// synthetic completed checkpoints, so their continuation streams
+	// carry no files.
+	drives[faulted].SetOffline(false)
+	drives[faulted].Flush(nil)
+	torn := stats.ShardResults[faulted].Checkpoint
+
+	contSinks := make([]dumpfmt.Sink, nShards)
+	contStreams := make([]*memSink, nShards)
+	resume := make([]*Checkpoint, nShards)
+	for k := range contSinks {
+		contStreams[k] = &memSink{}
+		contSinks[k] = contStreams[k]
+		if k == faulted {
+			resume[k] = torn
+		} else {
+			resume[k] = &Checkpoint{
+				Date: torn.Date, Level: torn.Level, LastIno: wafl.Inum(1<<31 - 1),
+				Shard: k, Shards: nShards,
+			}
+		}
+	}
+	stats2, err := Dump(ctx, DumpOptions{
+		View: sv, Sinks: contSinks, Label: "chaos", ReadAhead: 8,
+		Readers: 2, CheckpointEvery: 2, ResumeShards: resume,
+	})
+	if err != nil {
+		t.Fatalf("resumed dump: %v", err)
+	}
+	if stats2.Date != stats.Date {
+		t.Fatalf("resumed dump date %d != original %d", stats2.Date, stats.Date)
+	}
+	if r := stats2.ShardResults[faulted]; r.FilesSkipped == 0 || r.FilesDumped == 0 {
+		t.Fatalf("resumed shard skipped %d, dumped %d; want both > 0", r.FilesSkipped, r.FilesDumped)
+	}
+	for k, r := range stats2.ShardResults {
+		if k != faulted && r.FilesDumped != 0 {
+			t.Fatalf("completed shard %d redumped %d files on resume", k, r.FilesDumped)
+		}
+	}
+
+	// Restore the three intact tapes, the torn tape (salvaging its
+	// tail), and the continuation stream; the tree must be exact.
+	dst := newFS(t, 16384)
+	for k := 0; k < nShards; k++ {
+		drives[k].Rewind(nil)
+		salvage := k == faulted
+		if _, err := Restore(ctx, RestoreOptions{
+			FS: dst, Source: NewDriveSource(drives[k], nil, 1),
+			KernelIntegrated: true, Salvage: salvage,
+		}); err != nil {
+			t.Fatalf("restoring shard %d tape: %v", k, err)
+		}
+	}
+	if _, err := Restore(ctx, RestoreOptions{
+		FS: dst, Source: contStreams[faulted].source(), KernelIntegrated: true,
+	}); err != nil {
+		t.Fatalf("restoring continuation stream: %v", err)
+	}
+	assertTreesEqual(t, digests(t, sv, "/"), digests(t, dst.ActiveView(), "/"))
+	if err := dst.MustCheck(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLogicalParallelIncrementalChain runs a parallel full and a
+// parallel incremental on top, restoring both sets.
+func TestLogicalParallelIncrementalChain(t *testing.T) {
+	src, sv := parallelLogicalFS(t, 74)
+	const nShards = 3
+	dates := NewDumpDates()
+
+	dump := func(view *wafl.View, level int) []*memSink {
+		t.Helper()
+		sinks := make([]dumpfmt.Sink, nShards)
+		streams := make([]*memSink, nShards)
+		for k := range sinks {
+			streams[k] = &memSink{}
+			sinks[k] = streams[k]
+		}
+		if _, err := Dump(ctx, DumpOptions{
+			View: view, Level: level, Dates: dates, FSID: "test",
+			Sinks: sinks, Label: fmt.Sprintf("l%d", level), ReadAhead: 8, Readers: 2,
+		}); err != nil {
+			t.Fatalf("level %d parallel dump: %v", level, err)
+		}
+		return streams
+	}
+
+	full := dump(sv, 0)
+
+	// Mutate and snapshot again for the level-1.
+	if _, err := src.WriteFile(ctx, "/inc/new.txt", []byte("new since full"), 0644); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.CreateSnapshot(ctx, "s2"); err != nil {
+		t.Fatal(err)
+	}
+	sv2, _ := src.SnapshotView("s2")
+	incr := dump(sv2, 1)
+
+	dst := newFS(t, 16384)
+	for _, set := range [][]*memSink{full, incr} {
+		for k, s := range set {
+			if _, err := Restore(ctx, RestoreOptions{
+				FS: dst, Source: s.source(), KernelIntegrated: true,
+			}); err != nil {
+				t.Fatalf("restoring stream %d: %v", k, err)
+			}
+		}
+	}
+	assertTreesEqual(t, digests(t, sv2, "/"), digests(t, dst.ActiveView(), "/"))
+	if err := dst.MustCheck(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -56,6 +56,16 @@ type DriveSink struct {
 // swaps performed by the sink.
 func (s *DriveSink) MediaStats() (retries, swaps int) { return s.retries, s.swaps }
 
+// BindProc rebinds the simulated process tape time is charged to and
+// returns the previous binding. A pipeline writer stage runs on its own
+// process, so it binds the sink to itself for the stage's lifetime and
+// restores the old binding on exit.
+func (s *DriveSink) BindProc(p *sim.Proc) *sim.Proc {
+	old := s.Proc
+	s.Proc = p
+	return old
+}
+
 // WriteRecord implements dumpfmt.Sink.
 func (s *DriveSink) WriteRecord(data []byte) error {
 	retry := s.Retry
@@ -134,6 +144,14 @@ func NewDriveSource(drive *tape.Drive, proc *sim.Proc, maxVolumes int) *DriveSou
 // ReadStats reports transient read retries and damaged records
 // skipped by the source.
 func (s *DriveSource) ReadStats() (retries, skipped int) { return s.retries, s.skipped }
+
+// BindProc rebinds the simulated process tape time is charged to and
+// returns the previous binding (see DriveSink.BindProc).
+func (s *DriveSource) BindProc(p *sim.Proc) *sim.Proc {
+	old := s.Proc
+	s.Proc = p
+	return old
+}
 
 // ReadRecord implements dumpfmt.Source.
 func (s *DriveSource) ReadRecord() ([]byte, error) {

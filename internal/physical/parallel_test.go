@@ -1,0 +1,395 @@
+package physical
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/logical"
+	"repro/internal/storage"
+	"repro/internal/tape"
+	"repro/internal/wafl"
+	"repro/internal/workload"
+)
+
+// streamBytes flattens a sink's records into one byte stream.
+func streamBytes(s *memSink) []byte {
+	var out []byte
+	for _, r := range s.recs {
+		out = append(out, r...)
+	}
+	return out
+}
+
+// parallelFS builds a populated filesystem with a snapshot to dump.
+func parallelFS(t *testing.T, seed int64) (*wafl.FS, *storage.MemDevice) {
+	t.Helper()
+	fs, dev := newFS(t, 8192)
+	if _, err := workload.Generate(ctx, fs, workload.Spec{Seed: seed, Files: 60, DirFanout: 8, MeanFileSize: 12 << 10, Symlinks: 3, Hardlinks: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.CreateSnapshot(ctx, "s"); err != nil {
+		t.Fatal(err)
+	}
+	return fs, dev
+}
+
+// TestParallelDumpMatchesShardedStreams: one Dump call with Sinks (and
+// parallel readers) produces, shard for shard, exactly the bytes the
+// caller-driven Shard/Shards mode produces — parallelism changes only
+// the clock, never the tape.
+func TestParallelDumpMatchesShardedStreams(t *testing.T) {
+	fs, dev := parallelFS(t, 7)
+	const drives = 4
+
+	want := make([][]byte, drives)
+	for k := 0; k < drives; k++ {
+		sink := &memSink{}
+		if _, err := Dump(ctx, DumpOptions{
+			FS: fs, Vol: dev, SnapName: "s", Sink: sink,
+			Shard: k, Shards: drives, CheckpointEvery: 32,
+		}); err != nil {
+			t.Fatalf("sequential shard %d: %v", k, err)
+		}
+		want[k] = streamBytes(sink)
+	}
+
+	sinks := make([]Sink, drives)
+	mem := make([]*memSink, drives)
+	for k := range sinks {
+		mem[k] = &memSink{}
+		sinks[k] = mem[k]
+	}
+	stats, err := Dump(ctx, DumpOptions{
+		FS: fs, Vol: dev, SnapName: "s", Sinks: sinks,
+		Readers: 3, ReadAhead: 2, CheckpointEvery: 32,
+	})
+	if err != nil {
+		t.Fatalf("parallel dump: %v", err)
+	}
+	if len(stats.ShardResults) != drives {
+		t.Fatalf("ShardResults = %d entries, want %d", len(stats.ShardResults), drives)
+	}
+	var sum int
+	for k := 0; k < drives; k++ {
+		got := streamBytes(mem[k])
+		if !bytes.Equal(got, want[k]) {
+			t.Errorf("shard %d stream differs: %d vs %d bytes", k, len(got), len(want[k]))
+		}
+		sum += stats.ShardResults[k].BlocksDumped
+	}
+	if sum != stats.BlocksDumped {
+		t.Errorf("shard blocks sum %d != total %d", sum, stats.BlocksDumped)
+	}
+}
+
+// TestParallelDumpRestoreRoundTrip: 4 concurrent shard streams from one
+// Dump call, applied by one parallel Restore call, rebuild the tree.
+func TestParallelDumpRestoreRoundTrip(t *testing.T) {
+	fs, dev := parallelFS(t, 21)
+	sv, _ := fs.SnapshotView("s")
+	want, err := workload.TreeDigest(ctx, sv, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sinks := make([]Sink, 4)
+	mem := make([]*memSink, 4)
+	for k := range sinks {
+		mem[k] = &memSink{}
+		sinks[k] = mem[k]
+	}
+	if _, err := Dump(ctx, DumpOptions{
+		FS: fs, Vol: dev, SnapName: "s", Sinks: sinks, Readers: 2, ReadAhead: 2,
+	}); err != nil {
+		t.Fatalf("parallel dump: %v", err)
+	}
+
+	target := storage.NewMemDevice(8192)
+	srcs := make([]Source, 4)
+	for k := range srcs {
+		srcs[k] = mem[k].source()
+	}
+	rstats, err := Restore(ctx, RestoreOptions{Vol: target, Sources: srcs})
+	if err != nil {
+		t.Fatalf("parallel restore: %v", err)
+	}
+	if rstats.BlocksRestored == 0 {
+		t.Fatal("nothing restored")
+	}
+
+	restored, err := wafl.Mount(ctx, target, nil, wafl.Options{})
+	if err != nil {
+		t.Fatalf("mounting restored volume: %v", err)
+	}
+	got, err := workload.TreeDigest(ctx, restored.ActiveView(), "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := workload.DiffDigests(want, got); len(diffs) > 0 {
+		t.Fatalf("restored tree differs: %v", diffs[:min(3, len(diffs))])
+	}
+	if err := restored.MustCheck(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// deviceDigest hashes every block of a device.
+func deviceDigest(t *testing.T, dev storage.Device) [32]byte {
+	t.Helper()
+	h := sha256.New()
+	buf := make([]byte, storage.BlockSize)
+	for b := 0; b < dev.NumBlocks(); b++ {
+		if err := dev.ReadBlock(ctx, b, buf); err != nil {
+			t.Fatal(err)
+		}
+		h.Write(buf)
+	}
+	var d [32]byte
+	copy(d[:], h.Sum(nil))
+	return d
+}
+
+// TestParallelRestoreOrderIndependence: the shard streams of one dump
+// applied in any permutation (and any interleaving the scheduler picks)
+// produce the identical volume image — the property that makes parallel
+// restore safe.
+func TestParallelRestoreOrderIndependence(t *testing.T) {
+	fs, dev := parallelFS(t, 33)
+	sinks := make([]Sink, 4)
+	mem := make([]*memSink, 4)
+	for k := range sinks {
+		mem[k] = &memSink{}
+		sinks[k] = mem[k]
+	}
+	if _, err := Dump(ctx, DumpOptions{
+		FS: fs, Vol: dev, SnapName: "s", Sinks: sinks, Readers: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	perms := [][]int{
+		{0, 1, 2, 3},
+		{3, 2, 1, 0},
+		{2, 0, 3, 1},
+		{1, 3, 0, 2},
+	}
+	var first [32]byte
+	for pi, perm := range perms {
+		target := storage.NewMemDevice(8192)
+		srcs := make([]Source, len(perm))
+		for i, k := range perm {
+			srcs[i] = mem[k].source()
+		}
+		if _, err := Restore(ctx, RestoreOptions{Vol: target, Sources: srcs}); err != nil {
+			t.Fatalf("restore permutation %v: %v", perm, err)
+		}
+		d := deviceDigest(t, target)
+		if pi == 0 {
+			first = d
+		} else if d != first {
+			t.Fatalf("permutation %v produced a different volume image", perm)
+		}
+	}
+}
+
+// TestParallelIncrementalChain: a parallel full plus a parallel
+// incremental restore the later state; the incremental's base check is
+// performed once up front so sibling streams racing to install the new
+// root cannot trip it.
+func TestParallelIncrementalChain(t *testing.T) {
+	fs, dev := parallelFS(t, 44)
+	// Mutate after the full snapshot and take the incremental snapshot.
+	if _, err := workload.Generate(ctx, fs, workload.Spec{Seed: 45, Files: 20, DirFanout: 4, MeanFileSize: 8 << 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.CreateSnapshot(ctx, "s2"); err != nil {
+		t.Fatal(err)
+	}
+	sv, _ := fs.SnapshotView("s2")
+	want, err := workload.TreeDigest(ctx, sv, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dumpPar := func(snap, base string) []Source {
+		sinks := make([]Sink, 3)
+		mem := make([]*memSink, 3)
+		for k := range sinks {
+			mem[k] = &memSink{}
+			sinks[k] = mem[k]
+		}
+		if _, err := Dump(ctx, DumpOptions{
+			FS: fs, Vol: dev, SnapName: snap, BaseSnapName: base, Sinks: sinks, Readers: 2,
+		}); err != nil {
+			t.Fatalf("parallel dump %s/%s: %v", snap, base, err)
+		}
+		srcs := make([]Source, len(mem))
+		for k := range mem {
+			srcs[k] = mem[k].source()
+		}
+		return srcs
+	}
+	full := dumpPar("s", "")
+	incr := dumpPar("s2", "s")
+
+	target := storage.NewMemDevice(8192)
+	if _, err := Restore(ctx, RestoreOptions{Vol: target, Sources: full}); err != nil {
+		t.Fatalf("parallel full restore: %v", err)
+	}
+	if _, err := Restore(ctx, RestoreOptions{Vol: target, Sources: incr, ExpectIncremental: true}); err != nil {
+		t.Fatalf("parallel incremental restore: %v", err)
+	}
+
+	restored, err := wafl.Mount(ctx, target, nil, wafl.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := workload.TreeDigest(ctx, restored.ActiveView(), "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := workload.DiffDigests(want, got); len(diffs) > 0 {
+		t.Fatalf("incremental chain differs: %v", diffs[0])
+	}
+}
+
+// TestParallelShardFaultIsolatedAndResumes: one drive of a 4-drive
+// parallel dump goes offline mid-stream. The sibling shards complete,
+// the failed shard comes back with a resume checkpoint, a second Dump
+// resumes only that shard, and salvage-applying the torn stream plus
+// the continuation plus the siblings rebuilds the tree byte for byte.
+func TestParallelShardFaultIsolatedAndResumes(t *testing.T) {
+	fs, dev := parallelFS(t, 55)
+	sv, _ := fs.SnapshotView("s")
+	want, err := workload.TreeDigest(ctx, sv, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const drives = 4
+	const faulted = 2
+	tapes := make([]*tape.Drive, drives)
+	sinks := make([]Sink, drives)
+	for k := range tapes {
+		tapes[k] = tape.NewDrive(nil, fmt.Sprintf("t%d", k), tape.DefaultParams())
+		tapes[k].AddCartridges(tape.NewCartridge(fmt.Sprintf("c%d", k)))
+		if err := tapes[k].Load(nil); err != nil {
+			t.Fatal(err)
+		}
+		sinks[k] = &logical.DriveSink{Drive: tapes[k]}
+	}
+	tapes[faulted].InjectFaults(tape.FaultConfig{OfflineAfterRecords: 2})
+
+	stats, err := Dump(ctx, DumpOptions{
+		FS: fs, Vol: dev, SnapName: "s", Sinks: sinks, CheckpointEvery: 16,
+	})
+	if err == nil {
+		t.Fatal("dump with an offline drive reported success")
+	}
+	if !errors.Is(err, tape.ErrOffline) {
+		t.Fatalf("dump error = %v, want drive offline", err)
+	}
+	for k, r := range stats.ShardResults {
+		if k == faulted {
+			if r.Err == nil {
+				t.Fatalf("faulted shard %d has no error", k)
+			}
+			if r.Checkpoint == nil {
+				t.Fatalf("faulted shard %d has no resume checkpoint", k)
+			}
+			if r.Checkpoint.Shard != k || r.Checkpoint.Shards != drives {
+				t.Fatalf("checkpoint identity %d/%d, want %d/%d", r.Checkpoint.Shard, r.Checkpoint.Shards, k, drives)
+			}
+			continue
+		}
+		if r.Err != nil {
+			t.Fatalf("sibling shard %d failed too: %v", k, r.Err)
+		}
+		if r.BlocksDumped == 0 {
+			t.Fatalf("sibling shard %d dumped nothing", k)
+		}
+	}
+
+	// Resume only the torn shard onto a fresh drive.
+	tapes[faulted].SetOffline(false)
+	tapes[faulted].Flush(nil)
+	cont := tape.NewDrive(nil, "cont", tape.DefaultParams())
+	cont.AddCartridges(tape.NewCartridge("cc"))
+	if err := cont.Load(nil); err != nil {
+		t.Fatal(err)
+	}
+	resume := make([]*Checkpoint, drives)
+	resume[faulted] = stats.ShardResults[faulted].Checkpoint
+	for k := range resume {
+		if k == faulted {
+			continue
+		}
+		// Completed shards resume past their whole block set: their
+		// continuation streams carry no data.
+		resume[k] = &Checkpoint{
+			Gen: stats.Gen, BaseGen: stats.BaseGen,
+			BlocksDone: stats.ShardResults[k].BlocksDumped,
+			Shard:      k, Shards: drives,
+		}
+	}
+	resinks := make([]Sink, drives)
+	empties := make([]*memSink, drives)
+	for k := range resinks {
+		if k == faulted {
+			resinks[k] = &logical.DriveSink{Drive: cont}
+			continue
+		}
+		empties[k] = &memSink{}
+		resinks[k] = empties[k]
+	}
+	stats2, err := Dump(ctx, DumpOptions{
+		FS: fs, Vol: dev, SnapName: "s", Sinks: resinks,
+		CheckpointEvery: 16, ResumeShards: resume,
+	})
+	if err != nil {
+		t.Fatalf("resumed parallel dump: %v", err)
+	}
+	if stats2.ShardResults[faulted].BlocksSkipped != resume[faulted].BlocksDone {
+		t.Fatalf("resumed shard skipped %d, checkpoint says %d",
+			stats2.ShardResults[faulted].BlocksSkipped, resume[faulted].BlocksDone)
+	}
+	cont.Flush(nil)
+
+	// Restore: the three complete shard streams, the torn stream in
+	// salvage mode, then the continuation.
+	target := storage.NewMemDevice(8192)
+	var firstPass []Source
+	for k := range tapes {
+		tapes[k].Rewind(nil)
+		firstPass = append(firstPass, logical.NewDriveSource(tapes[k], nil, 1))
+	}
+	r1, err := Restore(ctx, RestoreOptions{Vol: target, Sources: firstPass, Salvage: true})
+	if err != nil {
+		t.Fatalf("restore of faulted dump set: %v", err)
+	}
+	if !r1.TornTail {
+		t.Fatal("torn shard stream restored without TornTail")
+	}
+	cont.Rewind(nil)
+	if _, err := Restore(ctx, RestoreOptions{Vol: target, Source: logical.NewDriveSource(cont, nil, 1)}); err != nil {
+		t.Fatalf("restoring continuation stream: %v", err)
+	}
+
+	restored, err := wafl.Mount(ctx, target, nil, wafl.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := workload.TreeDigest(ctx, restored.ActiveView(), "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := workload.DiffDigests(want, got); len(diffs) > 0 {
+		t.Fatalf("resumed parallel dump restores differently: %v", diffs[0])
+	}
+	if err := restored.MustCheck(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

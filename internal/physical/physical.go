@@ -23,12 +23,12 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"time"
 
 	"repro/internal/bufpool"
 	"repro/internal/dumpfmt"
 	"repro/internal/obs"
+	"repro/internal/pipeline"
 	"repro/internal/sim"
 	"repro/internal/storage"
 	"repro/internal/wafl"
@@ -103,6 +103,22 @@ func (c *Costs) charge(ctx context.Context, d time.Duration) {
 	}
 }
 
+// schedule reserves d of CPU time and returns its completion time
+// without blocking. The pipelined readers use it so one extent's
+// checksum/copy work overlaps the next extent's disk time; the reader
+// folds the returned time into its next wait, which is what paces it
+// when the CPU saturates. The sequential engine charges Sync because
+// it has nothing to overlap with.
+func (c *Costs) schedule(ctx context.Context, d time.Duration) sim.Time {
+	if c == nil || c.CPU == nil || d <= 0 {
+		return 0
+	}
+	if p := sim.ProcFrom(ctx); p != nil {
+		return c.CPU.Schedule(p, d)
+	}
+	return 0
+}
+
 // DumpOptions configures an image dump.
 type DumpOptions struct {
 	// FS supplies block-map and snapshot-table access only.
@@ -115,37 +131,88 @@ type DumpOptions struct {
 	// only blocks in SnapName's world but not in BaseSnapName's world
 	// are written (Table 1 semantics).
 	BaseSnapName string
-	// Sink receives the stream.
+	// Sink receives the stream of a single-stream dump. Mutually
+	// exclusive with Sinks.
 	Sink Sink
+	// Sinks fans one Dump call out across parallel tape drives: shard
+	// k of len(Sinks) writes the k-th contiguous slice of the block
+	// set to Sinks[k] as its own self-contained stream (§5.2: "for
+	// physical dump, we dumped the home volume to multiple tape
+	// devices in parallel"), all shards streaming concurrently on the
+	// internal pipeline. Restore applies the shard streams in any
+	// order. A shard failure does not abort its siblings: the other
+	// shards run to completion and the failed shard's checkpoint comes
+	// back in ShardResults for a single-shard resume.
+	Sinks []Sink
+	// Readers is the number of parallel block readers per shard
+	// (default 1). Readers pull extents off a shared work list and the
+	// per-drive writer reassembles them in stream order, so the bytes
+	// on tape do not depend on Readers.
+	Readers int
+	// ReadAhead is how many extent reads each reader keeps in flight
+	// on the volume's async bulk path (default 1, i.e. none). Higher
+	// values keep the spindle queues full across the reader's CPU
+	// time.
+	ReadAhead int
 	// Costs is the CPU model; zero value charges nothing.
 	Costs Costs
-	// Shard/Shards split the dump across parallel tape drives: shard k
-	// of n writes the k-th contiguous slice of the block set as its
-	// own self-contained stream (§5.2: "for physical dump, we dumped
-	// the home volume to multiple tape devices in parallel"). Restore
-	// applies all shards, in any order. Zero Shards means no sharding.
+	// Shard/Shards split the dump across parallel tape drives when the
+	// caller drives each shard itself (one Dump call per drive): shard
+	// k of n writes the k-th contiguous slice of the block set as its
+	// own self-contained stream. Zero Shards means no sharding. With
+	// Sinks set, sharding is implied and these must be zero.
 	Shard  int
 	Shards int
 	// CheckpointEvery emits a durable checkpoint extent after every N
 	// blocks, making the dump restartable (the paper's §4 restarts
 	// image dumps at tape boundaries). 0 disables checkpoints.
 	CheckpointEvery int
-	// Resume continues an interrupted dump from the checkpoint a failed
-	// Dump returned: the block set is recomputed from the same (frozen)
-	// snapshots and the first BlocksDone entries are skipped.
+	// Resume continues an interrupted single-stream dump from the
+	// checkpoint a failed Dump returned: the block set is recomputed
+	// from the same (frozen) snapshots and the first BlocksDone
+	// entries are skipped.
 	Resume *Checkpoint
+	// ResumeShards, len(Sinks) long, resumes individual shards of a
+	// parallel dump: entry k is shard k's checkpoint from a previous
+	// run's ShardResults, or nil to dump that shard from its start.
+	// Shards that already completed can be resumed with a checkpoint
+	// whose BlocksDone covers the whole shard; their stream is then
+	// header+trailer only.
+	ResumeShards []*Checkpoint
 }
 
 // Checkpoint is the durable progress of an interrupted image dump. The
 // block set of a snapshot pair is deterministic, so a count of blocks
-// already on media is a complete resume point.
+// already on media — plus which contiguous shard of the set this
+// stream carries — is a complete resume point.
 type Checkpoint struct {
 	Gen        uint64
 	BaseGen    uint64
-	BlocksDone int // blocks durably on media
+	BlocksDone int // blocks of this shard durably on media
+	// Shard/Shards record the shard identity of a sharded dump (both
+	// zero for an unsharded stream), so a resume cannot be applied to
+	// the wrong slice of the block set.
+	Shard  int
+	Shards int
 }
 
-// DumpStats reports what an image dump did.
+// ShardResult is one shard's outcome within a (possibly parallel)
+// dump.
+type ShardResult struct {
+	Shard         int
+	BlocksDumped  int
+	BlocksSkipped int // already on media per the resume checkpoint
+	BytesWritten  int64
+	// Checkpoint is set (alongside a non-nil Err) when the shard
+	// aborted but can resume from its last durable checkpoint.
+	Checkpoint *Checkpoint
+	// Err is the shard's failure, nil when the shard completed.
+	Err error
+}
+
+// DumpStats reports what an image dump did. For a parallel dump the
+// top-level counters aggregate across shards and ShardResults carries
+// the per-shard detail.
 type DumpStats struct {
 	BlocksDumped  int
 	BlocksSkipped int // already on media per the resume checkpoint
@@ -156,10 +223,13 @@ type DumpStats struct {
 	// header; the backup catalog keeps it so a restore can size its
 	// target volume without mounting any media.
 	NBlocks uint64
-	// Checkpoint is set (alongside a non-nil error) when the dump
-	// aborted but can resume; nil on success or when checkpoints were
-	// disabled and no resume state existed.
+	// Checkpoint is set (alongside a non-nil error) when a
+	// single-stream dump aborted but can resume; nil on success or
+	// when checkpoints were disabled and no resume state existed.
 	Checkpoint *Checkpoint
+	// ShardResults is the per-shard outcome, one entry per stream
+	// (one for a single-stream dump, len(Sinks) for a parallel one).
+	ShardResults []ShardResult
 }
 
 // streamHeader is the fixed preamble of an image stream.
@@ -187,11 +257,46 @@ func (h *streamHeader) marshal() []byte {
 	return buf
 }
 
-// Dump writes the image stream for opts.SnapName to opts.Sink.
+// maxRun bounds one device visit: 2 MB of consecutive blocks.
+const maxRun = 512
+
+// Dump writes the image stream for opts.SnapName — to opts.Sink as a
+// single stream, or fanned out across opts.Sinks with one concurrent
+// shard per drive. Either way the blocks move through the stage
+// pipeline: parallel block readers sharded by block range feed a
+// per-drive tape writer through a bounded queue.
 func Dump(ctx context.Context, opts DumpOptions) (*DumpStats, error) {
-	if opts.FS == nil || opts.Vol == nil || opts.Sink == nil {
-		return nil, fmt.Errorf("physical: nil fs, volume or sink")
+	multi := len(opts.Sinks) > 0
+	sinks := opts.Sinks
+	if !multi {
+		if opts.FS == nil || opts.Vol == nil || opts.Sink == nil {
+			return nil, fmt.Errorf("physical: nil fs, volume or sink")
+		}
+		sinks = []Sink{opts.Sink}
+	} else {
+		if opts.FS == nil || opts.Vol == nil {
+			return nil, fmt.Errorf("physical: nil fs, volume or sink")
+		}
+		if opts.Sink != nil {
+			return nil, fmt.Errorf("physical: Sink and Sinks are mutually exclusive")
+		}
+		if opts.Shards != 0 || opts.Shard != 0 {
+			return nil, fmt.Errorf("physical: Shard/Shards must be zero with Sinks (sharding is implied)")
+		}
+		if opts.Resume != nil {
+			return nil, fmt.Errorf("physical: use ResumeShards with Sinks")
+		}
+		if opts.ResumeShards != nil && len(opts.ResumeShards) != len(sinks) {
+			return nil, fmt.Errorf("physical: %d resume checkpoints for %d sinks", len(opts.ResumeShards), len(sinks))
+		}
+		for _, s := range sinks {
+			if s == nil {
+				return nil, fmt.Errorf("physical: nil sink in Sinks")
+			}
+		}
 	}
+	nShards := len(sinks)
+
 	ctx, dumpSpan := obs.Start(ctx, "physical.dump")
 	defer dumpSpan.End()
 	snap, err := opts.FS.Snapshot(opts.SnapName)
@@ -223,29 +328,60 @@ func Dump(ctx context.Context, opts DumpOptions) (*DumpStats, error) {
 	// Block selection: every block in the snapshot's world; for an
 	// incremental, minus every block in the base's world — exactly the
 	// bitmap set difference of the paper's §4.1.
-	blocks := IncrementalBlocks(words, baseWords)
-	if opts.Shards > 1 {
-		if opts.Shard < 0 || opts.Shard >= opts.Shards {
-			return nil, fmt.Errorf("physical: shard %d of %d", opts.Shard, opts.Shards)
+	all := IncrementalBlocks(words, baseWords)
+
+	// Shard specs: the contiguous block-set slice, the shard identity
+	// recorded in checkpoints, and the resume state. The slice formula
+	// is the same for a parallel dump and a caller-driven Shard/Shards
+	// dump, so the streams (and resume checkpoints) are interchangeable
+	// between the two modes.
+	type shardSpec struct {
+		blocks            []uint32
+		ckShard, ckShards int
+		resume            *Checkpoint
+	}
+	specs := make([]shardSpec, nShards)
+	if multi {
+		for k := range specs {
+			lo := len(all) * k / nShards
+			hi := len(all) * (k + 1) / nShards
+			specs[k] = shardSpec{blocks: all[lo:hi], ckShard: k, ckShards: nShards}
+			if opts.ResumeShards != nil {
+				specs[k].resume = opts.ResumeShards[k]
+			}
 		}
-		lo := len(blocks) * opts.Shard / opts.Shards
-		hi := len(blocks) * (opts.Shard + 1) / opts.Shards
-		blocks = blocks[lo:hi]
+	} else {
+		blocks := all
+		if opts.Shards > 1 {
+			if opts.Shard < 0 || opts.Shard >= opts.Shards {
+				return nil, fmt.Errorf("physical: shard %d of %d", opts.Shard, opts.Shards)
+			}
+			lo := len(blocks) * opts.Shard / opts.Shards
+			hi := len(blocks) * (opts.Shard + 1) / opts.Shards
+			blocks = blocks[lo:hi]
+		}
+		specs[0] = shardSpec{blocks: blocks, ckShard: opts.Shard, ckShards: opts.Shards, resume: opts.Resume}
 	}
 
-	// A resumed dump recomputes the same deterministic block set (the
+	// A resumed shard recomputes the same deterministic block set (the
 	// snapshots are frozen) and skips what its checkpoint vouches for.
-	skipped := 0
-	if opts.Resume != nil {
-		if opts.Resume.Gen != snap.Gen || opts.Resume.BaseGen != baseGen {
+	// Validate every resume before any tape moves.
+	for k := range specs {
+		r := specs[k].resume
+		if r == nil {
+			continue
+		}
+		if r.Gen != snap.Gen || r.BaseGen != baseGen {
 			return nil, fmt.Errorf("physical: resume checkpoint is for gen %d/base %d, dump is gen %d/base %d",
-				opts.Resume.Gen, opts.Resume.BaseGen, snap.Gen, baseGen)
+				r.Gen, r.BaseGen, snap.Gen, baseGen)
 		}
-		if opts.Resume.BlocksDone > len(blocks) {
-			return nil, fmt.Errorf("physical: resume checkpoint claims %d of %d blocks", opts.Resume.BlocksDone, len(blocks))
+		if r.Shard != specs[k].ckShard || r.Shards != specs[k].ckShards {
+			return nil, fmt.Errorf("physical: resume checkpoint is for shard %d/%d, dump shard is %d/%d",
+				r.Shard, r.Shards, specs[k].ckShard, specs[k].ckShards)
 		}
-		skipped = opts.Resume.BlocksDone
-		blocks = blocks[skipped:]
+		if r.BlocksDone > len(specs[k].blocks) {
+			return nil, fmt.Errorf("physical: resume checkpoint claims %d of %d blocks", r.BlocksDone, len(specs[k].blocks))
+		}
 	}
 
 	older, err := opts.FS.SnapshotsBefore(opts.SnapName)
@@ -256,118 +392,58 @@ func Dump(ctx context.Context, opts DumpOptions) (*DumpStats, error) {
 	if err != nil {
 		return nil, err
 	}
-
-	w := newStreamWriter(opts.Sink)
 	hdr := streamHeader{
-		nblocks:    uint64(len(words)),
-		gen:        snap.Gen,
-		baseGen:    baseGen,
-		blockCount: uint64(len(blocks)),
-		root:       root,
+		nblocks: uint64(len(words)),
+		gen:     snap.Gen,
+		baseGen: baseGen,
+		root:    root,
 	}
 
-	stats := &DumpStats{BlocksSkipped: skipped, Gen: snap.Gen, BaseGen: baseGen, NBlocks: uint64(len(words))}
-	// ckptDone is the absolute count of blocks durably on media; fail
-	// wraps an unrecoverable error with it so the caller can resume.
-	ckptDone := skipped
-	fail := func(err error) (*DumpStats, error) {
-		if opts.CheckpointEvery > 0 || opts.Resume != nil {
-			stats.Checkpoint = &Checkpoint{Gen: snap.Gen, BaseGen: baseGen, BlocksDone: ckptDone}
+	stats := &DumpStats{Gen: snap.Gen, BaseGen: baseGen, NBlocks: uint64(len(words))}
+	results := make([]ShardResult, nShards)
+	if nShards == 1 {
+		results[0] = dumpShard(ctx, &opts, sinks[0], specs[0].blocks, hdr, specs[0].ckShard, specs[0].ckShards, specs[0].resume)
+	} else {
+		// Shards are isolated: each runs its own pipeline, and a plain
+		// group joins them, so one drive's failure leaves the sibling
+		// shards streaming to completion.
+		g := pipeline.NewGroup(ctx)
+		for k := range specs {
+			k := k
+			g.Go(fmt.Sprintf("physical.shard%d", k), func(ctx context.Context) error {
+				results[k] = dumpShard(ctx, &opts, sinks[k], specs[k].blocks, hdr, specs[k].ckShard, specs[k].ckShards, specs[k].resume)
+				return nil // shard errors are isolated in results
+			})
 		}
-		return stats, err
+		if err := g.Wait(); err != nil {
+			return stats, err
+		}
 	}
 
-	if err := w.write(hdr.marshal()); err != nil {
-		return fail(err)
-	}
-
-	// Stream extents in ascending block order: sequential on every
-	// member disk, which is what lets physical dump run at device
-	// speed. Runs move through storage.ReadRun, which takes the
-	// volume's native bulk path (RAID, memory, file) when it has one
-	// so concurrent streams amortize their seeks.
-	const maxRun = 512 // 2 MB per device visit
-	runBuf := bufpool.Get(maxRun * storage.BlockSize)
-	defer bufpool.Put(runBuf)
-	buf := *runBuf
-	crc := crc32.NewIEEE()
-	var ext [8]byte
-	dumped := 0
-	sinceCkpt := 0
-	i := 0
-	for i < len(blocks) {
-		if err := ctx.Err(); err != nil {
-			return fail(err)
+	stats.ShardResults = results
+	var errs []error
+	for k := range results {
+		r := &results[k]
+		stats.BlocksDumped += r.BlocksDumped
+		stats.BlocksSkipped += r.BlocksSkipped
+		stats.BytesWritten += r.BytesWritten
+		if r.Err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", r.Shard, r.Err))
 		}
-		// Coalesce a run of consecutive blocks, then emit it as extents
-		// no larger than the device visit (and, with checkpoints on, no
-		// larger than the remaining checkpoint budget, so markers land
-		// between extents).
-		j := i + 1
-		for j < len(blocks) && blocks[j] == blocks[j-1]+1 {
-			j++
+	}
+	if len(errs) > 0 {
+		if !multi {
+			// Single-stream contract: the raw error and the resume
+			// checkpoint at the stats top level, exactly as before.
+			stats.Checkpoint = results[0].Checkpoint
+			return stats, results[0].Err
 		}
-		for b := i; b < j; {
-			c := j - b
-			if c > maxRun {
-				c = maxRun
-			}
-			if opts.CheckpointEvery > 0 && c > opts.CheckpointEvery-sinceCkpt {
-				c = opts.CheckpointEvery - sinceCkpt
-			}
-			binary.LittleEndian.PutUint32(ext[0:], blocks[b])
-			binary.LittleEndian.PutUint32(ext[4:], uint32(c))
-			if err := w.write(ext[:]); err != nil {
-				return fail(err)
-			}
-			chunk := buf[:c*storage.BlockSize]
-			if err := storage.ReadRun(ctx, opts.Vol, int(blocks[b]), c, chunk); err != nil {
-				return fail(err)
-			}
-			opts.Costs.charge(ctx, time.Duration(c)*opts.Costs.DumpBlock)
-			crc.Write(chunk)
-			if err := w.write(chunk); err != nil {
-				return fail(err)
-			}
-			dumped += c
-			sinceCkpt += c
-			if opts.CheckpointEvery > 0 && sinceCkpt >= opts.CheckpointEvery {
-				binary.LittleEndian.PutUint32(ext[0:], CkptSentinel)
-				binary.LittleEndian.PutUint32(ext[4:], crc.Sum32())
-				if err := w.write(ext[:]); err != nil {
-					return fail(err)
-				}
-				if err := w.flushPartial(); err != nil {
-					return fail(err)
-				}
-				// A provisional-accept sink (network session) must drain
-				// before the checkpoint may vouch for these blocks.
-				if sy, ok := opts.Sink.(dumpfmt.Syncer); ok {
-					if err := sy.Sync(); err != nil {
-						return fail(err)
-					}
-				}
-				ckptDone = skipped + dumped
-				sinceCkpt = 0
-			}
-			b += c
-		}
-		i = j
+		return stats, errors.Join(errs...)
 	}
-	// Trailer: sentinel extent + checksum of all payload bytes.
-	binary.LittleEndian.PutUint32(ext[0:], EndSentinel)
-	binary.LittleEndian.PutUint32(ext[4:], crc.Sum32())
-	if err := w.write(ext[:]); err != nil {
-		return fail(err)
-	}
-	if err := w.flush(); err != nil {
-		return fail(err)
-	}
-	stats.BlocksDumped = len(blocks)
-	stats.BytesWritten = w.written
 	dumpSpan.SetAttr("blocks", stats.BlocksDumped)
 	dumpSpan.SetAttr("bytes", stats.BytesWritten)
 	dumpSpan.SetAttr("gen", stats.Gen)
+	dumpSpan.SetAttr("shards", nShards)
 	if opts.Shards > 1 {
 		dumpSpan.SetAttr("shard", opts.Shard)
 	}

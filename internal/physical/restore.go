@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/bufpool"
 	"repro/internal/obs"
+	"repro/internal/pipeline"
 	"repro/internal/storage"
 	"repro/internal/wafl"
 )
@@ -19,8 +20,14 @@ type RestoreOptions struct {
 	// Vol is the raw target volume; writes bypass any filesystem and
 	// NVRAM (the paper's stated reason image restore is fast).
 	Vol storage.Device
-	// Source supplies the stream.
+	// Source supplies the stream. Mutually exclusive with Sources.
 	Source Source
+	// Sources applies the shard streams of a parallel dump
+	// concurrently, one restore stage per stream. Shard streams are
+	// disjoint block sets and each carries the same composed root
+	// (installed idempotently), so the result does not depend on shard
+	// order or interleaving. Stats are summed across streams.
+	Sources []Source
 	// Costs is the CPU model.
 	Costs Costs
 	// ExpectIncremental controls base checking: when applying an
@@ -113,12 +120,26 @@ func readHeader(r *streamReader) (*streamHeader, error) {
 
 // Restore applies an image stream to opts.Vol: raw block writes in
 // stream (ascending) order, then the composed root structure last, so
-// an interrupted restore never presents a half-written root.
+// an interrupted restore never presents a half-written root. With
+// Sources set, the shard streams of a parallel dump are applied
+// concurrently.
 func Restore(ctx context.Context, opts RestoreOptions) (*RestoreStats, error) {
+	if len(opts.Sources) > 0 {
+		return restoreParallel(ctx, opts)
+	}
 	if opts.Vol == nil || opts.Source == nil {
 		return nil, fmt.Errorf("physical: nil volume or source")
 	}
-	r := &streamReader{src: opts.Source}
+	return restoreStream(ctx, opts, opts.Source, func(ctx context.Context) (uint64, error) {
+		return readTargetGen(ctx, opts.Vol)
+	})
+}
+
+// restoreStream reads, validates and applies one stream. targetGen
+// supplies the target's current root generation for incremental base
+// checking; it is only consulted when the header says incremental.
+func restoreStream(ctx context.Context, opts RestoreOptions, src Source, targetGen func(context.Context) (uint64, error)) (*RestoreStats, error) {
+	r := &streamReader{src: src}
 	h, err := readHeader(r)
 	if err != nil {
 		return nil, err
@@ -135,7 +156,7 @@ func Restore(ctx context.Context, opts RestoreOptions) (*RestoreStats, error) {
 	}
 	if h.baseGen != 0 {
 		// Verify the target is exactly at the base state.
-		cur, err := readTargetGen(ctx, opts.Vol)
+		cur, err := targetGen(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("%w: cannot read target root: %v", ErrWrongBase, err)
 		}
@@ -145,6 +166,64 @@ func Restore(ctx context.Context, opts RestoreOptions) (*RestoreStats, error) {
 		}
 	}
 	return restoreBody(ctx, opts.Vol, r, h, opts)
+}
+
+// restoreParallel applies the shard streams of a parallel dump
+// concurrently, one stage per stream on a pipeline group. Streams are
+// independent (disjoint extents, identical roots), so a stream failure
+// does not cancel its siblings; Restore returns the joined errors.
+func restoreParallel(ctx context.Context, opts RestoreOptions) (*RestoreStats, error) {
+	if opts.Vol == nil {
+		return nil, fmt.Errorf("physical: nil volume or source")
+	}
+	if opts.Source != nil {
+		return nil, fmt.Errorf("physical: Source and Sources are mutually exclusive")
+	}
+	for _, s := range opts.Sources {
+		if s == nil {
+			return nil, fmt.Errorf("physical: nil source in Sources")
+		}
+	}
+	// The base-generation check is hoisted before any stream starts: a
+	// sibling shard that finishes first installs the new root, which
+	// would flip the generation under a per-stream lazy check.
+	var gen uint64
+	if opts.ExpectIncremental {
+		g, err := readTargetGen(ctx, opts.Vol)
+		if err != nil {
+			return nil, fmt.Errorf("%w: cannot read target root: %v", ErrWrongBase, err)
+		}
+		gen = g
+	}
+	hoisted := func(context.Context) (uint64, error) { return gen, nil }
+
+	all := make([]*RestoreStats, len(opts.Sources))
+	g := pipeline.NewGroup(ctx)
+	for k := range opts.Sources {
+		g.Go(fmt.Sprintf("physical.restore%d", k), func(ctx context.Context) error {
+			defer pipeline.BindStageProc(ctx, opts.Sources[k])()
+			st, err := restoreStream(ctx, opts, opts.Sources[k], hoisted)
+			if err != nil {
+				return fmt.Errorf("stream %d: %w", k, err)
+			}
+			all[k] = st
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	merged := &RestoreStats{}
+	for _, st := range all {
+		merged.BlocksRestored += st.BlocksRestored
+		merged.BytesRead += st.BytesRead
+		merged.Checkpoints += st.Checkpoints
+		merged.Gen = st.Gen
+		if st.TornTail {
+			merged.TornTail = true
+		}
+	}
+	return merged, nil
 }
 
 // restoreBody applies the extents and root of a stream whose header

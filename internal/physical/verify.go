@@ -13,10 +13,10 @@ import (
 // the "are last year's tapes even readable?" question for image
 // backups before a disaster makes it urgent.
 type StreamCheck struct {
-	NBlocks    uint64 // source volume geometry
-	Gen        uint64
-	BaseGen    uint64 // 0 for a full stream
-	BlockCount  int // blocks carried by the stream
+	NBlocks     uint64 // source volume geometry
+	Gen         uint64
+	BaseGen     uint64 // 0 for a full stream
+	BlockCount  int    // blocks carried by the stream
 	Extents     int
 	Checkpoints int // checkpoint extents, each checksum-verified
 	BytesRead   int64

@@ -1,0 +1,33 @@
+package pipeline
+
+import (
+	"context"
+
+	"repro/internal/sim"
+)
+
+// ProcBinder is implemented by drive adapters (logical.DriveSink and
+// friends) that charge device time against a bound simulated process.
+// A pipeline stage runs on its own process, so the stage rebinds the
+// adapter to itself for its lifetime and restores the previous binding
+// on exit — two processes sharing one binding would corrupt the
+// simulator's handoff channels.
+type ProcBinder interface{ BindProc(p *sim.Proc) *sim.Proc }
+
+// BindStageProc rebinds v (if it is a ProcBinder) to the stage process
+// carried by ctx and returns the restore function, a no-op when v is
+// not a binder or the stage is untimed. Use as:
+//
+//	defer pipeline.BindStageProc(ctx, sink)()
+func BindStageProc(ctx context.Context, v any) func() {
+	pb, ok := v.(ProcBinder)
+	if !ok {
+		return func() {}
+	}
+	p := sim.ProcFrom(ctx)
+	if p == nil {
+		return func() {}
+	}
+	old := pb.BindProc(p)
+	return func() { pb.BindProc(old) }
+}

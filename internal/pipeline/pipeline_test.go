@@ -1,0 +1,285 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// TestSimProducerConsumer runs a bounded producer/consumer pair on the
+// simulator and checks ordering, backpressure and determinism: the
+// consumer is slower, so total virtual time is set by the consumer and
+// identical across runs.
+func TestSimProducerConsumer(t *testing.T) {
+	run := func() (sum int, elapsed sim.Time) {
+		env := sim.NewEnv()
+		env.Spawn("parent", func(p *sim.Proc) {
+			ctx := sim.WithProc(context.Background(), p)
+			pl := New(ctx)
+			q := NewQueue[int](pl, "test", 2)
+			pl.Go("producer", func(ctx context.Context) error {
+				sp := sim.ProcFrom(ctx)
+				for i := 1; i <= 10; i++ {
+					sp.Sleep(time.Millisecond)
+					if err := q.Put(ctx, i); err != nil {
+						return err
+					}
+				}
+				q.CloseSend()
+				return nil
+			})
+			pl.Go("consumer", func(ctx context.Context) error {
+				sp := sim.ProcFrom(ctx)
+				last := 0
+				for {
+					v, ok, err := q.Get(ctx)
+					if err != nil {
+						return err
+					}
+					if !ok {
+						return nil
+					}
+					if v != last+1 {
+						return fmt.Errorf("got %d after %d", v, last)
+					}
+					last = v
+					sp.Sleep(3 * time.Millisecond)
+					sum += v
+				}
+			})
+			if err := pl.Wait(); err != nil {
+				t.Errorf("pipeline: %v", err)
+			}
+			elapsed = p.Now()
+		})
+		env.Run()
+		return sum, elapsed
+	}
+	sum1, t1 := run()
+	sum2, t2 := run()
+	if sum1 != 55 || sum2 != 55 {
+		t.Fatalf("sums = %d, %d, want 55", sum1, sum2)
+	}
+	if t1 != t2 {
+		t.Fatalf("non-deterministic: %v vs %v", t1, t2)
+	}
+	// Consumer-bound: 1ms for the first item to arrive + 10 * 3ms.
+	if want := 31 * time.Millisecond; t1 != want {
+		t.Fatalf("elapsed %v, want %v", t1, want)
+	}
+}
+
+// TestSimFirstErrorAborts checks that a failing stage unwinds stages
+// blocked on queues and Wait reports the original error, with the
+// simulation draining cleanly (no stuck-process panic).
+func TestSimFirstErrorAborts(t *testing.T) {
+	boom := errors.New("boom")
+	env := sim.NewEnv()
+	var got error
+	env.Spawn("parent", func(p *sim.Proc) {
+		ctx := sim.WithProc(context.Background(), p)
+		pl := New(ctx)
+		q := NewQueue[int](pl, "err", 1)
+		pl.Go("blocked-producer", func(ctx context.Context) error {
+			for i := 0; ; i++ {
+				if err := q.Put(ctx, i); err != nil {
+					return err
+				}
+			}
+		})
+		pl.Go("failer", func(ctx context.Context) error {
+			sim.ProcFrom(ctx).Sleep(time.Millisecond)
+			return boom
+		})
+		got = pl.Wait()
+	})
+	env.Run()
+	if !errors.Is(got, boom) {
+		t.Fatalf("Wait = %v, want %v", got, boom)
+	}
+}
+
+// TestGoModeProducerConsumer runs the same shape untimed with real
+// goroutines.
+func TestGoModeProducerConsumer(t *testing.T) {
+	pl := New(context.Background())
+	q := NewQueue[int](pl, "gomode", 4)
+	var sum atomic.Int64
+	pl.Go("producer", func(ctx context.Context) error {
+		for i := 1; i <= 100; i++ {
+			if err := q.Put(ctx, i); err != nil {
+				return err
+			}
+		}
+		q.CloseSend()
+		return nil
+	})
+	for c := 0; c < 3; c++ {
+		pl.Go(fmt.Sprintf("consumer%d", c), func(ctx context.Context) error {
+			for {
+				v, ok, err := q.Get(ctx)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+				sum.Add(int64(v))
+			}
+		})
+	}
+	if err := pl.Wait(); err != nil {
+		t.Fatalf("pipeline: %v", err)
+	}
+	if sum.Load() != 5050 {
+		t.Fatalf("sum = %d, want 5050", sum.Load())
+	}
+}
+
+// TestCancelNoGoroutineLeak aborts a mid-flight untimed pipeline by
+// cancelling its parent context and asserts every stage goroutine
+// exits — the satellite requirement that a pipeline abort leaks
+// nothing.
+func TestCancelNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	pl := New(ctx)
+	q := NewQueue[int](pl, "leak", 1)
+	// Producer fills the queue then blocks; consumers block on an
+	// upstream queue that never closes.
+	starve := NewQueue[int](pl, "starve", 1)
+	pl.Go("producer", func(ctx context.Context) error {
+		for i := 0; ; i++ {
+			if err := q.Put(ctx, i); err != nil {
+				return err
+			}
+		}
+	})
+	pl.Go("consumer", func(ctx context.Context) error {
+		_, _, err := starve.Get(ctx)
+		return err
+	})
+	time.Sleep(10 * time.Millisecond) // let both stages block
+	cancel()
+	if err := pl.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		buf := make([]byte, 1<<16)
+		t.Fatalf("goroutines leaked: %d -> %d\n%s", before, after, buf[:runtime.Stack(buf, true)])
+	}
+}
+
+// TestStageFailureUnblocksPeers fails one untimed stage and checks a
+// peer blocked on a full queue unwinds with the first error.
+func TestStageFailureUnblocksPeers(t *testing.T) {
+	boom := errors.New("stage down")
+	pl := New(context.Background())
+	q := NewQueue[int](pl, "peers", 1)
+	pl.Go("blocked", func(ctx context.Context) error {
+		for i := 0; ; i++ {
+			if err := q.Put(ctx, i); err != nil {
+				return err
+			}
+		}
+	})
+	pl.Go("failer", func(ctx context.Context) error {
+		time.Sleep(5 * time.Millisecond)
+		return boom
+	})
+	if err := pl.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("Wait = %v, want %v", err, boom)
+	}
+}
+
+// TestGroupIsolatesShards runs two pipelines under one Group — the
+// shard topology the dump engines use — and checks one shard's failure
+// leaves the other's output complete.
+func TestGroupIsolatesShards(t *testing.T) {
+	boom := errors.New("shard 1 drive offline")
+	env := sim.NewEnv()
+	var goodSum int
+	var joined error
+	env.Spawn("parent", func(p *sim.Proc) {
+		ctx := sim.WithProc(context.Background(), p)
+		g := NewGroup(ctx)
+		g.Go("shard0", func(ctx context.Context) error {
+			pl := New(ctx)
+			q := NewQueue[int](pl, "s0", 2)
+			pl.Go("reader", func(ctx context.Context) error {
+				for i := 1; i <= 5; i++ {
+					sim.ProcFrom(ctx).Sleep(time.Millisecond)
+					if err := q.Put(ctx, i); err != nil {
+						return err
+					}
+				}
+				q.CloseSend()
+				return nil
+			})
+			pl.Go("writer", func(ctx context.Context) error {
+				for {
+					v, ok, err := q.Get(ctx)
+					if err != nil {
+						return err
+					}
+					if !ok {
+						return nil
+					}
+					goodSum += v
+				}
+			})
+			return pl.Wait()
+		})
+		g.Go("shard1", func(ctx context.Context) error {
+			pl := New(ctx)
+			pl.Go("writer", func(ctx context.Context) error {
+				sim.ProcFrom(ctx).Sleep(2 * time.Millisecond)
+				return boom
+			})
+			return pl.Wait()
+		})
+		joined = g.Wait()
+	})
+	env.Run()
+	if !errors.Is(joined, boom) {
+		t.Fatalf("group error = %v, want to contain %v", joined, boom)
+	}
+	if goodSum != 15 {
+		t.Fatalf("healthy shard sum = %d, want 15 (must complete despite sibling failure)", goodSum)
+	}
+}
+
+// TestQueueDepthGauge checks the queue exports its depth on the
+// context's metrics registry.
+func TestQueueDepthGauge(t *testing.T) {
+	reg := obs.NewRegistry()
+	ctx := obs.WithMetrics(context.Background(), reg)
+	pl := New(ctx)
+	q := NewQueue[int](pl, "gauged", 4)
+	for i := 0; i < 3; i++ {
+		if err := q.Put(ctx, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v, ok := reg.Value("pipeline_queue_depth", obs.Labels{"queue": "gauged"}); !ok || v != 3 {
+		t.Fatalf("gauge = %v (ok=%v), want 3", v, ok)
+	}
+	if _, _, err := q.Get(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := reg.Value("pipeline_queue_depth", obs.Labels{"queue": "gauged"}); v != 2 {
+		t.Fatalf("gauge = %v, want 2", v)
+	}
+	pl.cancel()
+}

@@ -1,0 +1,239 @@
+package pipeline
+
+import (
+	"errors"
+	"sync"
+
+	"context"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// ErrClosed is returned by Put after CloseSend.
+var ErrClosed = errors.New("pipeline: queue closed")
+
+// Queue is a bounded FIFO connecting pipeline stages. Put blocks while
+// the queue is full, Get while it is empty — on the simulator by
+// parking the calling process on a sim.Cond, otherwise on a channel
+// with ctx cancellation. Depth is exported as the gauge
+// pipeline_queue_depth{queue="<name>"} on the registry carried by the
+// pipeline's context.
+//
+// Mode is chosen per call from the caller's context: a stage spawned
+// on the simulator carries its own sim.Proc and parks; an untimed
+// caller blocks the goroutine. A single queue must not be used from
+// both modes at once.
+type Queue[T any] struct {
+	name string
+	cap  int
+
+	mu      sync.Mutex // go mode; sim mode is cooperatively serialized
+	buf     []T
+	head, n int
+	closed  bool
+	err     error
+
+	notFull  *sim.Cond // sim mode, lazily created
+	notEmpty *sim.Cond
+
+	bcast chan struct{} // go mode: closed and replaced on state change
+
+	depth *obs.Gauge
+}
+
+// NewQueue creates a bounded queue of the given capacity (minimum 1)
+// registered on pl: when the pipeline fails, the queue is aborted and
+// all blocked callers unwind with the pipeline's first error.
+func NewQueue[T any](pl *Pipeline, name string, capacity int) *Queue[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	q := &Queue[T]{
+		name:  name,
+		cap:   capacity,
+		buf:   make([]T, capacity),
+		depth: obs.MetricsFrom(pl.Context()).Gauge("pipeline_queue_depth", obs.Labels{"queue": name}),
+	}
+	pl.register(q)
+	return q
+}
+
+// conds lazily creates the sim-mode condition variables on p's Env.
+// Safe without locking: sim mode runs one process at a time.
+func (q *Queue[T]) conds(p *sim.Proc) {
+	if q.notFull == nil {
+		q.notFull = sim.NewCond(p.Env())
+		q.notEmpty = sim.NewCond(p.Env())
+	}
+}
+
+// wakeLocked wakes every go-mode waiter. Callers hold q.mu.
+func (q *Queue[T]) wakeLocked() {
+	if q.bcast != nil {
+		close(q.bcast)
+		q.bcast = nil
+	}
+}
+
+// waitChLocked returns the channel a go-mode caller should block on.
+func (q *Queue[T]) waitChLocked() chan struct{} {
+	if q.bcast == nil {
+		q.bcast = make(chan struct{})
+	}
+	return q.bcast
+}
+
+// put appends v. Callers have checked there is room.
+func (q *Queue[T]) put(v T) {
+	q.buf[(q.head+q.n)%q.cap] = v
+	q.n++
+	q.depth.Set(float64(q.n))
+}
+
+// take removes and returns the head. Callers have checked q.n > 0.
+func (q *Queue[T]) take() T {
+	v := q.buf[q.head]
+	var zero T
+	q.buf[q.head] = zero // drop the reference for pooled buffers
+	q.head = (q.head + 1) % q.cap
+	q.n--
+	q.depth.Set(float64(q.n))
+	return v
+}
+
+// Put enqueues v, blocking while the queue is full. It returns the
+// abort error if the pipeline failed, ErrClosed after CloseSend, or
+// ctx's error if cancelled while blocked (untimed mode only).
+func (q *Queue[T]) Put(ctx context.Context, v T) error {
+	if p := sim.ProcFrom(ctx); p != nil {
+		q.conds(p)
+		for {
+			switch {
+			case q.err != nil:
+				return q.err
+			case q.closed:
+				return ErrClosed
+			case q.n < q.cap:
+				q.put(v)
+				q.notEmpty.Broadcast()
+				return nil
+			}
+			q.notFull.Wait(p)
+		}
+	}
+	for {
+		q.mu.Lock()
+		switch {
+		case q.err != nil:
+			err := q.err
+			q.mu.Unlock()
+			return err
+		case q.closed:
+			q.mu.Unlock()
+			return ErrClosed
+		case q.n < q.cap:
+			q.put(v)
+			q.wakeLocked()
+			q.mu.Unlock()
+			return nil
+		}
+		w := q.waitChLocked()
+		q.mu.Unlock()
+		select {
+		case <-w:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Get dequeues the next value. ok is false with a nil error when the
+// queue is closed and drained (clean end of stream); a non-nil error
+// is the pipeline abort error or ctx's error.
+func (q *Queue[T]) Get(ctx context.Context) (v T, ok bool, err error) {
+	var zero T
+	if p := sim.ProcFrom(ctx); p != nil {
+		q.conds(p)
+		for {
+			switch {
+			case q.err != nil:
+				return zero, false, q.err
+			case q.n > 0:
+				v = q.take()
+				q.notFull.Broadcast()
+				return v, true, nil
+			case q.closed:
+				return zero, false, nil
+			}
+			q.notEmpty.Wait(p)
+		}
+	}
+	for {
+		q.mu.Lock()
+		switch {
+		case q.err != nil:
+			err = q.err
+			q.mu.Unlock()
+			return zero, false, err
+		case q.n > 0:
+			v = q.take()
+			q.wakeLocked()
+			q.mu.Unlock()
+			return v, true, nil
+		case q.closed:
+			q.mu.Unlock()
+			return zero, false, nil
+		}
+		w := q.waitChLocked()
+		q.mu.Unlock()
+		select {
+		case <-w:
+		case <-ctx.Done():
+			return zero, false, ctx.Err()
+		}
+	}
+}
+
+// CloseSend marks the end of the stream: blocked and future Puts fail
+// with ErrClosed, and Gets drain the buffer then return ok=false.
+func (q *Queue[T]) CloseSend() {
+	q.mu.Lock()
+	q.closed = true
+	q.wakeLocked()
+	q.mu.Unlock()
+	if q.notFull != nil {
+		q.notFull.Broadcast()
+		q.notEmpty.Broadcast()
+	}
+}
+
+// abort poisons the queue with err: every blocked and future Put/Get
+// returns it. First error wins; buffered values are discarded.
+func (q *Queue[T]) abort(err error) {
+	q.mu.Lock()
+	if q.err == nil && err != nil {
+		q.err = err
+	}
+	// Drop buffered values so pooled buffers are not pinned by a dead
+	// queue (the GC still owns them; this just clears our references).
+	q.head, q.n = 0, 0
+	for i := range q.buf {
+		var zero T
+		q.buf[i] = zero
+	}
+	q.depth.Set(0)
+	q.wakeLocked()
+	q.mu.Unlock()
+	if q.notFull != nil {
+		q.notFull.Broadcast()
+		q.notEmpty.Broadcast()
+	}
+}
+
+// Len returns the number of buffered values.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}

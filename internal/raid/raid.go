@@ -15,6 +15,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/bufpool"
 	"repro/internal/sim"
@@ -56,17 +58,57 @@ type Group struct {
 	// the coalescing working when multiple streams interleave on the
 	// group (otherwise the parity disk would be charged per block and
 	// become a phantom bottleneck no real full-stripe writer sees).
+	// parityMu guards it: parallel restore shards write through the
+	// same group from separate goroutines.
+	parityMu     sync.Mutex
 	parityRecent [8]int
 	parityNext   int
 
 	// retry bounds recovery of transient member faults before the
-	// group falls back to parity reconstruction.
+	// group falls back to parity reconstruction. The counters are
+	// atomic because parallel dump shards read through the same group
+	// concurrently.
 	retry        storage.RetryPolicy
-	retries      int // transient-fault retries performed
-	reconstructs int // single-block degraded reads served from parity
+	retries      atomic.Int64 // transient-fault retries performed
+	reconstructs atomic.Int64 // single-block degraded reads served from parity
 
-	stripeReads  int // bulk ReadRun calls served on the striped fast path
-	degradedRuns int // runs that fell back to per-block degraded reads
+	stripeReads  atomic.Int64 // bulk ReadRun calls served on the striped fast path
+	degradedRuns atomic.Int64 // runs that fell back to per-block degraded reads
+
+	// scratch is a free list of de-striping buffers owned by the
+	// group. Unlike a sync.Pool it survives GC, so steady-state run
+	// reads allocate nothing, and it naturally scales to one buffer
+	// per concurrent reader.
+	scratchMu sync.Mutex
+	scratch   [][]byte
+}
+
+// getScratch returns a buffer of at least size bytes from the group's
+// free list, allocating only when every buffer is in use.
+func (g *Group) getScratch(size int) []byte {
+	g.scratchMu.Lock()
+	for i := len(g.scratch) - 1; i >= 0; i-- {
+		if cap(g.scratch[i]) >= size {
+			s := g.scratch[i]
+			g.scratch[i] = g.scratch[len(g.scratch)-1]
+			g.scratch[len(g.scratch)-1] = nil
+			g.scratch = g.scratch[:len(g.scratch)-1]
+			g.scratchMu.Unlock()
+			return s[:size]
+		}
+	}
+	g.scratchMu.Unlock()
+	return make([]byte, size)
+}
+
+// putScratch returns a buffer to the free list. The list is bounded
+// by the number of concurrent readers, which is small.
+func (g *Group) putScratch(s []byte) {
+	g.scratchMu.Lock()
+	if len(g.scratch) < 16 {
+		g.scratch = append(g.scratch, s)
+	}
+	g.scratchMu.Unlock()
 }
 
 // NewGroup builds a RAID-4 group. All disks must have equal size.
@@ -136,7 +178,7 @@ func (g *Group) SetRetryPolicy(p storage.RetryPolicy) { g.retry = p }
 // performed and how many single-block reads it has served degraded
 // (reconstructed from parity because the owning block was unreadable).
 func (g *Group) RecoveryStats() (retries, reconstructs int) {
-	return g.retries, g.reconstructs
+	return int(g.retries.Load()), int(g.reconstructs.Load())
 }
 
 // readRetry reads dblock of member disk d, retrying transient faults
@@ -145,7 +187,7 @@ func (g *Group) RecoveryStats() (retries, reconstructs int) {
 func (g *Group) readRetry(ctx context.Context, d Disk, dblock int, buf []byte) error {
 	err := d.ReadBlock(ctx, dblock, buf)
 	for attempt := 1; storage.IsTransient(err) && attempt <= g.retry.MaxRetries; attempt++ {
-		g.retries++
+		g.retries.Add(1)
 		g.retry.Charge(ctx, attempt)
 		err = d.ReadBlock(ctx, dblock, buf)
 	}
@@ -164,7 +206,7 @@ func (g *Group) readMember(ctx context.Context, i, dblock int, buf []byte) error
 	if rerr := g.reconstructSkip(ctx, i, dblock, buf); rerr != nil {
 		return fmt.Errorf("raid: disk %d block %d unreadable (%w); reconstruction failed: %v", i, dblock, err, rerr)
 	}
-	g.reconstructs++
+	g.reconstructs.Add(1)
 	return nil
 }
 
@@ -310,6 +352,8 @@ func (g *Group) VerifyParity(ctx context.Context) ([]int, error) {
 // chargeParity reports whether a parity write for stripe dblock should
 // be charged (first touch of the stripe recently) and records it.
 func (g *Group) chargeParity(dblock int) bool {
+	g.parityMu.Lock()
+	defer g.parityMu.Unlock()
 	for _, s := range g.parityRecent {
 		if s == dblock {
 			return false

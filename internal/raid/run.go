@@ -8,6 +8,52 @@ import (
 	"repro/internal/storage"
 )
 
+// readRunInto issues every member disk's sub-run for group data blocks
+// [bno, bno+n) and de-stripes into buf, returning the latest member
+// completion time without waiting for it. The data in buf is usable on
+// return; the time is when it would be on a simulated clock. The
+// caller decides whether to block (ReadRun) or pipeline (ReadRunAsync).
+// A non-nil error means a member fault interrupted the fast path and
+// the caller should recover through readRunDegraded.
+func (g *Group) readRunInto(ctx context.Context, bno, n int, buf []byte) (sim.Time, error) {
+	g.stripeReads.Add(1)
+	nd := len(g.data)
+	if nd == 1 {
+		// Single data disk: the group run is the disk run; read
+		// straight into the caller's buffer, no de-striping copy.
+		return g.data[0].ReadRunAsync(ctx, bno, n, buf)
+	}
+	// Issue every member disk's sub-run concurrently: a striped read
+	// costs max over disks, not sum.
+	var latest sim.Time
+	scratch := g.getScratch((n/nd + 1) * storage.BlockSize)
+	defer g.putScratch(scratch)
+	for k := 0; k < nd; k++ {
+		// Blocks b in [bno, bno+n) with b % nd == k.
+		first := bno + ((k-bno%nd)+nd)%nd
+		if first >= bno+n {
+			continue
+		}
+		count := (bno + n - first + nd - 1) / nd
+		tmp := scratch[:count*storage.BlockSize]
+		done, err := g.data[k].ReadRunAsync(ctx, first/nd, count, tmp)
+		if err != nil {
+			// A fault inside a member's sub-run: abandon the fast
+			// path so the caller can recover block by block.
+			return 0, err
+		}
+		if done > latest {
+			latest = done
+		}
+		for i := 0; i < count; i++ {
+			vb := first + i*nd
+			copy(buf[(vb-bno)*storage.BlockSize:(vb-bno+1)*storage.BlockSize],
+				tmp[i*storage.BlockSize:(i+1)*storage.BlockSize])
+		}
+	}
+	return latest, nil
+}
+
 // Bulk-run I/O. A contiguous run of group data blocks maps to one
 // contiguous sub-run per member disk, so a large run costs each disk
 // at most one seek — which is how a streaming image dump keeps every
@@ -25,48 +71,11 @@ func (g *Group) ReadRun(ctx context.Context, bno, n int, buf []byte) error {
 	if g.failed >= 0 {
 		return g.readRunDegraded(ctx, bno, n, buf)
 	}
-	g.stripeReads++
-	nd := len(g.data)
-	if nd == 1 {
-		// Single data disk: the group run is the disk run; read
-		// straight into the caller's buffer, no de-striping copy.
-		done, err := g.data[0].ReadRunAsync(ctx, bno, n, buf)
-		if err != nil {
-			return g.readRunDegraded(ctx, bno, n, buf)
-		}
-		if p := sim.ProcFrom(ctx); p != nil && done > 0 {
-			p.WaitUntil(done)
-		}
-		return nil
-	}
-	// Issue every member disk's sub-run concurrently and wait for the
-	// last to finish: a striped read costs max over disks, not sum.
-	var latest sim.Time
-	scratch := bufpool.Get((n/nd + 1) * storage.BlockSize)
-	defer bufpool.Put(scratch)
-	for k := 0; k < nd; k++ {
-		// Blocks b in [bno, bno+n) with b % nd == k.
-		first := bno + ((k-bno%nd)+nd)%nd
-		if first >= bno+n {
-			continue
-		}
-		count := (bno + n - first + nd - 1) / nd
-		tmp := (*scratch)[:count*storage.BlockSize]
-		done, err := g.data[k].ReadRunAsync(ctx, first/nd, count, tmp)
-		if err != nil {
-			// A fault inside a member's sub-run: abandon the fast
-			// path and recover block by block, so a single latent
-			// sector costs one reconstruction, not the whole dump.
-			return g.readRunDegraded(ctx, bno, n, buf)
-		}
-		if done > latest {
-			latest = done
-		}
-		for i := 0; i < count; i++ {
-			vb := first + i*nd
-			copy(buf[(vb-bno)*storage.BlockSize:(vb-bno+1)*storage.BlockSize],
-				tmp[i*storage.BlockSize:(i+1)*storage.BlockSize])
-		}
+	latest, err := g.readRunInto(ctx, bno, n, buf)
+	if err != nil {
+		// Recover block by block, so a single latent sector costs one
+		// reconstruction, not the whole dump.
+		return g.readRunDegraded(ctx, bno, n, buf)
 	}
 	if p := sim.ProcFrom(ctx); p != nil && latest > 0 {
 		p.WaitUntil(latest)
@@ -74,11 +83,27 @@ func (g *Group) ReadRun(ctx context.Context, bno, n int, buf []byte) error {
 	return nil
 }
 
+// ReadRunAsync reads n consecutive group data blocks at bno into buf,
+// returning the virtual completion time instead of waiting for it
+// (storage.AsyncRunDevice semantics: data ready now, time charged
+// later). Faults fall back to the synchronous degraded path, which
+// completes before returning (time 0).
+func (g *Group) ReadRunAsync(ctx context.Context, bno, n int, buf []byte) (sim.Time, error) {
+	if g.failed >= 0 {
+		return 0, g.readRunDegraded(ctx, bno, n, buf)
+	}
+	latest, err := g.readRunInto(ctx, bno, n, buf)
+	if err != nil {
+		return 0, g.readRunDegraded(ctx, bno, n, buf)
+	}
+	return latest, nil
+}
+
 // readRunDegraded is the per-block slow path behind ReadRun: each
 // block goes through ReadBlock, which retries transient faults and
 // reconstructs persistently unreadable blocks from parity.
 func (g *Group) readRunDegraded(ctx context.Context, bno, n int, buf []byte) error {
-	g.degradedRuns++
+	g.degradedRuns.Add(1)
 	for i := 0; i < n; i++ {
 		if err := g.ReadBlock(ctx, bno+i, buf[i*storage.BlockSize:(i+1)*storage.BlockSize]); err != nil {
 			return err
@@ -178,12 +203,43 @@ func (v *Volume) ReadRun(ctx context.Context, bno, n int, buf []byte) error {
 		if err := g.ReadRun(ctx, gb, c, buf[:c*storage.BlockSize]); err != nil {
 			return err
 		}
-		v.bytesRead += int64(c) * storage.BlockSize
+		v.bytesRead.Add(int64(c) * storage.BlockSize)
 		bno += c
 		n -= c
 		buf = buf[c*storage.BlockSize:]
 	}
 	return nil
+}
+
+// ReadRunAsync reads n consecutive volume blocks at bno into buf with
+// storage.AsyncRunDevice semantics: buf is filled on return, and the
+// returned time is when the last member disk's transfer completes on
+// the virtual clock. Runs spanning group boundaries return the latest
+// completion across groups.
+func (v *Volume) ReadRunAsync(ctx context.Context, bno, n int, buf []byte) (sim.Time, error) {
+	var latest sim.Time
+	for n > 0 {
+		g, gb, err := v.locate(bno)
+		if err != nil {
+			return 0, err
+		}
+		c := n
+		if gb+c > g.NumBlocks() {
+			c = g.NumBlocks() - gb
+		}
+		done, err := g.ReadRunAsync(ctx, gb, c, buf[:c*storage.BlockSize])
+		if err != nil {
+			return 0, err
+		}
+		if done > latest {
+			latest = done
+		}
+		v.bytesRead.Add(int64(c) * storage.BlockSize)
+		bno += c
+		n -= c
+		buf = buf[c*storage.BlockSize:]
+	}
+	return latest, nil
 }
 
 // WriteRun writes n consecutive volume blocks starting at bno from
@@ -201,7 +257,7 @@ func (v *Volume) WriteRun(ctx context.Context, bno, n int, buf []byte) error {
 		if err := g.WriteRun(ctx, gb, c, buf[:c*storage.BlockSize]); err != nil {
 			return err
 		}
-		v.bytesWritten += int64(c) * storage.BlockSize
+		v.bytesWritten.Add(int64(c) * storage.BlockSize)
 		bno += c
 		n -= c
 		buf = buf[c*storage.BlockSize:]

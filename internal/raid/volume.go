@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -23,9 +24,10 @@ type Volume struct {
 	starts []int // starting volume block of each group
 	total  int
 
-	// Traffic counters for the benchmark harness.
-	bytesRead    int64
-	bytesWritten int64
+	// Traffic counters for the benchmark harness; atomic because
+	// parallel dump shards stream through the volume concurrently.
+	bytesRead    atomic.Int64
+	bytesWritten atomic.Int64
 }
 
 // NewVolume concatenates groups into one volume.
@@ -86,7 +88,7 @@ func (v *Volume) NumBlocks() int { return v.total }
 func (v *Volume) Groups() []*Group { return v.groups }
 
 // Traffic returns cumulative bytes read from and written to the volume.
-func (v *Volume) Traffic() (read, written int64) { return v.bytesRead, v.bytesWritten }
+func (v *Volume) Traffic() (read, written int64) { return v.bytesRead.Load(), v.bytesWritten.Load() }
 
 // SetRetryPolicy replaces the transient-fault retry policy on every
 // group in the volume.
@@ -113,10 +115,10 @@ func (v *Volume) RecoveryStats() (retries, reconstructs int) {
 func (v *Volume) RegisterMetrics(r *obs.Registry) {
 	l := obs.Labels{"vol": v.name}
 	r.RegisterFunc("raid_read_bytes_total", obs.KindCounter, l, func() float64 {
-		return float64(v.bytesRead)
+		return float64(v.bytesRead.Load())
 	})
 	r.RegisterFunc("raid_written_bytes_total", obs.KindCounter, l, func() float64 {
-		return float64(v.bytesWritten)
+		return float64(v.bytesWritten.Load())
 	})
 	r.RegisterFunc("raid_retries_total", obs.KindCounter, l, func() float64 {
 		retries, _ := v.RecoveryStats()
@@ -127,16 +129,16 @@ func (v *Volume) RegisterMetrics(r *obs.Registry) {
 		return float64(reconstructs)
 	})
 	r.RegisterFunc("raid_stripe_reads_total", obs.KindCounter, l, func() float64 {
-		n := 0
+		var n int64
 		for _, g := range v.groups {
-			n += g.stripeReads
+			n += g.stripeReads.Load()
 		}
 		return float64(n)
 	})
 	r.RegisterFunc("raid_degraded_runs_total", obs.KindCounter, l, func() float64 {
-		n := 0
+		var n int64
 		for _, g := range v.groups {
-			n += g.degradedRuns
+			n += g.degradedRuns.Load()
 		}
 		return float64(n)
 	})
@@ -179,7 +181,7 @@ func (v *Volume) ReadBlock(ctx context.Context, bno int, buf []byte) error {
 	if err := g.ReadBlock(ctx, gb, buf); err != nil {
 		return err
 	}
-	v.bytesRead += storage.BlockSize
+	v.bytesRead.Add(storage.BlockSize)
 	return nil
 }
 
@@ -192,7 +194,7 @@ func (v *Volume) WriteBlock(ctx context.Context, bno int, data []byte) error {
 	if err := g.WriteBlock(ctx, gb, data); err != nil {
 		return err
 	}
-	v.bytesWritten += storage.BlockSize
+	v.bytesWritten.Add(storage.BlockSize)
 	return nil
 }
 

@@ -1,0 +1,58 @@
+package sim
+
+// Cond is a condition variable for simulated processes. It is the one
+// blocking primitive in the simulator that is not time-based: a process
+// that Waits is parked indefinitely, off the event queue, until another
+// process Signals or Broadcasts. Pipeline stages use it to block on
+// bounded queues (full on Put, empty on Get) without spinning virtual
+// time.
+//
+// The usual lost-wakeup hazard of condition variables does not exist
+// here: execution is cooperative, so between a caller's predicate check
+// and its Wait no other process can run, and a wakeup therefore cannot
+// slip into that window. Callers still re-check their predicate in a
+// loop after Wait returns, because Broadcast wakes every waiter and an
+// earlier-scheduled one may have consumed the state change.
+//
+// If every live process ends up parked in Waits with no Signal coming,
+// the event queue empties while processes remain live and Env.Run
+// panics — turning a pipeline deadlock into a loud failure instead of
+// a hang.
+type Cond struct {
+	env     *Env
+	waiters []*Proc
+}
+
+// NewCond creates a condition variable on env.
+func NewCond(env *Env) *Cond {
+	return &Cond{env: env}
+}
+
+// Wait parks p until a subsequent Signal or Broadcast. It must be
+// called by the currently running process, and p must be that process.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.env.yield <- struct{}{}
+	<-p.resume
+}
+
+// Signal wakes the longest-parked waiter, scheduling it at the current
+// virtual time. No-op when nothing is parked. May be called from a
+// running process or from outside the simulation before Run.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	p := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	c.env.schedule(c.env.now, p)
+}
+
+// Broadcast wakes every parked waiter, scheduling them at the current
+// virtual time in the order they parked.
+func (c *Cond) Broadcast() {
+	for _, p := range c.waiters {
+		c.env.schedule(c.env.now, p)
+	}
+	c.waiters = c.waiters[:0]
+}

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCondHandoff checks the producer/consumer shape the pipeline
+// package builds on: a consumer parks on a Cond, a producer wakes it,
+// and the wakeup lands at the producer's virtual time.
+func TestCondHandoff(t *testing.T) {
+	env := NewEnv()
+	c := NewCond(env)
+	var ready bool
+	var wokeAt Time
+	env.Spawn("consumer", func(p *Proc) {
+		for !ready {
+			c.Wait(p)
+		}
+		wokeAt = p.Now()
+	})
+	env.Spawn("producer", func(p *Proc) {
+		p.Sleep(5 * time.Millisecond)
+		ready = true
+		c.Broadcast()
+	})
+	env.Run()
+	if wokeAt != 5*time.Millisecond {
+		t.Fatalf("consumer woke at %v, want 5ms", wokeAt)
+	}
+}
+
+// TestCondSignalOrder checks Signal wakes waiters FIFO, one at a time.
+func TestCondSignalOrder(t *testing.T) {
+	env := NewEnv()
+	c := NewCond(env)
+	var order []string
+	tokens := 0
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		env.Spawn(name, func(p *Proc) {
+			for tokens == 0 {
+				c.Wait(p)
+			}
+			tokens--
+			order = append(order, name)
+		})
+	}
+	env.Spawn("feeder", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(time.Millisecond)
+			tokens++
+			c.Signal()
+		}
+	})
+	env.Run()
+	if got := len(order); got != 3 {
+		t.Fatalf("woke %d waiters, want 3", got)
+	}
+	for i, name := range []string{"a", "b", "c"} {
+		if order[i] != name {
+			t.Fatalf("wake order %v, want [a b c]", order)
+		}
+	}
+}
+
+// TestCondDeadlockPanics checks that a Wait nobody will ever Signal
+// turns into the simulator's stuck-process panic rather than a hang.
+func TestCondDeadlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected Env.Run to panic on a parked process with no events")
+		}
+	}()
+	env := NewEnv()
+	c := NewCond(env)
+	env.Spawn("stuck", func(p *Proc) {
+		c.Wait(p)
+	})
+	env.Run()
+}

@@ -3,6 +3,8 @@ package storage
 import (
 	"context"
 	"fmt"
+
+	"repro/internal/sim"
 )
 
 // RunDevice is implemented by devices with a native bulk path for
@@ -67,6 +69,30 @@ func WriteRun(ctx context.Context, d Device, bno, n int, buf []byte) error {
 		}
 	}
 	return nil
+}
+
+// AsyncRunDevice is implemented by devices whose bulk read path can
+// decouple data delivery from timing: ReadRunAsync fills buf before
+// returning (the bytes are immediately usable) but only *reserves*
+// the device service time, handing back the virtual completion time
+// instead of blocking until it. A pipelined reader issues several
+// runs back to back and waits on each completion as it needs the
+// data, which keeps the spindle queue full across the reader's own
+// think time — the read-ahead batching the parallel dump pipeline
+// is built on. Untimed contexts return 0 (already complete).
+type AsyncRunDevice interface {
+	RunDevice
+	ReadRunAsync(ctx context.Context, bno, n int, buf []byte) (sim.Time, error)
+}
+
+// ReadRunAsync issues a read of n blocks at bno on d's asynchronous
+// bulk path when it has one, falling back to a synchronous ReadRun
+// (returning 0: data ready, time fully charged) otherwise.
+func ReadRunAsync(ctx context.Context, d Device, bno, n int, buf []byte) (sim.Time, error) {
+	if ad, ok := d.(AsyncRunDevice); ok {
+		return ad.ReadRunAsync(ctx, bno, n, buf)
+	}
+	return 0, ReadRun(ctx, d, bno, n, buf)
 }
 
 // runShim adds the per-block fallback as methods, for callers that
