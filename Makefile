@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 race bench-smoke build vet test chaos fuzz-smoke transport-race obs-smoke pipeline-race
+.PHONY: tier1 race bench-smoke build vet test chaos fuzz-smoke transport-race obs-smoke pipeline-race replica-race
 
 tier1: ## vet + build + full test suite (the repo's gate)
 	$(GO) vet ./...
@@ -33,6 +33,13 @@ fuzz-smoke: ## brief real fuzzing of the untrusted-input parsers
 	$(GO) test -fuzz FuzzUnmarshalHeader -fuzztime 10s ./internal/dumpfmt/
 	$(GO) test -fuzz FuzzStreamHeader -fuzztime 10s ./internal/physical/
 	$(GO) test -fuzz FuzzDecodeJournal -fuzztime 10s ./internal/catalog/
+	$(GO) test -fuzz FuzzDecodeWire -fuzztime 10s ./internal/replica/
+
+replica-race: ## race-detector pass over catalog replication and the failover chaos scenarios
+	$(GO) test -race -count 1 -timeout 300s ./internal/replica/
+	$(GO) test -race -count 1 -run 'TestChaosReplicatedJournal|TestChaosTapeHostFailover' \
+		-timeout 300s ./internal/chaos/
+	$(GO) test -race -count 1 -run 'TestScheduleSurvivesCatalogFailover' ./internal/sched/
 
 obs-smoke: ## instrumented dump with tracing + metrics, validated end to end
 	$(GO) run ./cmd/backupctl stats -mb 4 -trace obs_trace.json -check > /dev/null

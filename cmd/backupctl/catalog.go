@@ -363,16 +363,30 @@ type recvStream struct {
 // as a single DumpSet whose Media lists the stream files in replay
 // order. Engine and level come off the wire Hello; dump dates and
 // generations come from the stream headers, so the server's catalog
-// can plan restore chains exactly like the client's.
-func recordReceived(base string, streams []recvStream) error {
+// can plan restore chains exactly like the client's. With a standby
+// path the append lands in both journals before it is acknowledged.
+func recordReceived(base, standby string, streams []recvStream) error {
 	if len(streams) == 0 {
 		return nil
 	}
-	cat, store, err := openVolCatalog(base)
-	if err != nil {
-		return err
+	var cat *catalog.Catalog
+	if standby != "" {
+		store, err := openMirrorStore(catalogPath(base), standby)
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		if cat, err = catalog.Open(store); err != nil {
+			return err
+		}
+	} else {
+		c, store, err := openVolCatalog(base)
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		cat = c
 	}
-	defer store.Close()
 	hello := streams[0].hello
 	ds := catalog.DumpSet{
 		FSID: hello.FSID, Level: hello.Level,
@@ -407,7 +421,7 @@ func recordReceived(base string, streams []recvStream) error {
 		ds.Date, ds.BaseDate = h.Date, h.DDate
 		ds.Snap = h.Label
 	}
-	_, err = cat.AppendDumpSet(ds)
+	_, err := cat.AppendDumpSet(ds)
 	return err
 }
 
@@ -459,7 +473,8 @@ var commandDocs = []commandDoc{
 	{"plan", "plan [-engine E] [-at T] [-file PATH] [-expired]", "show the restore chain the catalog selects"},
 	{"recover", "recover [-engine E] [-at T] [-file PATH] [-target DIR] [-wipe]", "execute a catalog-selected restore chain"},
 	{"push", "push -to HOST:PORT [-kind logical|image] [-level N]", "dump across the network to a serve host"},
-	{"serve", "serve -listen ADDR -o FILE [-once]", "receive pushed streams; recorded in <out>.catalog"},
+	{"serve", "serve -listen ADDR -o FILE [-standby FILE] [-once]", "receive pushed streams; recorded in <out>.catalog (mirrored to -standby)"},
+	{"replica", "replica status -primary FILE -standby FILE", "report catalog journal replication state"},
 	{"bench", "bench [-json FILE] [-compare BASE] [-parallel -drives 1,2,4 -readers N]", "run the fast-path micro-benchmarks or the parallel scaling matrix"},
 	{"help", "help [command]", "show usage"},
 }

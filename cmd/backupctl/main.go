@@ -192,6 +192,8 @@ func run(args []string) error {
 		return statsCommand(ctx, rest)
 	case "serve":
 		return serveCommand(rest)
+	case "replica":
+		return replicaCommand(rest)
 	case "help":
 		return helpCommand(rest)
 	case "catalog":

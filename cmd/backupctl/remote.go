@@ -46,6 +46,7 @@ func serveCommand(rest []string) error {
 	listen := set.String("listen", ":9000", "TCP address to listen on")
 	out := set.String("o", "", "output stream file (resumed streams get .s<N> suffixes)")
 	once := set.Bool("once", false, "exit after one session closes cleanly")
+	standby := set.String("standby", "", "mirror the serve-side catalog to this standby journal file")
 	idle := set.Duration("idle", 30*time.Second, "drop a connection silent for this long")
 	trace := set.String("trace", "", "write a Chrome trace of served connections to this file")
 	if err := set.Parse(rest); err != nil {
@@ -69,7 +70,7 @@ func serveCommand(rest []string) error {
 	}
 	defer l.Close()
 	fmt.Printf("serving on %s, streams to %s\n", l.Addr(), *out)
-	return serveOn(l, *out, *once, *idle, tr)
+	return serveOn(l, *out, *standby, *once, *idle, tr)
 }
 
 // serveOn accepts connections on l and feeds their frames to a single
@@ -78,7 +79,7 @@ func serveCommand(rest []string) error {
 // a client redialing after a cut first causes the stale connection's
 // read to fail, which drops it back to Accept. Returns after a clean
 // session close when once is set, otherwise serves until l is closed.
-func serveOn(l net.Listener, base string, once bool, idle time.Duration, tr *obs.Tracer) error {
+func serveOn(l net.Listener, base, standby string, once bool, idle time.Duration, tr *obs.Tracer) error {
 	traceCtx := obs.WithTracer(context.Background(), tr)
 	var open []*fileSink
 	var received []recvStream
@@ -126,7 +127,7 @@ func serveOn(l net.Listener, base string, once bool, idle time.Duration, tr *obs
 		closeAll()
 		// The session closed cleanly, so every landed stream is a
 		// completed dump: record them in the server's own catalog.
-		if err := recordReceived(base, received); err != nil {
+		if err := recordReceived(base, standby, received); err != nil {
 			return fmt.Errorf("serve: recording session in catalog: %w", err)
 		}
 		received = received[:0]

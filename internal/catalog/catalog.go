@@ -124,6 +124,20 @@ type Expiry struct {
 	Time  int64
 }
 
+// SessionCheckpoint records the replicated durable progress of one
+// remote push stream: records 1..Seq of (Session, Stream) are on the
+// live tape host's media AND this fact has reached a journal quorum.
+// It is what lets a standby host, after failover, recognise a stream
+// it never served and direct the client to resume on a fresh stream
+// from its last replicated-acknowledged checkpoint instead of
+// restarting the dump.
+type SessionCheckpoint struct {
+	Session uint64
+	Stream  int32
+	Seq     uint64
+	Time    int64
+}
+
 // Record is any journal payload; exposed so the fuzzer and tools can
 // decode frames generically.
 type Record interface{ isRecord() }
@@ -133,17 +147,19 @@ type fileIndexRecord struct {
 	Entries []FileIndexEntry
 }
 
-func (DumpSet) isRecord()         {}
-func (fileIndexRecord) isRecord() {}
-func (Expiry) isRecord()          {}
-func (MediaEvent) isRecord()      {}
+func (DumpSet) isRecord()           {}
+func (fileIndexRecord) isRecord()   {}
+func (Expiry) isRecord()            {}
+func (MediaEvent) isRecord()        {}
+func (SessionCheckpoint) isRecord() {}
 
 // Payload kinds.
 const (
-	kindDumpSet   = 1
-	kindFileIndex = 2
-	kindExpiry    = 3
-	kindMedia     = 4
+	kindDumpSet     = 1
+	kindFileIndex   = 2
+	kindExpiry      = 3
+	kindMedia       = 4
+	kindSessionCkpt = 5
 )
 
 // Catalog is the replayed journal state plus the append side.
@@ -151,11 +167,12 @@ type Catalog struct {
 	store Store
 	next  uint64 // next DumpSet ID
 
-	sets    []DumpSet
-	byID    map[uint64]int
-	index   map[uint64][]FileIndexEntry
-	expired map[uint64]int64
-	events  []MediaEvent
+	sets     []DumpSet
+	byID     map[uint64]int
+	index    map[uint64][]FileIndexEntry
+	expired  map[uint64]int64
+	events   []MediaEvent
+	progress map[streamKey]uint64
 
 	// TornBytes is how many trailing journal bytes recovery discarded
 	// as a torn or corrupt final record (0 = clean open).
@@ -174,19 +191,26 @@ func Open(store Store) (*Catalog, error) {
 		return nil, err
 	}
 	c := &Catalog{
-		store:   store,
-		next:    1,
-		byID:    make(map[uint64]int),
-		index:   make(map[uint64][]FileIndexEntry),
-		expired: make(map[uint64]int64),
+		store:    store,
+		next:     1,
+		byID:     make(map[uint64]int),
+		index:    make(map[uint64][]FileIndexEntry),
+		expired:  make(map[uint64]int64),
+		progress: make(map[streamKey]uint64),
 	}
-	valid, err := scanJournal(buf, func(p []byte) error {
+	valid, err := ScanFrames(buf, func(off int64, p []byte) error {
 		rec, err := DecodeRecord(p)
 		if err != nil {
 			// An intact frame holding an undecodable payload is
-			// corruption, not a torn tail; surface it rather than
-			// silently dropping acknowledged history.
-			return fmt.Errorf("%w: %v", ErrCorrupt, err)
+			// corruption, not a torn tail; surface it with the frame's
+			// offset and kind byte — replica catch-up diagnostics need
+			// the position — rather than silently dropping acknowledged
+			// history.
+			var kind uint8
+			if len(p) > 0 {
+				kind = p[0]
+			}
+			return &CorruptError{Offset: off, Kind: kind, Err: err}
 		}
 		c.apply(rec)
 		return nil
@@ -203,8 +227,8 @@ func Open(store Store) (*Catalog, error) {
 		// corruption of acknowledged history — refuse rather than
 		// silently truncate it away.
 		if c.TornBytes > frameHdr+MaxRecord || intactFrameAfter(buf, valid) {
-			return nil, fmt.Errorf("%w: %d bad bytes at offset %d before intact records",
-				ErrCorrupt, c.TornBytes, valid)
+			return nil, &CorruptError{Offset: valid,
+				Err: fmt.Errorf("%d bad bytes before intact records", c.TornBytes)}
 		}
 		if err := store.Truncate(valid); err != nil {
 			return nil, err
@@ -228,7 +252,18 @@ func (c *Catalog) apply(rec Record) {
 		c.expired[r.SetID] = r.Time
 	case MediaEvent:
 		c.events = append(c.events, r)
+	case SessionCheckpoint:
+		k := streamKey{session: r.Session, stream: int(r.Stream)}
+		if r.Seq > c.progress[k] {
+			c.progress[k] = r.Seq
+		}
 	}
+}
+
+// streamKey identifies one remote push stream.
+type streamKey struct {
+	session uint64
+	stream  int
 }
 
 // append frames, persists and applies one record.
@@ -298,6 +333,22 @@ func (c *Catalog) Expire(setID uint64, now int64) error {
 // AppendMediaEvent records a media-lifecycle transition.
 func (c *Catalog) AppendMediaEvent(ev MediaEvent) error {
 	return c.append(ev, encodeMediaEvent(&ev))
+}
+
+// AppendSessionCheckpoint records replicated durable progress of a
+// remote push stream. When the catalog's store is a replication group,
+// the record — and therefore the checkpoint it certifies — is durable
+// on a quorum before this returns; that is the contract that upgrades
+// dumpfmt.Syncer's "host-acked" to "replicated".
+func (c *Catalog) AppendSessionCheckpoint(sc SessionCheckpoint) error {
+	return c.append(sc, encodeSessionCkpt(&sc))
+}
+
+// SessionProgress returns the highest replicated-acknowledged record
+// sequence recorded for one push stream, and whether any was.
+func (c *Catalog) SessionProgress(session uint64, stream int) (uint64, bool) {
+	seq, ok := c.progress[streamKey{session: session, stream: stream}]
+	return seq, ok
 }
 
 // Sets returns every recorded dump set, in completion order.
@@ -497,6 +548,17 @@ func encodeExpiry(r *Expiry) []byte {
 	return e.b
 }
 
+func encodeSessionCkpt(sc *SessionCheckpoint) []byte {
+	e := &enc{}
+	e.u8(kindSessionCkpt)
+	e.u8(1)
+	e.u64(sc.Session)
+	e.u32(uint32(sc.Stream))
+	e.u64(sc.Seq)
+	e.i64(sc.Time)
+	return e.b
+}
+
 func encodeMediaEvent(ev *MediaEvent) []byte {
 	e := &enc{}
 	e.u8(kindMedia)
@@ -595,6 +657,16 @@ func DecodeRecord(p []byte) (Record, error) {
 			return nil, err
 		}
 		return r, nil
+	case kindSessionCkpt:
+		var sc SessionCheckpoint
+		sc.Session = d.u64()
+		sc.Stream = int32(d.u32())
+		sc.Seq = d.u64()
+		sc.Time = d.i64()
+		if err := d.done(); err != nil {
+			return nil, err
+		}
+		return sc, nil
 	case kindMedia:
 		var ev MediaEvent
 		ev.Kind = MediaEventKind(d.u8())

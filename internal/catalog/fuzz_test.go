@@ -49,6 +49,8 @@ func FuzzDecodeJournal(f *testing.F) {
 				enc = encodeExpiry(&r)
 			case MediaEvent:
 				enc = encodeMediaEvent(&r)
+			case SessionCheckpoint:
+				enc = encodeSessionCkpt(&r)
 			}
 			if !bytes.Equal(enc, data) {
 				t.Fatalf("decode/encode not canonical: %x -> %x", data, enc)

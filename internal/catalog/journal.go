@@ -39,6 +39,39 @@ const (
 // recovery stops there and the catalog refuses records past it.
 var ErrCorrupt = errors.New("catalog: corrupt journal record")
 
+// CorruptError is the structured form of ErrCorrupt: it names the byte
+// offset of the failing frame and the record kind byte of its payload,
+// which is what a replica catch-up needs to diagnose where two
+// journals diverge. errors.Is matches ErrCorrupt.
+type CorruptError struct {
+	// Offset is the byte offset in the journal where the bad frame (or
+	// bad region) begins.
+	Offset int64
+	// Kind is the record kind byte of the failing payload, 0 when the
+	// payload was empty or the region is not a decodable frame at all.
+	Kind uint8
+	// Err is the underlying decode failure, nil for framing-level
+	// corruption (bad CRC / magic with intact history beyond it).
+	Err error
+}
+
+func (e *CorruptError) Error() string {
+	kind := "unframed bytes"
+	if e.Kind != 0 {
+		kind = fmt.Sprintf("record kind %d", e.Kind)
+	}
+	if e.Err != nil {
+		return fmt.Sprintf("%v: %s at offset %d: %v", ErrCorrupt, kind, e.Offset, e.Err)
+	}
+	return fmt.Sprintf("%v: %s at offset %d", ErrCorrupt, kind, e.Offset)
+}
+
+// Is reports ErrCorrupt so existing errors.Is checks keep working.
+func (e *CorruptError) Is(target error) bool { return target == ErrCorrupt }
+
+// Unwrap exposes the underlying decode failure.
+func (e *CorruptError) Unwrap() error { return e.Err }
+
 // Store is the byte-level durability the journal needs. Appends must
 // be durable when they return; Truncate discards a torn tail so new
 // appends never interleave with garbage.
@@ -129,14 +162,16 @@ func frame(payload []byte) []byte {
 	return buf
 }
 
-// scanJournal walks buf frame by frame, calling visit for each intact
-// payload. It returns the byte length of the valid prefix: everything
-// past it is a torn or corrupt tail (at most one acknowledged-record
-// boundary is ever lost, because appends are atomic-at-sync). A frame
-// that fails its magic, length bound, or CRC ends the scan — the
-// journal is append-only, so nothing meaningful can follow a bad
-// frame.
-func scanJournal(buf []byte, visit func(payload []byte) error) (int64, error) {
+// ScanFrames walks buf frame by frame, calling visit (when non-nil)
+// with each intact frame's byte offset and payload. It returns the
+// byte length of the valid prefix: everything past it is a torn or
+// corrupt tail (at most one acknowledged-record boundary is ever lost,
+// because appends are atomic-at-sync). A frame that fails its magic,
+// length bound, or CRC ends the scan — the journal is append-only, so
+// nothing meaningful can follow a bad frame. This is the framing-level
+// check only (no payload decoding); the replication layer uses it to
+// validate journal bytes in flight during catch-up.
+func ScanFrames(buf []byte, visit func(off int64, payload []byte) error) (int64, error) {
 	le := binary.LittleEndian
 	off := 0
 	for off+frameHdr <= len(buf) {
@@ -151,8 +186,10 @@ func scanJournal(buf []byte, visit func(payload []byte) error) (int64, error) {
 		if crc32.ChecksumIEEE(payload) != le.Uint32(buf[off+8:]) {
 			break
 		}
-		if err := visit(payload); err != nil {
-			return int64(off), err
+		if visit != nil {
+			if err := visit(int64(off), payload); err != nil {
+				return int64(off), err
+			}
 		}
 		off += frameHdr + n
 	}

@@ -1,0 +1,580 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/logical"
+	"repro/internal/ndmp"
+	"repro/internal/obs"
+	"repro/internal/physical"
+	"repro/internal/replica"
+	"repro/internal/storage"
+	"repro/internal/tape"
+	"repro/internal/transport"
+	"repro/internal/wafl"
+	"repro/internal/workload"
+)
+
+// ReplicaScenario is one seeded chaos run against the replicated
+// catalog journal itself: a stream of catalog appends with the
+// primary killed or partitioned mid-append, backups crashed and
+// rejoined, and stranded unacknowledged tails manufactured in the
+// exact window between the primary's durable frame and the first
+// backup copy. The invariant is the replication layer's whole reason
+// to exist: an acknowledged append is NEVER lost, an unacknowledged
+// one never splits the group — after the dust settles all journals
+// are byte-identical and replay to the acknowledged history.
+type ReplicaScenario struct {
+	Seed    int64
+	Appends int // catalog records to push through the gauntlet (default 40)
+}
+
+// ReplicaReport is the outcome of a replicated-journal chaos run.
+type ReplicaReport struct {
+	Seed        int64
+	Acked       int // appends acknowledged by the quorum
+	Lost        int // acked appends missing at the end — MUST be 0
+	Rejected    int // appends that failed (crash injection, no quorum)
+	ViewChanges uint64
+	Kills       int
+	Partitions  int
+	StrandedCut bool // a stranded unacked tail was manufactured and truncated
+	Converged   bool // all journals byte-identical at the end
+	Metrics     []obs.Point
+}
+
+// RunReplica executes one replicated-journal chaos scenario.
+func RunReplica(ctx context.Context, s ReplicaScenario) (*ReplicaReport, error) {
+	if s.Appends <= 0 {
+		s.Appends = 40
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	rep := &ReplicaReport{Seed: s.Seed}
+	reg := obs.NewRegistry()
+	defer func() { rep.Metrics = reg.Snapshot() }()
+
+	members := []string{"r0", "r1", "r2"}
+	cluster, err := replica.New(replica.Config{Members: members, Ctx: ctx, Registry: reg})
+	if err != nil {
+		return nil, err
+	}
+	cat, err := catalog.Open(cluster)
+	if err != nil {
+		return nil, err
+	}
+
+	// down tracks the single injected failure (the fault model the
+	// quorum is sized for: one node down at a time, then healed).
+	type downNode struct {
+		name        string
+		partitioned bool
+		healAfter   int
+	}
+	var down *downNode
+	heal := func() error {
+		if down == nil {
+			return nil
+		}
+		if down.partitioned {
+			cluster.Rejoin(down.name)
+		} else if err := cluster.Restart(down.name); err != nil {
+			return fmt.Errorf("chaos: restart %s: %v", down.name, err)
+		}
+		down = nil
+		return nil
+	}
+
+	acked := make(map[string]bool) // snap label -> acknowledged
+	for i := 0; i < s.Appends; i++ {
+		if down != nil {
+			down.healAfter--
+			if down.healAfter <= 0 {
+				if err := heal(); err != nil {
+					return nil, err
+				}
+			}
+		}
+
+		// Inject at most one concurrent fault, seeded.
+		if down == nil {
+			switch roll := rng.Intn(10); {
+			case roll == 0:
+				// Kill the primary in the stranded-tail window: the record
+				// is durably framed on the primary, no backup has it, the
+				// client never acknowledges. The append must fail, the
+				// record must stay unacknowledged, and the tail must be
+				// truncated when the node rejoins.
+				boom := errors.New("chaos: primary crashed mid-append")
+				victim := cluster.View().Primary
+				cluster.TestHookAfterPrimary = func(seq uint64) error {
+					cluster.Kill(victim)
+					return boom
+				}
+				label := fmt.Sprintf("stranded-%d", i)
+				_, err := cat.AppendDumpSet(catalog.DumpSet{
+					Engine: catalog.Logical, FSID: "vol0", Snap: label,
+					Date: int64(1000 + i), Media: []catalog.MediaRef{{Volume: "t0"}},
+				})
+				cluster.TestHookAfterPrimary = nil
+				if !errors.Is(err, boom) {
+					return nil, fmt.Errorf("chaos: stranded append returned %v, want injected crash", err)
+				}
+				rep.Rejected++
+				rep.Kills++
+				rep.StrandedCut = true
+				down = &downNode{name: victim, healAfter: 1 + rng.Intn(4)}
+				// The failed append desyncs the catalog handle; reopen over
+				// the cluster, exactly as a recovering client would.
+				if cat, err = catalog.Open(cluster); err != nil {
+					return nil, fmt.Errorf("chaos: reopen after stranded append: %w", err)
+				}
+				continue
+			case roll == 1:
+				victim := cluster.View().Primary
+				cluster.Kill(victim)
+				rep.Kills++
+				down = &downNode{name: victim, healAfter: 1 + rng.Intn(4)}
+			case roll == 2:
+				victim := cluster.View().Primary
+				cluster.Isolate(victim)
+				rep.Partitions++
+				down = &downNode{name: victim, partitioned: true, healAfter: 1 + rng.Intn(4)}
+			case roll == 3:
+				view := cluster.View()
+				victim := view.Backups[rng.Intn(len(view.Backups))]
+				if rng.Intn(2) == 0 {
+					cluster.Kill(victim)
+					rep.Kills++
+					down = &downNode{name: victim, healAfter: 1 + rng.Intn(4)}
+				} else {
+					cluster.Isolate(victim)
+					rep.Partitions++
+					down = &downNode{name: victim, partitioned: true, healAfter: 1 + rng.Intn(4)}
+				}
+			}
+		}
+
+		label := fmt.Sprintf("s%d", i)
+		_, err := cat.AppendDumpSet(catalog.DumpSet{
+			Engine: catalog.Logical, FSID: "vol0", Snap: label,
+			Date: int64(1000 + i), Bytes: int64(rng.Intn(1 << 20)),
+			Media: []catalog.MediaRef{{Volume: fmt.Sprintf("t%d", i)}},
+		})
+		if err != nil {
+			rep.Rejected++
+			if cat, err = catalog.Open(cluster); err != nil {
+				return nil, fmt.Errorf("chaos: reopen after failed append: %w", err)
+			}
+			continue
+		}
+		rep.Acked++
+		acked[label] = true
+	}
+
+	// Heal everything and force one last replicated append so every
+	// node converges.
+	if err := heal(); err != nil {
+		return nil, err
+	}
+	if _, err := cat.AppendDumpSet(catalog.DumpSet{
+		Engine: catalog.Logical, FSID: "vol0", Snap: "final",
+		Date: 9999, Media: []catalog.MediaRef{{Volume: "tf"}},
+	}); err != nil {
+		return nil, fmt.Errorf("chaos: final append: %w", err)
+	}
+
+	// Invariant 1: all journals byte-identical.
+	ref := cluster.Node(members[0]).Journal()
+	rep.Converged = true
+	for _, m := range members[1:] {
+		if !bytes.Equal(cluster.Node(m).Journal(), ref) {
+			rep.Converged = false
+		}
+	}
+
+	// Invariant 2: a fresh replay holds every acknowledged set (and
+	// no stranded one).
+	final, err := catalog.Open(cluster)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: final replay: %w", err)
+	}
+	if final.TornBytes != 0 {
+		return nil, fmt.Errorf("chaos: replicated journal replayed with %d torn bytes", final.TornBytes)
+	}
+	present := make(map[string]bool)
+	for _, ds := range final.Sets() {
+		present[ds.Snap] = true
+	}
+	for label := range acked {
+		if !present[label] {
+			rep.Lost++
+		}
+	}
+	rep.ViewChanges = cluster.Service().Changes()
+	return rep, nil
+}
+
+// ReplicaFailoverScenario is the end-to-end failover chaos run: a
+// dump streams over ndmp to the active tape host while the catalog
+// journal replicates across three nodes; mid-dump the active host's
+// machine dies — its link severed for good, its co-located replica
+// killed. The view service promotes a standby, the client's reconnect
+// loop redials toward the host the new view advertises, the standby
+// answers the stale stream with the checkpoint the replicated catalog
+// vouches for, and the engine resumes from exactly that
+// replicated-acknowledged checkpoint. The restored tree must be
+// byte-identical for both engines.
+type ReplicaFailoverScenario struct {
+	Seed   int64
+	Engine Engine
+
+	// FailAfterRecords kills the active tape host after this many
+	// accepted records (0 = a third of the way through, at least 1).
+	FailAfterRecords int
+
+	Files           int
+	MeanFileSize    int
+	CheckpointEvery int
+	MaxResumes      int
+}
+
+// ReplicaFailoverReport is the outcome of a failover chaos run.
+type ReplicaFailoverReport struct {
+	Engine Engine
+	Seed   int64
+
+	Resumes     int
+	ViewChanges uint64
+	StaleHellos int  // standby Hellos answered from the replicated catalog
+	CatalogSets int  // dump sets committed through the replicated catalog
+	Identical   bool // restored tree matches byte for byte
+	DiffPaths   []string
+	Metrics     []obs.Point
+}
+
+// hostTape is one stream's drive on whichever tape host served it.
+type hostTape struct {
+	drive *tape.Drive
+	sink  *countingSink
+	label string
+}
+
+// RunReplicaFailover executes one tape-host failover scenario.
+func RunReplicaFailover(ctx context.Context, s ReplicaFailoverScenario) (*ReplicaFailoverReport, error) {
+	if s.Files <= 0 {
+		s.Files = 24
+	}
+	if s.MeanFileSize <= 0 {
+		s.MeanFileSize = 12 << 10
+	}
+	if s.CheckpointEvery <= 0 {
+		if s.Engine == Physical {
+			s.CheckpointEvery = 32
+		} else {
+			s.CheckpointEvery = 2
+		}
+	}
+	if s.MaxResumes <= 0 {
+		s.MaxResumes = 4
+	}
+	rep := &ReplicaFailoverReport{Engine: s.Engine, Seed: s.Seed}
+	reg := obs.NewRegistry()
+	defer func() { rep.Metrics = reg.Snapshot() }()
+
+	// Source filesystem.
+	const blocks = 8192
+	dev := storage.NewMemDevice(blocks)
+	fs, err := wafl.Mkfs(ctx, dev, nil, wafl.Options{CacheBlocks: 32})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := workload.Generate(ctx, fs, workload.Spec{
+		Seed: s.Seed, Files: s.Files, DirFanout: 5, MeanFileSize: s.MeanFileSize,
+		Symlinks: s.Files / 10, Hardlinks: s.Files / 15,
+	}); err != nil {
+		return nil, err
+	}
+	if err := fs.CreateSnapshot(ctx, "chaos"); err != nil {
+		return nil, err
+	}
+	view, err := fs.SnapshotView("chaos")
+	if err != nil {
+		return nil, err
+	}
+	want, err := workload.TreeDigest(ctx, view, "/")
+	if err != nil {
+		return nil, err
+	}
+
+	// Replicated catalog: node r0 is co-located with tape host A, so
+	// the machine death that severs host A's link also kills r0.
+	cluster, err := replica.New(replica.Config{
+		Members: []string{"r0", "r1", "r2"}, Ctx: ctx, Registry: reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cat, err := catalog.Open(cluster)
+	if err != nil {
+		return nil, err
+	}
+
+	// Two tape hosts behind two links. Streams land on per-stream
+	// drives; both hosts append into the shared tapes list, which
+	// stays stream-ordered because the harness is single-threaded.
+	var tapes []*hostTape
+	newHost := func(hostName string) *ndmp.Host {
+		h := ndmp.NewHost(func(hello ndmp.Hello) (ndmp.Sink, error) {
+			p := tape.DefaultParams()
+			d := tape.NewDrive(nil, fmt.Sprintf("%s-rt%d", hostName, hello.Stream), p)
+			d.AddCartridges(tape.NewCartridge(fmt.Sprintf("%s-rt%d-0", hostName, hello.Stream)))
+			if err := d.Load(nil); err != nil {
+				return nil, err
+			}
+			ht := &hostTape{drive: d, label: fmt.Sprintf("%s-rt%d-0", hostName, hello.Stream)}
+			ht.sink = &countingSink{DriveSink: &logical.DriveSink{Drive: d}}
+			tapes = append(tapes, ht)
+			return ht.sink, nil
+		})
+		h.Replicate = func(session uint64, stream int, acked uint64) error {
+			return cat.AppendSessionCheckpoint(catalog.SessionCheckpoint{
+				Session: session, Stream: int32(stream), Seq: acked,
+				Time: cluster.Now().Unix(),
+			})
+		}
+		h.Progress = func(session uint64, stream int) (uint64, bool) {
+			return cat.SessionProgress(session, stream)
+		}
+		h.RegisterMetrics(reg)
+		return h
+	}
+	hostA := newHost("a")
+	hostB := newHost("b")
+	linkA := transport.NewLink(transport.DefaultParams())
+	linkB := transport.NewLink(transport.DefaultParams())
+	linkA.B().Attach(hostA.HandleFrame)
+	linkB.B().Attach(hostB.HandleFrame)
+
+	// The dial closure is the failover redirect: it asks the view
+	// service which replica is primary and dials the tape host
+	// co-located with it. Each dial advances the virtual clock, so a
+	// redial loop doubles as the failure detector's time source.
+	dial := func() (transport.Conn, error) {
+		cluster.Advance(time.Second)
+		v := cluster.Heartbeat()
+		link := linkB
+		if v.Primary == "r0" {
+			link = linkA
+		}
+		if link.Down() {
+			link.Heal() // no-op if severed: a dead machine stays dead
+		}
+		if link.Severed() {
+			return nil, fmt.Errorf("chaos: tape host for %s is gone", v.Primary)
+		}
+		return link.A(), nil
+	}
+
+	// Image records carry ~60 KB extents, logical records ~10 KB of
+	// dump stream: pick a default fail point that lands mid-dump for
+	// each record shape.
+	failAfter := s.FailAfterRecords
+	if failAfter <= 0 {
+		if s.Engine == Physical {
+			failAfter = 4
+		} else {
+			failAfter = s.Files/3 + 1
+		}
+	}
+	written := 0
+	failed := false
+	failover := func() {
+		// The active machine dies whole: tape host link severed
+		// permanently, co-located catalog replica killed.
+		linkA.Sever()
+		cluster.Kill("r0")
+		failed = true
+	}
+
+	kind := byte(ndmp.KindLogical)
+	var lgOpts logical.DumpOptions
+	var phOpts physical.DumpOptions
+	if s.Engine == Logical {
+		lgOpts = logical.DumpOptions{View: view, Label: "chaos", ReadAhead: 8, CheckpointEvery: s.CheckpointEvery}
+	} else {
+		kind = ndmp.KindImage
+		phOpts = physical.DumpOptions{FS: fs, Vol: dev, SnapName: "chaos", CheckpointEvery: s.CheckpointEvery}
+	}
+
+	for attempt := 0; ; attempt++ {
+		if attempt > s.MaxResumes {
+			return nil, fmt.Errorf("chaos: %s dump did not converge after %d resumes", s.Engine, s.MaxResumes)
+		}
+		sess, err := ndmp.Dial(dial, ndmp.Config{
+			Kind: kind, Session: uint64(s.Seed) + 1, Stream: attempt, Ctx: ctx,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("chaos: dial stream %d: %w", attempt, err)
+		}
+		sess.RegisterMetrics(reg)
+		sink := &failoverSink{sess: sess, written: &written, failAfter: failAfter, failed: &failed, failover: failover}
+
+		var lgCkpt *logical.Checkpoint
+		var phCkpt *physical.Checkpoint
+		if s.Engine == Logical {
+			lgOpts.Sink = sink
+			var stats *logical.DumpStats
+			stats, err = logical.Dump(ctx, lgOpts)
+			if stats != nil {
+				lgCkpt = stats.Checkpoint
+			}
+		} else {
+			phOpts.Sink = sink
+			var stats *physical.DumpStats
+			stats, err = physical.Dump(ctx, phOpts)
+			if stats != nil {
+				phCkpt = stats.Checkpoint
+			}
+		}
+		if err == nil {
+			err = sess.Close()
+		}
+		if err == nil {
+			rep.Resumes = attempt
+			break
+		}
+		if !errors.Is(err, ndmp.ErrPeerDead) && !errors.Is(err, ndmp.ErrSessionLost) {
+			return nil, fmt.Errorf("chaos: unrecoverable %s dump fault: %w", s.Engine, err)
+		}
+		if lgCkpt == nil && phCkpt == nil {
+			// Dead before the first replicated checkpoint: restart
+			// clean, discarding the partial streams (including any sink
+			// a failed re-Hello opened on the standby).
+			tapes = tapes[:0]
+			lgOpts.Resume, phOpts.Resume = nil, nil
+			continue
+		}
+		lgOpts.Resume, phOpts.Resume = lgCkpt, phCkpt
+	}
+
+	// Commit the completed dump to the replicated catalog — the
+	// acknowledgment the zero-loss guarantee is stated over.
+	media := make([]catalog.MediaRef, 0, len(tapes))
+	for _, t := range tapes {
+		media = append(media, catalog.MediaRef{Volume: t.label})
+	}
+	if _, err := cat.AppendDumpSet(catalog.DumpSet{
+		Engine: catalog.Logical, FSID: "chaosvol", Snap: "chaos",
+		Date: cluster.Now().Unix(), Media: media,
+	}); err != nil {
+		return nil, fmt.Errorf("chaos: committing dump set: %w", err)
+	}
+
+	// Restore the streams in order; every stream but the last tore
+	// when its host died and is applied in salvage mode. Volume counts
+	// come from each tape's own sink — an attempt can bind more than
+	// one tape when a reconnect lands on the standby, so counting per
+	// attempt would misalign.
+	rewind := func(i int) *logical.DriveSource {
+		d := tapes[i].drive
+		for d.Loaded().Label != tapes[i].label {
+			if err := d.Load(nil); err != nil {
+				break
+			}
+		}
+		d.Rewind(nil)
+		return logical.NewDriveSource(d, nil, tapes[i].sink.vols+1)
+	}
+	var got map[string]workload.Entry
+	if s.Engine == Logical {
+		dst, err := wafl.Mkfs(ctx, storage.NewMemDevice(blocks), nil, wafl.Options{})
+		if err != nil {
+			return nil, err
+		}
+		for i := range tapes {
+			if _, err := logical.Restore(ctx, logical.RestoreOptions{
+				FS: dst, Source: rewind(i), KernelIntegrated: true,
+				Salvage: i < len(tapes)-1,
+			}); err != nil {
+				return nil, fmt.Errorf("chaos: restoring stream %d/%d: %w", i+1, len(tapes), err)
+			}
+		}
+		got, err = workload.TreeDigest(ctx, dst.ActiveView(), "/")
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		target := storage.NewMemDevice(dev.NumBlocks())
+		for i := range tapes {
+			if _, err := physical.Restore(ctx, physical.RestoreOptions{
+				Vol: target, Source: rewind(i), Salvage: i < len(tapes)-1,
+			}); err != nil {
+				return nil, fmt.Errorf("chaos: restoring image stream %d/%d: %w", i+1, len(tapes), err)
+			}
+		}
+		dst, err := wafl.Mount(ctx, target, nil, wafl.Options{})
+		if err != nil {
+			return nil, err
+		}
+		got, err = workload.TreeDigest(ctx, dst.ActiveView(), "/")
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	for p, e := range want {
+		if g, ok := got[p]; !ok || g != e {
+			rep.DiffPaths = append(rep.DiffPaths, p)
+		}
+	}
+	for p := range got {
+		if _, ok := want[p]; !ok {
+			rep.DiffPaths = append(rep.DiffPaths, p)
+		}
+	}
+	rep.Identical = len(rep.DiffPaths) == 0
+	rep.ViewChanges = cluster.Service().Changes()
+	rep.StaleHellos = hostB.Stats().Stales + hostA.Stats().Stales
+
+	// The committed dump set must replay out of the replicated
+	// catalog — from the surviving nodes only.
+	finalCat, err := catalog.Open(cluster)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: catalog replay after failover: %w", err)
+	}
+	rep.CatalogSets = len(finalCat.Sets())
+	if rep.CatalogSets == 0 {
+		return nil, errors.New("chaos: committed dump set lost from replicated catalog")
+	}
+	return rep, nil
+}
+
+// failoverSink wraps the session sink to kill the active tape-host
+// machine after a fixed number of accepted records.
+type failoverSink struct {
+	sess      *ndmp.Session
+	written   *int
+	failAfter int
+	failed    *bool
+	failover  func()
+}
+
+func (f *failoverSink) WriteRecord(rec []byte) error {
+	if err := f.sess.WriteRecord(rec); err != nil {
+		return err
+	}
+	*f.written++
+	if !*f.failed && *f.written >= f.failAfter {
+		f.failover()
+	}
+	return nil
+}
+
+func (f *failoverSink) NextVolume() error { return f.sess.NextVolume() }
+func (f *failoverSink) Sync() error       { return f.sess.Sync() }

@@ -1,0 +1,76 @@
+package chaos
+
+import "testing"
+
+// TestChaosReplicatedJournal: the replicated catalog journal under a
+// seeded gauntlet of primary kills, partitions, backup crashes and
+// stranded-tail injections. The zero-loss invariant: no acknowledged
+// append is ever missing from the final replay, and every node's
+// journal converges byte-for-byte once the faults heal.
+func TestChaosReplicatedJournal(t *testing.T) {
+	faults, stranded := 0, 0
+	for seed := int64(1); seed <= int64(seedCount()); seed++ {
+		rep, err := RunReplica(ctx, ReplicaScenario{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.Lost != 0 {
+			t.Fatalf("seed %d: %d acknowledged dump sets lost (acked=%d kills=%d partitions=%d views=%d)",
+				seed, rep.Lost, rep.Acked, rep.Kills, rep.Partitions, rep.ViewChanges)
+		}
+		if !rep.Converged {
+			t.Fatalf("seed %d: node journals did not converge after healing", seed)
+		}
+		if rep.Acked == 0 {
+			t.Fatalf("seed %d: no append ever acknowledged", seed)
+		}
+		faults += rep.Kills + rep.Partitions
+		if rep.StrandedCut {
+			stranded++
+		}
+		t.Logf("seed %d: acked=%d rejected=%d kills=%d partitions=%d views=%d stranded=%v",
+			seed, rep.Acked, rep.Rejected, rep.Kills, rep.Partitions, rep.ViewChanges, rep.StrandedCut)
+	}
+	if faults == 0 {
+		t.Errorf("no faults injected across all seeds; the sweep proved nothing")
+	}
+	if stranded == 0 {
+		t.Errorf("no stranded-tail window exercised across all seeds")
+	}
+}
+
+// TestChaosTapeHostFailover: mid-dump the active tape host's machine
+// dies whole — link severed, co-located catalog replica killed. The
+// view service must promote a standby, the session must redirect to
+// the standby host, the engine must resume from the replicated
+// checkpoint, and the restored tree must be byte-identical — for both
+// engines.
+func TestChaosTapeHostFailover(t *testing.T) {
+	for _, engine := range []Engine{Logical, Physical} {
+		resumed := 0
+		for seed := int64(1); seed <= int64(seedCount()); seed++ {
+			rep, err := RunReplicaFailover(ctx, ReplicaFailoverScenario{
+				Seed: seed, Engine: engine,
+			})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", engine, seed, err)
+			}
+			if !rep.Identical {
+				t.Fatalf("%s seed %d: restored tree differs after failover: %v",
+					engine, seed, rep.DiffPaths)
+			}
+			if rep.ViewChanges == 0 {
+				t.Fatalf("%s seed %d: host died but the view never changed", engine, seed)
+			}
+			if rep.CatalogSets == 0 {
+				t.Fatalf("%s seed %d: dump set missing from replicated catalog", engine, seed)
+			}
+			resumed += rep.Resumes
+			t.Logf("%s seed %d: resumes=%d views=%d staleHellos=%d sets=%d",
+				engine, seed, rep.Resumes, rep.ViewChanges, rep.StaleHellos, rep.CatalogSets)
+		}
+		if resumed == 0 {
+			t.Errorf("%s: failover never forced a checkpoint resume across all seeds", engine)
+		}
+	}
+}

@@ -22,8 +22,12 @@ import (
 	"repro/internal/transport"
 )
 
-// Protocol version spoken by both ends.
-const Version = 1
+// Protocol version spoken by both ends. Version 2 added the
+// replication high-water mark to every ack, the MsgSync/MsgSyncAck
+// checkpoint-replication round trip, and the AckStale status a
+// standby tape host answers when a failed-over client greets it
+// mid-stream.
+const Version = 2
 
 // Message types carried in transport.Frame.Type.
 const (
@@ -48,6 +52,14 @@ const (
 	MsgClose = 0x08
 	// MsgCloseAck confirms the host saw the close.
 	MsgCloseAck = 0x09
+	// MsgSync asks the host to replicate a checkpoint: record the
+	// current durable high-water mark in the replicated catalog so a
+	// standby host can take over from it. Frame.Seq carries the
+	// client's acked mark as a cross-check.
+	MsgSync = 0x0A
+	// MsgSyncAck answers MsgSync once the checkpoint is replicated;
+	// its repl field is the new replicated high-water mark.
+	MsgSyncAck = 0x0B
 )
 
 // Frame flags.
@@ -70,6 +82,14 @@ const (
 	// AckErr: a non-media host-side failure; payload carries a message
 	// and the session is not recoverable by retransmission.
 	AckErr = 0x03
+	// AckStale: the host holds none of this stream's media but the
+	// replicated catalog says the stream has checkpointed progress —
+	// the client has failed over to a standby (or to a restarted
+	// primary). Appending mid-stream is impossible on fresh media; the
+	// client must surface StaleStreamError so the engine resumes from
+	// the replicated checkpoint on a fresh stream. The ack's repl
+	// field carries that checkpoint.
+	AckStale = 0x04
 )
 
 // Stream kinds named in MsgHello, so the tape host can label media.
@@ -128,28 +148,37 @@ func decodeHello(p []byte) (Hello, error) {
 	}, nil
 }
 
-// ack is the payload of MsgHelloAck, MsgAck and MsgVolAck: a status
-// byte, the cumulative acknowledged sequence, and (for AckErr) a
-// human-readable reason.
+// ack is the payload of MsgHelloAck, MsgAck, MsgVolAck and MsgSyncAck:
+// a status byte, the cumulative acknowledged sequence, the replicated
+// checkpoint high-water mark (v2 — records 1..repl are recorded in the
+// replicated catalog, so they survive the loss of this tape host), and
+// (for AckErr) a human-readable reason.
 type ack struct {
 	status byte
 	acked  uint64
+	repl   uint64
 	msg    string
 }
 
 func encodeAck(a ack) []byte {
-	buf := make([]byte, 9+len(a.msg))
+	buf := make([]byte, 17+len(a.msg))
 	buf[0] = a.status
 	binary.LittleEndian.PutUint64(buf[1:], a.acked)
-	copy(buf[9:], a.msg)
+	binary.LittleEndian.PutUint64(buf[9:], a.repl)
+	copy(buf[17:], a.msg)
 	return buf
 }
 
 func decodeAck(p []byte) (ack, error) {
-	if len(p) < 9 {
+	if len(p) < 17 {
 		return ack{}, fmt.Errorf("%w: ack payload %d bytes", transport.ErrBadFrame, len(p))
 	}
-	return ack{status: p[0], acked: binary.LittleEndian.Uint64(p[1:]), msg: string(p[9:])}, nil
+	return ack{
+		status: p[0],
+		acked:  binary.LittleEndian.Uint64(p[1:]),
+		repl:   binary.LittleEndian.Uint64(p[9:]),
+		msg:    string(p[17:]),
+	}, nil
 }
 
 // RemoteError is a host-side failure relayed over the wire (an AckErr
@@ -191,3 +220,23 @@ func (e *SessionLostError) Unwrap() error { return e.Cause }
 func (e *SessionLostError) Is(target error) bool {
 	return target == ErrSessionLost
 }
+
+// StaleStreamError reports that the host answering this stream's
+// Hello is not the host that was writing it: a failover (or a host
+// restart) put the client in front of fresh media. Records 1..Repl
+// are safe — their checkpoint is in the replicated catalog — but the
+// stream cannot be appended to; the engine must resume from the
+// checkpoint on a fresh stream. errors.Is matches ErrSessionLost, so
+// every existing resume-from-checkpoint loop handles a failover
+// without modification.
+type StaleStreamError struct {
+	Session uint64
+	Stream  int
+	Repl    uint64 // replicated checkpoint sequence for the lost stream
+}
+
+func (e *StaleStreamError) Error() string {
+	return fmt.Sprintf("ndmp: stale stream %d/%d after failover (replicated checkpoint %d): %v",
+		e.Session, e.Stream, e.Repl, ErrSessionLost)
+}
+func (e *StaleStreamError) Is(target error) bool { return target == ErrSessionLost }

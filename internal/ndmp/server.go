@@ -34,6 +34,8 @@ type HostStats struct {
 	BadFrames  int   // undecodable frames received
 	Heartbeats int   // probes answered
 	NextVols   int   // volume switches served
+	Syncs      int   // checkpoint replications served
+	Stales     int   // failed-over Hellos answered with AckStale
 }
 
 // Host is the tape-host side of a session: it owns the sink, tracks
@@ -41,6 +43,21 @@ type HostStats struct {
 // entirely by HandleFrame, so the same code serves a simulated link
 // (as a transport.Handler) and a TCP listener (via Serve).
 type Host struct {
+	// Replicate, when set, records a stream checkpoint in the
+	// replicated catalog: called on MsgSync with the stream identity
+	// and the durable high-water mark, it must return only once the
+	// checkpoint is quorum-replicated (e.g. an
+	// AppendSessionCheckpoint through a replica.Cluster-backed
+	// catalog). When nil, MsgSync degrades to host-local durability:
+	// the host acks its own mark as replicated.
+	Replicate func(session uint64, stream int, acked uint64) error
+	// Progress, when set, reads the replicated checkpoint for a
+	// stream from the catalog. It is what lets a standby host answer
+	// a failed-over client's Hello with AckStale plus the checkpoint
+	// instead of silently restarting the stream from zero. When nil,
+	// a mismatched Hello opens a fresh sink (v1 behavior).
+	Progress func(session uint64, stream int) (uint64, bool)
+
 	mu      sync.Mutex
 	factory SinkFactory
 
@@ -48,11 +65,14 @@ type Host struct {
 	stream  int
 	sink    Sink
 	acked   uint64 // cumulative: records 1..acked are durable
+	repl    uint64 // cumulative: records 1..repl are checkpoint-replicated
 	eom     bool   // current volume full; awaiting MsgNextVol
 	stats   HostStats
 }
 
-// NewHost creates a host that opens sinks through factory.
+// NewHost creates a host that opens sinks through factory. Set the
+// Replicate and Progress hooks before serving to tie the host into a
+// replicated catalog.
 func NewHost(factory SinkFactory) *Host {
 	return &Host{factory: factory, stream: -1}
 }
@@ -82,6 +102,13 @@ func (h *Host) RegisterMetrics(r *obs.Registry) {
 	r.RegisterFunc("ndmp_host_bad_frames_total", obs.KindCounter, nil, snap(func(s HostStats) float64 { return float64(s.BadFrames) }))
 	r.RegisterFunc("ndmp_host_heartbeats_total", obs.KindCounter, nil, snap(func(s HostStats) float64 { return float64(s.Heartbeats) }))
 	r.RegisterFunc("ndmp_host_next_vols_total", obs.KindCounter, nil, snap(func(s HostStats) float64 { return float64(s.NextVols) }))
+	r.RegisterFunc("ndmp_host_syncs_total", obs.KindCounter, nil, snap(func(s HostStats) float64 { return float64(s.Syncs) }))
+	r.RegisterFunc("ndmp_host_stales_total", obs.KindCounter, nil, snap(func(s HostStats) float64 { return float64(s.Stales) }))
+	r.RegisterFunc("ndmp_host_replication_lag_records", obs.KindGauge, nil, func() float64 {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		return float64(h.acked - h.repl)
+	})
 }
 
 // Acked returns the durable high-water mark of the current stream.
@@ -115,6 +142,8 @@ func (h *Host) HandleFrame(raw []byte) [][]byte {
 		return h.ackFrames(MsgAck, ack{status: h.status(), acked: h.acked})
 	case MsgNextVol:
 		return h.handleNextVol()
+	case MsgSync:
+		return h.handleSync()
 	case MsgClose:
 		return h.ackFrames(MsgCloseAck, ack{status: h.status(), acked: h.acked})
 	default:
@@ -132,11 +161,36 @@ func (h *Host) status() byte {
 }
 
 func (h *Host) ackFrames(typ byte, a ack) [][]byte {
+	if a.repl == 0 {
+		a.repl = h.repl
+	}
 	return [][]byte{transport.Encode(&transport.Frame{
 		Type:    typ,
 		Seq:     a.acked,
 		Payload: encodeAck(a),
 	})}
+}
+
+// handleSync replicates a stream checkpoint: once the Replicate hook
+// returns, records 1..acked are recorded in the replicated catalog
+// and a standby host can answer for them. Without a replication
+// layer the host's own durable mark is the best promise available.
+func (h *Host) handleSync() [][]byte {
+	if h.sink == nil {
+		return h.ackFrames(MsgSyncAck, ack{status: AckErr, msg: "sync before hello"})
+	}
+	if h.repl < h.acked {
+		if h.Replicate != nil {
+			if err := h.Replicate(h.session, h.stream, h.acked); err != nil {
+				// Replication unavailable is not a stream error: report
+				// the old mark; the client keeps the window and retries.
+				return h.ackFrames(MsgSyncAck, ack{status: h.status(), acked: h.acked})
+			}
+		}
+		h.repl = h.acked
+		h.stats.Syncs++
+	}
+	return h.ackFrames(MsgSyncAck, ack{status: h.status(), acked: h.acked, repl: h.repl})
 }
 
 func (h *Host) handleHello(f *transport.Frame) [][]byte {
@@ -150,9 +204,21 @@ func (h *Host) handleHello(f *transport.Frame) [][]byte {
 			msg: fmt.Sprintf("version %d not supported", hello.Version)})
 	}
 	if h.sink == nil || hello.Session != h.session || hello.Stream != h.stream {
-		// A genuinely new stream: open its sink and reset the stream
-		// state. A re-Hello of the current stream (reconnect) skips
-		// this and reports the durable high-water mark unchanged.
+		// This host holds no media for the stream. If the replicated
+		// catalog says the stream already checkpointed progress, the
+		// client is failing over from another host (or from this
+		// host's previous life) mid-stream: fresh media cannot be
+		// appended to mid-stream, so answer AckStale with the
+		// replicated checkpoint and let the engine resume on a fresh
+		// stream. Only a stream with no replicated history is
+		// genuinely new.
+		if h.Progress != nil {
+			if rep, ok := h.Progress(hello.Session, hello.Stream); ok && rep > 0 {
+				h.stats.Stales++
+				return h.ackFrames(MsgHelloAck, ack{status: AckStale, repl: rep,
+					msg: fmt.Sprintf("stream %d/%d was checkpointed elsewhere", hello.Session, hello.Stream)})
+			}
+		}
 		sink, err := h.factory(hello)
 		if err != nil {
 			return h.ackFrames(MsgHelloAck, ack{status: AckErr, msg: err.Error()})
@@ -161,6 +227,7 @@ func (h *Host) handleHello(f *transport.Frame) [][]byte {
 		h.stream = hello.Stream
 		h.sink = sink
 		h.acked = 0
+		h.repl = 0
 		h.eom = false
 		h.stats.Streams++
 	}

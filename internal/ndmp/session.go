@@ -99,6 +99,7 @@ type Session struct {
 
 	window      []pending
 	acked       uint64 // host's durable high-water mark
+	repl        uint64 // replicated checkpoint high-water mark
 	nextSeq     uint64 // next sequence to assign
 	sentThrough uint64 // highest seq transmitted on the current conn
 	maxSent     uint64 // highest seq ever transmitted (replay stats)
@@ -167,10 +168,21 @@ func (s *Session) RegisterMetrics(r *obs.Registry) {
 	r.RegisterFunc("ndmp_acked_records", obs.KindGauge, l, func() float64 {
 		return float64(s.acked)
 	})
+	r.RegisterFunc("ndmp_replicated_records", obs.KindGauge, l, func() float64 {
+		return float64(s.repl)
+	})
+	r.RegisterFunc("ndmp_replication_lag_records", obs.KindGauge, l, func() float64 {
+		return float64(s.acked - s.repl)
+	})
 }
 
 // Acked returns the host's durable high-water mark as last heard.
 func (s *Session) Acked() uint64 { return s.acked }
+
+// Replicated returns the replicated checkpoint high-water mark: the
+// sequence through which this stream's progress is recorded in the
+// replicated catalog and would survive losing the tape host.
+func (s *Session) Replicated() uint64 { return s.repl }
 
 func (s *Session) ctxErr() error {
 	if s.cfg.Ctx != nil {
@@ -240,11 +252,23 @@ func (s *Session) connect() error {
 	if a.status == AckErr {
 		return &RemoteError{Op: "hello", Msg: a.msg}
 	}
+	if a.status == AckStale {
+		// A standby (or amnesiac) host: it has no media for this
+		// stream, but the replicated catalog vouches for records
+		// 1..repl. Terminal for this session — the engine resumes
+		// from the checkpoint on a fresh stream.
+		return &StaleStreamError{Session: s.cfg.Session, Stream: s.cfg.Stream, Repl: a.repl}
+	}
 	if a.acked < s.acked {
-		return &RemoteError{Op: "hello",
-			Msg: fmt.Sprintf("host high-water mark %d below client's %d (host lost stream state)", a.acked, s.acked)}
+		// The host lost stream state without a replication layer to
+		// vouch for it: same failure shape as a failover, minus the
+		// checkpoint guarantee beyond what we last saw replicated.
+		return &StaleStreamError{Session: s.cfg.Session, Stream: s.cfg.Stream, Repl: s.repl}
 	}
 	s.slideTo(a.acked)
+	if a.repl > s.repl {
+		s.repl = a.repl
+	}
 	s.eom = a.status == AckEOM
 	s.sentThrough = s.acked
 	s.silence = 0
@@ -253,13 +277,28 @@ func (s *Session) connect() error {
 
 // reconnect runs the exponential-backoff redial loop after cause.
 // Backoff is charged to the simulated clock when one is attached.
+//
+// Total backoff is capped at DeadAfter: a peer that has been silent
+// that long is already declared dead by the heartbeat detector, so
+// sleeping past it would just delay the ErrSessionLost the engine
+// needs to start its checkpoint resume. Exponential backoff doubles
+// every attempt — without the cap, a generous MaxRetries spins the
+// redial loop multiples of DeadAfter past dead-peer detection.
 func (s *Session) reconnect(cause error) error {
+	var slept time.Duration
 	for attempt := 1; attempt <= s.cfg.Redial.MaxRetries; attempt++ {
 		if err := s.ctxErr(); err != nil {
 			return err
 		}
+		delay := s.cfg.Redial.Delay(attempt)
+		if slept+delay > s.cfg.DeadAfter {
+			cause = fmt.Errorf("redial backoff %v would exceed dead-peer window %v: %w",
+				slept+delay, s.cfg.DeadAfter, cause)
+			break
+		}
+		slept += delay
 		if p := s.proc(); p != nil {
-			p.Sleep(s.cfg.Redial.Delay(attempt))
+			p.Sleep(delay)
 		}
 		err := s.connect()
 		if err == nil {
@@ -377,6 +416,13 @@ func (s *Session) recvOnce() error {
 		if s.silence >= s.cfg.DeadAfter {
 			return fmt.Errorf("no traffic for %v: %w", s.silence, ErrPeerDead)
 		}
+		// A full heartbeat interval with nothing back is evidence the
+		// in-flight tail may have been lost: a dropped data frame leaves
+		// no gap for the host to notice (it never saw the sequence), so
+		// its heartbeat replies would re-ack the old high-water mark
+		// forever. Go-back-N: mark the unacked tail unsent so the next
+		// transmit replays it (the host counts duplicates and drops them).
+		s.sentThrough = s.acked
 		return s.probe()
 	}
 	s.silence = 0
@@ -519,13 +565,16 @@ func (s *Session) NextVolume() error {
 }
 
 // Sync drains the send window, blocking until every record accepted
-// so far is acknowledged durable. It implements dumpfmt.Syncer: the
-// dump engines call it after emitting a checkpoint marker, which is
-// what makes a checkpoint over the wire mean the same thing it means
-// on a local drive — everything up to the marker is on tape. End of
-// media can surface mid-drain (provisionally accepted tail records
-// did not fit); the volume switch that a local drive would have
-// demanded one write earlier is driven here.
+// so far is acknowledged durable AND the checkpoint is replicated. It
+// implements dumpfmt.Syncer: the dump engines call it after emitting
+// a checkpoint marker, which is what makes a checkpoint over the wire
+// mean the same thing it means on a local drive — everything up to
+// the marker is on tape — plus one promise a local drive never made:
+// the progress mark survives losing the tape host itself, because the
+// MsgSync round trip records it in the replicated catalog before Sync
+// returns. End of media can surface mid-drain (provisionally accepted
+// tail records did not fit); the volume switch that a local drive
+// would have demanded one write earlier is driven here.
 func (s *Session) Sync() error {
 	if s.closed {
 		return errors.New("ndmp: sync on closed session")
@@ -536,12 +585,61 @@ func (s *Session) Sync() error {
 			return err
 		}
 		if len(s.window) == 0 {
-			return nil
+			break
 		}
 		if err := s.NextVolume(); err != nil {
 			return err
 		}
 	}
+	return s.replicate()
+}
+
+// replicate runs the MsgSync round trip until the host reports the
+// replicated mark has caught up with everything we drained. A
+// replication quorum that stays unavailable past the dead-peer window
+// surfaces as a lost session: the engine's checkpoint-resume loop
+// redials, by which time the quorum may have recovered.
+func (s *Session) replicate() error {
+	var stalled time.Duration
+	for s.repl < s.acked {
+		if err := s.ctxErr(); err != nil {
+			return err
+		}
+		if stalled >= s.cfg.DeadAfter {
+			return &SessionLostError{
+				Cause:      fmt.Errorf("checkpoint replication stalled at %d/%d for %v", s.repl, s.acked, stalled),
+				Reconnects: s.stats.Reconnects,
+			}
+		}
+		req := transport.Encode(&transport.Frame{Type: MsgSync, Flags: FlagAckNow, Seq: s.acked})
+		a, err := s.request(req, MsgSyncAck)
+		if err != nil {
+			if isTerminal(err) {
+				return err
+			}
+			if err = s.reconnect(err); err != nil {
+				return err
+			}
+			continue
+		}
+		if a.status == AckErr {
+			return &RemoteError{Op: "sync", Msg: a.msg}
+		}
+		s.slideTo(a.acked)
+		if a.repl > s.repl {
+			s.repl = a.repl
+		}
+		if a.repl < s.acked {
+			// Replication quorum unavailable right now: let the clock
+			// advance (the wait is charged like a heartbeat) and retry
+			// rather than spin.
+			stalled += s.cfg.HeartbeatEvery
+			if p := s.proc(); p != nil {
+				p.Sleep(s.cfg.HeartbeatEvery)
+			}
+		}
+	}
+	return nil
 }
 
 // Close drains the send window — every record must be acknowledged

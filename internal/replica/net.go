@@ -1,0 +1,81 @@
+package replica
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Net is the simulated fabric between the Cluster handle and the
+// replica nodes. Every call is one request frame and one reply frame
+// through Encode/Decode — so the fuzzed wire format is the format the
+// system actually runs on — and a partitioned or dead endpoint is a
+// delivery failure, never a mangled message (corruption is the
+// journal CRC layer's problem; the chaos suite injects it there).
+type Net struct {
+	mu       sync.Mutex
+	nodes    map[string]*Node
+	isolated map[string]bool
+}
+
+// NewNet builds a fabric over the given nodes.
+func NewNet(nodes ...*Node) *Net {
+	n := &Net{nodes: make(map[string]*Node, len(nodes)), isolated: make(map[string]bool)}
+	for _, nd := range nodes {
+		n.nodes[nd.Name] = nd
+	}
+	return n
+}
+
+// Node returns the registered node by name.
+func (n *Net) Node(name string) *Node {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.nodes[name]
+}
+
+// Isolate partitions a node: requests to it fail until Rejoin. The
+// node stays alive — unlike Kill it keeps its in-memory state, which
+// is exactly the difference between a network partition and a crash.
+func (n *Net) Isolate(name string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.isolated[name] = true
+}
+
+// Rejoin heals a node's partition.
+func (n *Net) Rejoin(name string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.isolated, name)
+}
+
+// Isolated reports whether a node is partitioned off.
+func (n *Net) Isolated(name string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.isolated[name]
+}
+
+// RPC delivers one message to a node and returns its decoded reply.
+// Both directions round-trip through the wire encoding.
+func (n *Net) RPC(to string, m Message) (Message, error) {
+	n.mu.Lock()
+	node, ok := n.nodes[to]
+	cut := n.isolated[to]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("replica: no node %q", to)
+	}
+	if cut {
+		return nil, fmt.Errorf("replica: node %s unreachable", to)
+	}
+	req, err := Decode(Encode(m))
+	if err != nil {
+		return nil, fmt.Errorf("replica: request to %s: %w", to, err)
+	}
+	reply, err := node.Handle(req)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(Encode(reply))
+}

@@ -1,0 +1,333 @@
+package replica
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/obs"
+)
+
+func newTestCluster(t *testing.T) *Cluster {
+	t.Helper()
+	c, err := New(Config{Members: []string{"n0", "n1", "n2"}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+func appendSet(t *testing.T, cat *catalog.Catalog, date int64) {
+	t.Helper()
+	if _, err := cat.AppendDumpSet(catalog.DumpSet{
+		Engine: catalog.Logical, FSID: "vol0", Snap: fmt.Sprintf("s%d", date),
+		Date: date, Bytes: 1 << 20, Units: 4,
+		Media: []catalog.MediaRef{{Volume: "t0", Start: 0}},
+	}); err != nil {
+		t.Fatalf("AppendDumpSet: %v", err)
+	}
+}
+
+func assertConverged(t *testing.T, c *Cluster) {
+	t.Helper()
+	ref := c.Node("n0").Journal()
+	for _, name := range []string{"n1", "n2"} {
+		if got := c.Node(name).Journal(); !bytes.Equal(got, ref) {
+			t.Fatalf("node %s journal diverged: %d vs %d bytes", name, len(got), len(ref))
+		}
+	}
+}
+
+// TestReplicatedCatalog opens a Catalog directly over the Cluster and
+// checks that every append lands byte-identically on all replicas and
+// that a fresh handle replays the same state.
+func TestReplicatedCatalog(t *testing.T) {
+	c := newTestCluster(t)
+	cat, err := catalog.Open(c)
+	if err != nil {
+		t.Fatalf("Open over cluster: %v", err)
+	}
+	for i := int64(1); i <= 5; i++ {
+		appendSet(t, cat, 100*i)
+	}
+	if err := cat.AppendSessionCheckpoint(catalog.SessionCheckpoint{Session: 7, Stream: 0, Seq: 42, Time: 600}); err != nil {
+		t.Fatalf("AppendSessionCheckpoint: %v", err)
+	}
+	assertConverged(t, c)
+	if c.AckedSize() != c.Node("n0").Size() {
+		t.Fatalf("acked size %d != primary size %d", c.AckedSize(), c.Node("n0").Size())
+	}
+
+	cat2, err := catalog.Open(c)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if len(cat2.Sets()) != 5 {
+		t.Fatalf("replay: %d sets, want 5", len(cat2.Sets()))
+	}
+	if seq, ok := cat2.SessionProgress(7, 0); !ok || seq != 42 {
+		t.Fatalf("SessionProgress = %d,%v want 42,true", seq, ok)
+	}
+}
+
+// TestFailoverKeepsAckedRecords kills the primary and checks the
+// acknowledged history survives the promotion and keeps growing.
+func TestFailoverKeepsAckedRecords(t *testing.T) {
+	c := newTestCluster(t)
+	cat, err := catalog.Open(c)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	appendSet(t, cat, 100)
+	appendSet(t, cat, 200)
+	acked := c.AckedSize()
+
+	c.Kill("n0")
+	appendSet(t, cat, 300) // must stall, fail over, then succeed
+
+	view := c.View()
+	if view.Primary == "n0" {
+		t.Fatalf("primary still n0 after kill")
+	}
+	if c.Service().Changes() == 0 {
+		t.Fatalf("no view change recorded")
+	}
+	if c.AckedSize() <= acked {
+		t.Fatalf("acked size did not grow past %d", acked)
+	}
+
+	// The dead node restarts, catches up, and converges.
+	if err := c.Restart("n0"); err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	appendSet(t, cat, 400)
+	assertConverged(t, c)
+
+	cat2, err := catalog.Open(c)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if len(cat2.Sets()) != 4 {
+		t.Fatalf("after failover: %d sets, want 4", len(cat2.Sets()))
+	}
+}
+
+// TestPartitionedPrimaryFailover isolates (rather than kills) the
+// primary: its in-memory state survives, but it stops pinging, gets
+// declared dead, and on rejoin converges to the new primary's journal.
+func TestPartitionedPrimaryFailover(t *testing.T) {
+	c := newTestCluster(t)
+	cat, err := catalog.Open(c)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	appendSet(t, cat, 100)
+	c.Isolate("n0")
+	appendSet(t, cat, 200)
+	if v := c.View(); v.Primary == "n0" {
+		t.Fatalf("primary still n0 while partitioned")
+	}
+	c.Rejoin("n0")
+	appendSet(t, cat, 300)
+	assertConverged(t, c)
+}
+
+// TestStrandedTailTruncated manufactures the nightmare window: the
+// primary durably frames a record, crashes before any backup sees it,
+// and the client never acknowledges. The record must NOT be in the
+// acknowledged history, and when the old primary rejoins, its
+// stranded tail must be truncated so all journals converge.
+func TestStrandedTailTruncated(t *testing.T) {
+	c := newTestCluster(t)
+	cat, err := catalog.Open(c)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	appendSet(t, cat, 100)
+	ackedBefore := c.AckedSize()
+
+	boom := errors.New("primary crashed mid-append")
+	c.TestHookAfterPrimary = func(seq uint64) error {
+		c.Kill("n0")
+		return boom
+	}
+	_, err = cat.AppendDumpSet(catalog.DumpSet{
+		Engine: catalog.Image, FSID: "vol0", Snap: "doomed", Date: 150,
+		Media: []catalog.MediaRef{{Volume: "t1"}},
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("append error = %v, want the injected crash", err)
+	}
+	c.TestHookAfterPrimary = nil
+
+	if c.AckedSize() != ackedBefore {
+		t.Fatalf("unacknowledged append moved the durability frontier")
+	}
+	if c.Node("n0").Size() <= ackedBefore {
+		t.Fatalf("test setup: no stranded tail on the dead primary")
+	}
+
+	// The catalog handle is poisoned by the failed append (the caller
+	// must reopen, same as after any journal write error) — but the
+	// cluster itself recovers: fail over, keep appending.
+	cat2, err := catalog.Open(c)
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	appendSet(t, cat2, 200)
+	if len(cat2.Sets()) != 2 {
+		t.Fatalf("%d sets, want 2 (the doomed one must be absent)", len(cat2.Sets()))
+	}
+	for _, s := range cat2.Sets() {
+		if s.Snap == "doomed" {
+			t.Fatalf("unacknowledged dump set resurfaced")
+		}
+	}
+
+	// Old primary returns: its stranded tail is truncated on catch-up.
+	if err := c.Restart("n0"); err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	appendSet(t, cat2, 300)
+	assertConverged(t, c)
+}
+
+// TestPromotionPrefersLargestJournal checks the zero-loss linchpin
+// directly: when the primary dies, the view service must promote the
+// live backup with the most journal bytes, because a smaller backup
+// may be missing acknowledged records.
+func TestPromotionPrefersLargestJournal(t *testing.T) {
+	start := time.Unix(0, 0)
+	vs := NewViewService([]string{"a", "b", "c"}, 3*time.Second, start)
+	now := start.Add(time.Second)
+	vs.Ping("a", 100, now)
+	vs.Ping("b", 60, now)
+	vs.Ping("c", 90, now)
+	// a dies; b pings with less data than c.
+	now = now.Add(10 * time.Second)
+	vs.Ping("b", 60, now)
+	vs.Ping("c", 90, now)
+	v := vs.Tick(now)
+	if v.Primary != "c" {
+		t.Fatalf("promoted %q, want c (largest journal)", v.Primary)
+	}
+	if v.Num != 2 {
+		t.Fatalf("view num = %d, want 2", v.Num)
+	}
+	// No live backup at all: the view must not regress.
+	now = now.Add(10 * time.Second)
+	vs.Ping("c", 90, now)
+	if v := vs.Tick(now); v.Primary != "c" || v.Num != 2 {
+		t.Fatalf("view churned without cause: %+v", v)
+	}
+}
+
+// TestConcurrentAppends drives the cluster from many goroutines —
+// the -race stage's main subject. Every append must get a distinct
+// offset and all replicas must converge byte-identically.
+func TestConcurrentAppends(t *testing.T) {
+	reg := obs.NewRegistry()
+	c, err := New(Config{Members: []string{"n0", "n1", "n2"}, Registry: reg})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	const workers, per = 8, 10
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One catalog handle per writer: the handle is a
+			// single-writer replay cache, the cluster underneath is the
+			// concurrency-safe layer every handle shares.
+			cat, err := catalog.Open(c)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < per; i++ {
+				err := cat.AppendMediaEvent(catalog.MediaEvent{
+					Kind: catalog.MediaActivate, Volume: fmt.Sprintf("t%d-%d", w, i),
+					Pool: "main", Time: int64(w*1000 + i),
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent append: %v", err)
+	}
+	assertConverged(t, c)
+
+	cat2, err := catalog.Open(c)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if got := len(cat2.MediaEvents()); got != workers*per {
+		t.Fatalf("replayed %d media events, want %d", got, workers*per)
+	}
+	if v, ok := reg.Value("replica_appends_total", nil); !ok || v < workers*per {
+		t.Fatalf("replica_appends_total = %v,%v", v, ok)
+	}
+}
+
+// TestTornNodeJournalEveryOffset is the PR 4 every-byte-offset torn
+// journal property extended to the replica log: for EVERY possible
+// truncation point of one node's durable journal (a crash can tear at
+// any byte), restarting the node must recover the longest valid frame
+// prefix, and catch-up must then restore the exact acknowledged
+// journal. A flipped byte anywhere must likewise end in convergence.
+func TestTornNodeJournalEveryOffset(t *testing.T) {
+	stores := map[string]catalog.Store{
+		"n0": &catalog.MemStore{}, "n1": &catalog.MemStore{}, "n2": &catalog.MemStore{},
+	}
+	c, err := New(Config{Members: []string{"n0", "n1", "n2"}, Stores: stores})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	cat, err := catalog.Open(c)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := int64(1); i <= 3; i++ {
+		appendSet(t, cat, 100*i)
+	}
+	full := c.Node("n2").Journal()
+	if len(full) == 0 {
+		t.Fatalf("empty journal")
+	}
+
+	victim := stores["n2"].(*catalog.MemStore)
+	for off := 0; off <= len(full); off++ {
+		c.Kill("n2")
+		victim.Buf = append(victim.Buf[:0], full[:off]...)
+		if err := c.Restart("n2"); err != nil {
+			t.Fatalf("off %d: restart: %v", off, err)
+		}
+		if got := c.Node("n2").Journal(); !bytes.Equal(got, full) {
+			t.Fatalf("off %d: catch-up got %d bytes, want %d", off, len(got), len(full))
+		}
+	}
+	for off := 0; off < len(full); off++ {
+		c.Kill("n2")
+		victim.Buf = append(victim.Buf[:0], full...)
+		victim.Buf[off] ^= 0x5a
+		if err := c.Restart("n2"); err != nil {
+			t.Fatalf("flip %d: restart: %v", off, err)
+		}
+		if got := c.Node("n2").Journal(); !bytes.Equal(got, full) {
+			t.Fatalf("flip %d: catch-up got %d bytes, want %d", off, len(got), len(full))
+		}
+	}
+}

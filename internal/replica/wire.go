@@ -1,0 +1,444 @@
+// Package replica is the primary/backup replication layer for the
+// catalog journal — the 6.824 view-service shape run on the virtual
+// clock. Three simulated nodes each hold a durable copy of the
+// CRC-framed journal; a client-side Cluster handle implements
+// catalog.Store, so a Catalog opened over it acknowledges
+// AppendDumpSet / AppendFileIndex / Expire / AppendMediaEvent /
+// AppendSessionCheckpoint only after a quorum of nodes has durably
+// framed the record. A view service tracks node liveness through
+// pings, promotes the most-up-to-date live backup when the primary
+// dies, and a catch-up protocol replays the CRC-framed journal into
+// rejoining nodes, truncating any unacknowledged tail they carried
+// into the crash.
+//
+// The durability contract mirrors logical recovery systems: an
+// operation is durable only once its log record is replicated and
+// acknowledged. The chaos suite (internal/chaos/replica.go) proves the
+// operational consequence — no acknowledged dump set is ever lost to a
+// primary killed or partitioned mid-append or mid-dump.
+package replica
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire message kinds. Every exchange between the Cluster handle and a
+// node is one encoded request frame and one encoded reply frame, so
+// the protocol is fuzzable end to end (FuzzDecodeWire) and a simulated
+// partition is simply an undelivered frame.
+const (
+	// MsgAppend replicates one framed journal record at an offset.
+	MsgAppend byte = 0x01
+	// MsgAppendAck answers an append with the node's journal size.
+	MsgAppendAck byte = 0x02
+	// MsgStatus asks a node for its journal size, prefix CRC and the
+	// highest applied append sequence.
+	MsgStatus byte = 0x03
+	// MsgStatusAck answers MsgStatus.
+	MsgStatusAck byte = 0x04
+	// MsgCatchup asks the primary for journal bytes past a verified
+	// prefix (the catch-up read half).
+	MsgCatchup byte = 0x05
+	// MsgCatchupResp carries the journal suffix (or the full journal
+	// when the requester's prefix failed verification).
+	MsgCatchupResp byte = 0x06
+	// MsgInstall writes caught-up journal bytes into a lagging node,
+	// truncating its unacknowledged tail first (the write half).
+	MsgInstall byte = 0x07
+	// MsgInstallAck answers MsgInstall.
+	MsgInstallAck byte = 0x08
+	// MsgTruncate replicates a journal truncation (torn-tail repair).
+	MsgTruncate byte = 0x09
+	// MsgTruncateAck answers MsgTruncate.
+	MsgTruncateAck byte = 0x0A
+)
+
+// wireVersion is the replica wire protocol version.
+const wireVersion = 1
+
+// MaxWire bounds one wire message; catch-up responses carry whole
+// journals, so the bound is generous but still refuses wild lengths.
+const MaxWire = 64 << 20
+
+// ErrBadMessage reports an undecodable replica wire message.
+var ErrBadMessage = errors.New("replica: bad wire message")
+
+// Message is any replica wire payload.
+type Message interface{ kind() byte }
+
+// View is one configuration of the group: a numbered primary
+// assignment. Backups lists the remaining members in canonical order;
+// promotion on primary death picks the most-up-to-date live backup.
+type View struct {
+	Num     uint64
+	Primary string
+	Backups []string
+}
+
+// Append replicates one CRC-framed journal record. Off is the byte
+// offset the frame must land at — offsets make replay idempotent: a
+// node that already holds bytes past Off acks the duplicate without
+// rewriting, and a node whose journal is shorter reports lag so the
+// caller can run catch-up first.
+type Append struct {
+	View  uint64
+	Seq   uint64
+	Off   int64
+	Frame []byte
+}
+
+// AppendAck answers Append. Size is the node's journal length after
+// the handler ran (its lag report when OK is false).
+type AppendAck struct {
+	View uint64
+	Seq  uint64
+	Size int64
+	OK   bool
+	Msg  string
+}
+
+// Status asks for a node's replication state. Prefix, when >= 0,
+// selects the byte length the CRC is computed over (min'd with the
+// journal size); -1 means the whole journal.
+type Status struct {
+	Prefix int64
+}
+
+// StatusAck reports a node's journal size, the CRC32 over the
+// requested prefix, and the highest applied append sequence.
+type StatusAck struct {
+	Size int64
+	CRC  uint32
+	Seq  uint64
+}
+
+// Catchup asks the primary for journal bytes past the requester's
+// verified prefix: Have bytes with CRC over them. If the primary's own
+// first Have bytes carry the same CRC it returns only the suffix;
+// otherwise the journals diverged and it returns everything from 0.
+type Catchup struct {
+	Have int64
+	CRC  uint32
+}
+
+// CatchupResp carries the catch-up data. When OK is false the
+// requester's Have exceeds the primary's journal (an unacknowledged
+// tail survived a crash); Total reports the primary's size so the
+// requester can retry with a shorter verified prefix.
+type CatchupResp struct {
+	From  int64
+	Total int64
+	OK    bool
+	Data  []byte
+}
+
+// Install writes catch-up data into a lagging node: truncate to From,
+// then append Data (which must scan as whole CRC frames). Seq is the
+// primary's applied sequence as of the data's end.
+type Install struct {
+	View uint64
+	From int64
+	Seq  uint64
+	Data []byte
+}
+
+// InstallAck answers Install with the node's resulting journal size.
+type InstallAck struct {
+	Size int64
+	OK   bool
+	Msg  string
+}
+
+// Truncate replicates a journal truncation to length N.
+type Truncate struct {
+	View uint64
+	N    int64
+}
+
+// TruncateAck answers Truncate with the node's resulting size.
+type TruncateAck struct {
+	Size int64
+	OK   bool
+	Msg  string
+}
+
+func (Append) kind() byte      { return MsgAppend }
+func (AppendAck) kind() byte   { return MsgAppendAck }
+func (Status) kind() byte      { return MsgStatus }
+func (StatusAck) kind() byte   { return MsgStatusAck }
+func (Catchup) kind() byte     { return MsgCatchup }
+func (CatchupResp) kind() byte { return MsgCatchupResp }
+func (Install) kind() byte     { return MsgInstall }
+func (InstallAck) kind() byte  { return MsgInstallAck }
+func (Truncate) kind() byte    { return MsgTruncate }
+func (TruncateAck) kind() byte { return MsgTruncateAck }
+
+// --- encoding: [kind u8][version u8] then fixed LE fields and
+// length-prefixed byte strings, mirroring the catalog's journal
+// payload style. Decoding is defensive throughout: wire bytes are
+// untrusted input (see FuzzDecodeWire).
+
+type wenc struct{ b []byte }
+
+func (e *wenc) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *wenc) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *wenc) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *wenc) i64(v int64)  { e.u64(uint64(v)) }
+func (e *wenc) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+func (e *wenc) bytes(p []byte) {
+	e.u32(uint32(len(p)))
+	e.b = append(e.b, p...)
+}
+func (e *wenc) str(s string) {
+	e.u32(uint32(len(s)))
+	e.b = append(e.b, s...)
+}
+
+type wdec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *wdec) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: truncated at %d", ErrBadMessage, d.off)
+	}
+}
+func (d *wdec) u8() uint8 {
+	if d.err != nil || d.off+1 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+func (d *wdec) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+func (d *wdec) u64() uint64 {
+	if d.err != nil || d.off+8 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+func (d *wdec) i64() int64 { return int64(d.u64()) }
+func (d *wdec) bool() bool {
+	switch d.u8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		// Only 0 and 1 are legal: the encoding must stay canonical
+		// (encode∘decode is the identity on valid frames).
+		d.fail()
+		return false
+	}
+}
+func (d *wdec) bytes() []byte {
+	n := int(d.u32())
+	if d.err != nil || n < 0 || n > MaxWire || d.off+n > len(d.b) {
+		d.fail()
+		return nil
+	}
+	p := d.b[d.off : d.off+n : d.off+n]
+	d.off += n
+	return p
+}
+func (d *wdec) str() string {
+	n := int(d.u32())
+	if d.err != nil || n < 0 || n > MaxWire || d.off+n > len(d.b) {
+		d.fail()
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+func (d *wdec) done() error {
+	if d.err == nil && d.off != len(d.b) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadMessage, len(d.b)-d.off)
+	}
+	return d.err
+}
+
+// Encode marshals m into one wire frame.
+func Encode(m Message) []byte {
+	e := &wenc{}
+	e.u8(m.kind())
+	e.u8(wireVersion)
+	switch v := m.(type) {
+	case Append:
+		e.u64(v.View)
+		e.u64(v.Seq)
+		e.i64(v.Off)
+		e.bytes(v.Frame)
+	case AppendAck:
+		e.u64(v.View)
+		e.u64(v.Seq)
+		e.i64(v.Size)
+		e.bool(v.OK)
+		e.str(v.Msg)
+	case Status:
+		e.i64(v.Prefix)
+	case StatusAck:
+		e.i64(v.Size)
+		e.u32(v.CRC)
+		e.u64(v.Seq)
+	case Catchup:
+		e.i64(v.Have)
+		e.u32(v.CRC)
+	case CatchupResp:
+		e.i64(v.From)
+		e.i64(v.Total)
+		e.bool(v.OK)
+		e.bytes(v.Data)
+	case Install:
+		e.u64(v.View)
+		e.i64(v.From)
+		e.u64(v.Seq)
+		e.bytes(v.Data)
+	case InstallAck:
+		e.i64(v.Size)
+		e.bool(v.OK)
+		e.str(v.Msg)
+	case Truncate:
+		e.u64(v.View)
+		e.i64(v.N)
+	case TruncateAck:
+		e.i64(v.Size)
+		e.bool(v.OK)
+		e.str(v.Msg)
+	default:
+		panic(fmt.Sprintf("replica: encode of unknown message %T", m))
+	}
+	return e.b
+}
+
+// Decode parses one wire frame. It is the untrusted-input boundary of
+// the replication layer: arbitrary bytes must produce a message or an
+// error, never a panic or an oversized allocation.
+func Decode(raw []byte) (Message, error) {
+	d := &wdec{b: raw}
+	kind := d.u8()
+	ver := d.u8()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if ver != wireVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrBadMessage, ver)
+	}
+	switch kind {
+	case MsgAppend:
+		var m Append
+		m.View = d.u64()
+		m.Seq = d.u64()
+		m.Off = d.i64()
+		m.Frame = d.bytes()
+		if err := d.done(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case MsgAppendAck:
+		var m AppendAck
+		m.View = d.u64()
+		m.Seq = d.u64()
+		m.Size = d.i64()
+		m.OK = d.bool()
+		m.Msg = d.str()
+		if err := d.done(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case MsgStatus:
+		var m Status
+		m.Prefix = d.i64()
+		if err := d.done(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case MsgStatusAck:
+		var m StatusAck
+		m.Size = d.i64()
+		m.CRC = d.u32()
+		m.Seq = d.u64()
+		if err := d.done(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case MsgCatchup:
+		var m Catchup
+		m.Have = d.i64()
+		m.CRC = d.u32()
+		if err := d.done(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case MsgCatchupResp:
+		var m CatchupResp
+		m.From = d.i64()
+		m.Total = d.i64()
+		m.OK = d.bool()
+		m.Data = d.bytes()
+		if err := d.done(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case MsgInstall:
+		var m Install
+		m.View = d.u64()
+		m.From = d.i64()
+		m.Seq = d.u64()
+		m.Data = d.bytes()
+		if err := d.done(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case MsgInstallAck:
+		var m InstallAck
+		m.Size = d.i64()
+		m.OK = d.bool()
+		m.Msg = d.str()
+		if err := d.done(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case MsgTruncate:
+		var m Truncate
+		m.View = d.u64()
+		m.N = d.i64()
+		if err := d.done(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case MsgTruncateAck:
+		var m TruncateAck
+		m.Size = d.i64()
+		m.OK = d.bool()
+		m.Msg = d.str()
+		if err := d.done(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+	return nil, fmt.Errorf("%w: unknown kind %d", ErrBadMessage, kind)
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/media"
+	"repro/internal/replica"
 	"repro/internal/workload"
 )
 
@@ -320,4 +321,84 @@ func planSetIDs(p *catalog.Plan) []uint64 {
 		out[i] = s.ID
 	}
 	return out
+}
+
+// TestScheduleSurvivesCatalogFailover: the nightly schedule recording
+// into a catalog whose journal is replicated across three nodes, with
+// the primary replica killed between runs. The schedule must not
+// notice — the view service promotes a backup, appends re-route, and
+// once the dead node restarts and catches up, every node's journal is
+// byte-identical and replays all recorded sets.
+func TestScheduleSurvivesCatalogFailover(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Name = "vol0"
+	cfg.Simulate = true
+	cfg.BlocksPerDisk = 512
+	cfg.CartridgesPerDrive = 8
+	f, err := core.NewFiler(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload.Generate(ctx, f.FS, workload.Spec{Seed: 77, Files: 25, DirFanout: 4, MeanFileSize: 6 << 10})
+
+	members := []string{"c0", "c1", "c2"}
+	cluster, err := replica.New(replica.Config{Members: members, Ctx: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := catalog.Open(cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := media.NewPool("main", cat)
+	if err := pool.Adopt(f.Tapes[0], 0); err != nil {
+		t.Fatal(err)
+	}
+	f.AttachCatalog(cat)
+	r := &schedRig{f: f, cat: cat, pool: pool}
+	if r.s, err = New(Config{
+		Filer: f, Catalog: cat, Pool: pool, Engine: catalog.Logical,
+		Policy: BSDLadder{Ladder: []int{3, 5}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := r.s.RunN(ctx, 1); err != nil {
+		t.Fatalf("run 0: %v", err)
+	}
+	victim := cluster.View().Primary
+	cluster.Kill(victim)
+	r.churn(t, 1)
+	if _, err := r.s.RunN(ctx, 1); err != nil {
+		t.Fatalf("run 1 with dead catalog primary: %v", err)
+	}
+	if cluster.View().Primary == victim {
+		t.Fatalf("view never moved off the dead primary %s", victim)
+	}
+	if err := cluster.Restart(victim); err != nil {
+		t.Fatalf("restarting %s: %v", victim, err)
+	}
+	r.churn(t, 2)
+	if _, err := r.s.RunN(ctx, 1); err != nil {
+		t.Fatalf("run 2 after rejoin: %v", err)
+	}
+
+	ref := cluster.Node(members[0]).Journal()
+	for _, m := range members[1:] {
+		if !bytes.Equal(cluster.Node(m).Journal(), ref) {
+			t.Fatalf("node %s journal diverged after rejoin", m)
+		}
+	}
+	replay, err := catalog.Open(cluster)
+	if err != nil {
+		t.Fatalf("replaying replicated catalog: %v", err)
+	}
+	if got := len(replay.Sets()); got != 3 {
+		t.Fatalf("replicated catalog replays %d sets, want 3", got)
+	}
+	for i, ds := range replay.Sets() {
+		if len(ds.Media) == 0 {
+			t.Fatalf("set %d recorded no media", i)
+		}
+	}
 }

@@ -117,9 +117,10 @@ type Link struct {
 	ends   [2]*Endpoint
 	queues [2][]delivery // queues[i] = frames destined for ends[i]
 
-	fc     *FaultConfig
-	rng    *rand.Rand
-	down   bool
+	fc      *FaultConfig
+	rng     *rand.Rand
+	down    bool
+	severed bool
 	oneWay [2]bool // oneWay[i]: frames FROM ends[i] silently vanish
 	sent   int     // frames offered for transmission, drives schedules
 	cutIdx int
@@ -176,6 +177,24 @@ func (l *Link) cutLocked() {
 	l.queues[1] = nil
 }
 
+// Sever permanently cuts the link: the host on the far end is gone
+// (power pulled, not a cable glitch) and Heal does not restore it.
+// Redial helpers that heal transient cuts before dialing use this to
+// tell "retry the same host" apart from "fail over to the standby".
+func (l *Link) Sever() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.severed = true
+	l.cutLocked()
+}
+
+// Severed reports whether the link was permanently cut.
+func (l *Link) Severed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.severed
+}
+
 // PartitionOneWay makes the direction out of the given endpoint a
 // black hole: its sends succeed but never arrive — the failure mode
 // that heartbeat dead-peer detection exists for. fromA selects the
@@ -196,6 +215,9 @@ func (l *Link) PartitionOneWay(fromA bool) {
 func (l *Link) Heal() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.severed {
+		return // a dead host does not come back with the cable
+	}
 	l.down = false
 	l.oneWay[0], l.oneWay[1] = false, false
 	l.queues[0] = nil
