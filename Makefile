@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 race bench-smoke build vet test chaos fuzz-smoke transport-race obs-smoke pipeline-race replica-race
+.PHONY: tier1 race bench-smoke build vet test chaos fuzz-smoke transport-race obs-smoke pipeline-race replica-race scrub-race
 
 tier1: ## vet + build + full test suite (the repo's gate)
 	$(GO) vet ./...
@@ -40,6 +40,12 @@ replica-race: ## race-detector pass over catalog replication and the failover ch
 	$(GO) test -race -count 1 -run 'TestChaosReplicatedJournal|TestChaosTapeHostFailover' \
 		-timeout 300s ./internal/chaos/
 	$(GO) test -race -count 1 -run 'TestScheduleSurvivesCatalogFailover' ./internal/sched/
+
+scrub-race: ## race-detector pass over the integrity layer and the bit-rot chaos gauntlet
+	$(GO) test -race -count 1 -timeout 300s ./internal/scrub/
+	$(GO) test -race -count 1 -run 'TestChaosScrub' -timeout 300s ./internal/chaos/
+	$(GO) test -race -count 1 -run 'TestPlanRoutesAround|TestSetHealth|TestRecovery' \
+		-timeout 300s ./internal/catalog/
 
 obs-smoke: ## instrumented dump with tracing + metrics, validated end to end
 	$(GO) run ./cmd/backupctl stats -mb 4 -trace obs_trace.json -check > /dev/null

@@ -140,16 +140,17 @@ func catalogCommand(vol string, rest []string) error {
 		if when, dead := cat.Expired(ds.ID); dead {
 			state = fmt.Sprintf("expired@%d", when)
 		}
+		health := cat.HealthLabel(ds.ID)
 		var vols []string
 		for _, m := range ds.Media {
 			vols = append(vols, m.Volume)
 		}
 		if ds.Engine == catalog.Image {
-			fmt.Printf("%-3d image   gen=%-6d base=%-6d %8d blocks %10d bytes %-12s %s\n",
-				ds.ID, ds.Gen, ds.BaseGen, ds.Units, ds.Bytes, state, strings.Join(vols, ","))
+			fmt.Printf("%-3d image   gen=%-6d base=%-6d %8d blocks %10d bytes %-12s %-17s %s\n",
+				ds.ID, ds.Gen, ds.BaseGen, ds.Units, ds.Bytes, state, health, strings.Join(vols, ","))
 		} else {
-			fmt.Printf("%-3d logical lvl=%-2d date=%-8d base=%-8d %6d files %10d bytes %-12s %s\n",
-				ds.ID, ds.Level, ds.Date, ds.BaseDate, ds.Units, ds.Bytes, state, strings.Join(vols, ","))
+			fmt.Printf("%-3d logical lvl=%-2d date=%-8d base=%-8d %6d files %10d bytes %-12s %-17s %s\n",
+				ds.ID, ds.Level, ds.Date, ds.BaseDate, ds.Units, ds.Bytes, state, health, strings.Join(vols, ","))
 		}
 	}
 	if *media {
@@ -161,11 +162,12 @@ func catalogCommand(vol string, rest []string) error {
 }
 
 // planFlags is the flag subset plan and recover share.
-func planFlags(set *flag.FlagSet) (engine *string, at *int64, file *string, expired *bool) {
+func planFlags(set *flag.FlagSet) (engine *string, at *int64, file *string, expired, damaged *bool) {
 	engine = set.String("engine", "logical", "dump family to plan from: logical or image")
 	at = set.Int64("at", 0, "target time: newest state dumped at or before this (0 = latest)")
 	file = set.String("file", "", "plan a single-file recovery of this dump-relative path")
 	expired = set.Bool("expired", false, "allow expired sets (media not yet reclaimed)")
+	damaged = set.Bool("damaged", false, "allow damaged sets (salvage: restore may be partial)")
 	return
 }
 
@@ -182,7 +184,7 @@ func parseEngine(s string) (catalog.Engine, error) {
 // planCommand prints the restore chain the catalog selects.
 func planCommand(vol string, rest []string) error {
 	set := newFlagSet("plan")
-	engine, at, file, expired := planFlags(set)
+	engine, at, file, expired, damaged := planFlags(set)
 	if err := set.Parse(rest); err != nil {
 		return err
 	}
@@ -199,7 +201,8 @@ func planCommand(vol string, rest []string) error {
 	}
 	defer store.Close()
 	plan, err := cat.Plan(catalog.PlanOptions{
-		Engine: eng, FSID: vol, At: *at, File: *file, IncludeExpired: *expired,
+		Engine: eng, FSID: vol, At: *at, File: *file,
+		IncludeExpired: *expired, IncludeDamaged: *damaged,
 	})
 	if err != nil {
 		return err
@@ -213,7 +216,7 @@ func planCommand(vol string, rest []string) error {
 // operator names a time (or file), the catalog names the streams.
 func recoverCommand(ctx context.Context, vol string, rest []string) error {
 	set := newFlagSet("recover")
-	engine, at, file, expired := planFlags(set)
+	engine, at, file, expired, damaged := planFlags(set)
 	target := set.String("target", "/", "directory to graft a logical recovery onto")
 	wipe := set.Bool("wipe", false, "reformat the volume before a full logical recovery (frees snapshot-pinned space)")
 	if err := set.Parse(rest); err != nil {
@@ -232,7 +235,8 @@ func recoverCommand(ctx context.Context, vol string, rest []string) error {
 	}
 	defer store.Close()
 	plan, err := cat.Plan(catalog.PlanOptions{
-		Engine: eng, FSID: vol, At: *at, File: *file, IncludeExpired: *expired,
+		Engine: eng, FSID: vol, At: *at, File: *file,
+		IncludeExpired: *expired, IncludeDamaged: *damaged,
 	})
 	if err != nil {
 		return err
@@ -459,7 +463,7 @@ var commandDocs = []commandDoc{
 	{"rm", "rm </fs/path>", "remove a file"},
 	{"snap", "snap create|delete|ls|revert [name]", "manage snapshots"},
 	{"df", "df", "show block and inode usage"},
-	{"fsck", "fsck", "check filesystem consistency"},
+	{"fsck", "fsck", "check filesystem consistency and cross-check <vol>.catalog"},
 	{"fill", "fill -mb N [-seed N]", "generate a synthetic dataset"},
 	{"age", "age -rounds N [-seed N]", "churn the dataset to fragment it"},
 	{"dump", "dump -o FILE [-level N] [-subtree DIR]", "logical dump; recorded in <vol>.catalog"},
@@ -469,9 +473,10 @@ var commandDocs = []commandDoc{
 	{"imagerestore", "imagerestore -i FILE [-incremental]", "apply one image stream to -vol"},
 	{"imageverify", "imageverify -i FILE", "check an image stream's integrity"},
 	{"extract", "extract -i FULL [-incr A,B] PATH...", "pull files out of image streams offline"},
-	{"catalog", "catalog [-media] [-files ID] [-expire ID -now T]", "list or edit the backup catalog"},
-	{"plan", "plan [-engine E] [-at T] [-file PATH] [-expired]", "show the restore chain the catalog selects"},
-	{"recover", "recover [-engine E] [-at T] [-file PATH] [-target DIR] [-wipe]", "execute a catalog-selected restore chain"},
+	{"catalog", "catalog [-media] [-files ID] [-expire ID -now T]", "list or edit the backup catalog (per-set health column)"},
+	{"scrub", "scrub [-mark] [-now T]", "re-read and verify every live set's stream files"},
+	{"plan", "plan [-engine E] [-at T] [-file PATH] [-expired] [-damaged]", "show the restore chain the catalog selects (routes around damaged sets)"},
+	{"recover", "recover [-engine E] [-at T] [-file PATH] [-target DIR] [-wipe] [-damaged]", "execute a catalog-selected restore chain"},
 	{"push", "push -to HOST:PORT [-kind logical|image] [-level N]", "dump across the network to a serve host"},
 	{"serve", "serve -listen ADDR -o FILE [-standby FILE] [-once]", "receive pushed streams; recorded in <out>.catalog (mirrored to -standby)"},
 	{"replica", "replica status -primary FILE -standby FILE", "report catalog journal replication state"},

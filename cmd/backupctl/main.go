@@ -41,6 +41,7 @@ import (
 	"repro/internal/logical"
 	"repro/internal/obs"
 	"repro/internal/physical"
+	"repro/internal/scrub"
 	"repro/internal/storage"
 	"repro/internal/wafl"
 	"repro/internal/workload"
@@ -198,6 +199,8 @@ func run(args []string) error {
 		return helpCommand(rest)
 	case "catalog":
 		return catalogCommand(*vol, rest)
+	case "scrub":
+		return scrubCommand(ctx, *vol, rest)
 	case "plan":
 		return planCommand(*vol, rest)
 	case "recover":
@@ -334,14 +337,28 @@ func volumeCommand(ctx context.Context, fs *wafl.FS, vol, cmd string, rest []str
 		if err != nil {
 			return err
 		}
-		if len(problems) == 0 {
-			fmt.Println("filesystem is consistent")
-			return nil
-		}
 		for _, p := range problems {
 			fmt.Println("fsck:", p)
 		}
-		return fmt.Errorf("%d problems found", len(problems))
+		// Cross-check the backup catalog against its stream files when
+		// one exists beside the volume.
+		var findings []scrub.Finding
+		if _, err := os.Stat(catalogPath(vol)); err == nil {
+			cat, store, err := openVolCatalog(vol)
+			if err != nil {
+				return err
+			}
+			defer store.Close()
+			findings = scrub.Fsck(cat, scrub.FsckOptions{HaveVolume: statExtent})
+			for _, f := range findings {
+				fmt.Println("fsck:", f)
+			}
+		}
+		if len(problems)+len(findings) == 0 {
+			fmt.Println("filesystem and catalog are consistent")
+			return nil
+		}
+		return fmt.Errorf("%d problems found", len(problems)+len(findings))
 	case "fill":
 		set := newFlagSet("fill")
 		mb := set.Int("mb", 8, "approximate dataset size in MiB")

@@ -96,6 +96,10 @@ const (
 	MediaActivate MediaEventKind = 2
 	// MediaReclaim returns an expired volume to scratch (erased).
 	MediaReclaim MediaEventKind = 3
+	// MediaQuarantine freezes a volume the scrubber found damaged
+	// beyond repair: never erased, never rewritten, held only so its
+	// still-readable sets stay available as a last resort.
+	MediaQuarantine MediaEventKind = 4
 )
 
 func (k MediaEventKind) String() string {
@@ -106,6 +110,8 @@ func (k MediaEventKind) String() string {
 		return "activate"
 	case MediaReclaim:
 		return "reclaim"
+	case MediaQuarantine:
+		return "quarantine"
 	}
 	return fmt.Sprintf("media-event(%d)", uint8(k))
 }
@@ -122,6 +128,38 @@ type MediaEvent struct {
 type Expiry struct {
 	SetID uint64
 	Time  int64
+}
+
+// SetHealthState is a dump set's integrity verdict.
+type SetHealthState uint8
+
+const (
+	// HealthDamaged marks a set whose media the scrubber found corrupt
+	// and could not repair: the restore planner routes around it.
+	HealthDamaged SetHealthState = 1
+	// HealthRepaired marks a set whose damaged records were rewritten
+	// in place from a replica copy and re-verified clean.
+	HealthRepaired SetHealthState = 2
+)
+
+func (s SetHealthState) String() string {
+	switch s {
+	case HealthDamaged:
+		return "damaged"
+	case HealthRepaired:
+		return "repaired"
+	}
+	return fmt.Sprintf("health(%d)", uint8(s))
+}
+
+// SetHealth is one integrity verdict on a dump set, journaled by the
+// scrubber. The latest record for a set wins, so a repair after a
+// damage mark returns the set to service.
+type SetHealth struct {
+	SetID  uint64
+	State  SetHealthState
+	Time   int64
+	Reason string
 }
 
 // SessionCheckpoint records the replicated durable progress of one
@@ -152,6 +190,7 @@ func (fileIndexRecord) isRecord()   {}
 func (Expiry) isRecord()            {}
 func (MediaEvent) isRecord()        {}
 func (SessionCheckpoint) isRecord() {}
+func (SetHealth) isRecord()         {}
 
 // Payload kinds.
 const (
@@ -160,6 +199,7 @@ const (
 	kindExpiry      = 3
 	kindMedia       = 4
 	kindSessionCkpt = 5
+	kindSetHealth   = 6
 )
 
 // Catalog is the replayed journal state plus the append side.
@@ -167,12 +207,14 @@ type Catalog struct {
 	store Store
 	next  uint64 // next DumpSet ID
 
-	sets     []DumpSet
-	byID     map[uint64]int
-	index    map[uint64][]FileIndexEntry
-	expired  map[uint64]int64
-	events   []MediaEvent
-	progress map[streamKey]uint64
+	sets        []DumpSet
+	byID        map[uint64]int
+	index       map[uint64][]FileIndexEntry
+	expired     map[uint64]int64
+	events      []MediaEvent
+	progress    map[streamKey]uint64
+	health      map[uint64]SetHealth
+	quarantined map[string]bool
 
 	// TornBytes is how many trailing journal bytes recovery discarded
 	// as a torn or corrupt final record (0 = clean open).
@@ -191,12 +233,14 @@ func Open(store Store) (*Catalog, error) {
 		return nil, err
 	}
 	c := &Catalog{
-		store:    store,
-		next:     1,
-		byID:     make(map[uint64]int),
-		index:    make(map[uint64][]FileIndexEntry),
-		expired:  make(map[uint64]int64),
-		progress: make(map[streamKey]uint64),
+		store:       store,
+		next:        1,
+		byID:        make(map[uint64]int),
+		index:       make(map[uint64][]FileIndexEntry),
+		expired:     make(map[uint64]int64),
+		progress:    make(map[streamKey]uint64),
+		health:      make(map[uint64]SetHealth),
+		quarantined: make(map[string]bool),
 	}
 	valid, err := ScanFrames(buf, func(off int64, p []byte) error {
 		rec, err := DecodeRecord(p)
@@ -252,6 +296,11 @@ func (c *Catalog) apply(rec Record) {
 		c.expired[r.SetID] = r.Time
 	case MediaEvent:
 		c.events = append(c.events, r)
+		if r.Kind == MediaQuarantine {
+			c.quarantined[r.Volume] = true
+		}
+	case SetHealth:
+		c.health[r.SetID] = r
 	case SessionCheckpoint:
 		k := streamKey{session: r.Session, stream: int(r.Stream)}
 		if r.Seq > c.progress[k] {
@@ -296,6 +345,9 @@ func (c *Catalog) RegisterMetrics(r *obs.Registry) {
 	})
 	r.RegisterFunc("catalog_live_sets", obs.KindGauge, nil, func() float64 {
 		return float64(len(c.Live()))
+	})
+	r.RegisterFunc("catalog_damaged_sets", obs.KindGauge, nil, func() float64 {
+		return float64(len(c.DamagedSets()))
 	})
 }
 
@@ -342,6 +394,83 @@ func (c *Catalog) AppendMediaEvent(ev MediaEvent) error {
 // dumpfmt.Syncer's "host-acked" to "replicated".
 func (c *Catalog) AppendSessionCheckpoint(sc SessionCheckpoint) error {
 	return c.append(sc, encodeSessionCkpt(&sc))
+}
+
+// MarkDamaged journals a damaged verdict on a dump set — the scrubber
+// found corruption it could not repair. Idempotent while the set stays
+// damaged; a later MarkRepaired supersedes it.
+func (c *Catalog) MarkDamaged(setID uint64, now int64, reason string) error {
+	if _, ok := c.byID[setID]; !ok {
+		return fmt.Errorf("catalog: mark unknown set %d damaged", setID)
+	}
+	if h, ok := c.health[setID]; ok && h.State == HealthDamaged {
+		return nil
+	}
+	r := SetHealth{SetID: setID, State: HealthDamaged, Time: now, Reason: reason}
+	return c.append(r, encodeSetHealth(&r))
+}
+
+// MarkRepaired journals a repaired verdict: the set's media was
+// rewritten from a replica copy and re-verified, returning it to the
+// planner's eligible pool.
+func (c *Catalog) MarkRepaired(setID uint64, now int64, reason string) error {
+	if _, ok := c.byID[setID]; !ok {
+		return fmt.Errorf("catalog: mark unknown set %d repaired", setID)
+	}
+	r := SetHealth{SetID: setID, State: HealthRepaired, Time: now, Reason: reason}
+	return c.append(r, encodeSetHealth(&r))
+}
+
+// Damaged reports whether a set's latest health verdict is damaged,
+// and why.
+func (c *Catalog) Damaged(setID uint64) (string, bool) {
+	h, ok := c.health[setID]
+	if !ok || h.State != HealthDamaged {
+		return "", false
+	}
+	return h.Reason, true
+}
+
+// Health returns a set's latest health verdict, if any was journaled.
+func (c *Catalog) Health(setID uint64) (SetHealth, bool) {
+	h, ok := c.health[setID]
+	return h, ok
+}
+
+// DamagedSets returns the IDs currently marked damaged, in completion
+// order.
+func (c *Catalog) DamagedSets() []uint64 {
+	var out []uint64
+	for _, ds := range c.sets {
+		if _, bad := c.Damaged(ds.ID); bad {
+			out = append(out, ds.ID)
+		}
+	}
+	return out
+}
+
+// VolumeQuarantined reports whether a MediaQuarantine event has been
+// journaled for the volume. Quarantine is terminal: the pool never
+// erases or reuses the volume.
+func (c *Catalog) VolumeQuarantined(label string) bool {
+	return c.quarantined[label]
+}
+
+// HealthLabel renders a set's operator-facing health: "damaged" when
+// marked so, "quarantined-media" when any of its volumes is
+// quarantined, otherwise "ok".
+func (c *Catalog) HealthLabel(setID uint64) string {
+	if _, bad := c.Damaged(setID); bad {
+		return "damaged"
+	}
+	if ds, ok := c.Set(setID); ok {
+		for _, m := range ds.Media {
+			if c.quarantined[m.Volume] {
+				return "quarantined-media"
+			}
+		}
+	}
+	return "ok"
 }
 
 // SessionProgress returns the highest replicated-acknowledged record
@@ -559,6 +688,17 @@ func encodeSessionCkpt(sc *SessionCheckpoint) []byte {
 	return e.b
 }
 
+func encodeSetHealth(r *SetHealth) []byte {
+	e := &enc{}
+	e.u8(kindSetHealth)
+	e.u8(1)
+	e.u64(r.SetID)
+	e.u8(uint8(r.State))
+	e.i64(r.Time)
+	e.str(r.Reason)
+	return e.b
+}
+
 func encodeMediaEvent(ev *MediaEvent) []byte {
 	e := &enc{}
 	e.u8(kindMedia)
@@ -677,6 +817,22 @@ func DecodeRecord(p []byte) (Record, error) {
 			return nil, err
 		}
 		return ev, nil
+	case kindSetHealth:
+		var r SetHealth
+		r.SetID = d.u64()
+		r.State = SetHealthState(d.u8())
+		r.Time = d.i64()
+		r.Reason = d.str()
+		if err := d.done(); err != nil {
+			return nil, err
+		}
+		if r.SetID == 0 {
+			return nil, fmt.Errorf("catalog: set-health record for id 0")
+		}
+		if r.State != HealthDamaged && r.State != HealthRepaired {
+			return nil, fmt.Errorf("catalog: unknown health state %d", r.State)
+		}
+		return r, nil
 	}
 	return nil, fmt.Errorf("catalog: unknown record kind %d", kind)
 }

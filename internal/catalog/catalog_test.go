@@ -1,8 +1,10 @@
 package catalog
 
 import (
+	"errors"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/logical"
@@ -309,6 +311,162 @@ func TestPlanSingleFile(t *testing.T) {
 	// Unknown file: error.
 	if _, err := c.Plan(PlanOptions{Engine: Logical, FSID: "vol0", File: "zzz"}); err == nil {
 		t.Fatal("plan for unknown file succeeded")
+	}
+}
+
+// TestPlanRoutesAroundDamage: when the newest chain passes through a
+// damaged set, Plan must fall back to the newest chain that does not,
+// and only refuse (with a typed error naming every blocked chain) when
+// no undamaged chain exists.
+func TestPlanRoutesAroundDamage(t *testing.T) {
+	c, _ := Open(&MemStore{})
+	// Two full+incremental generations of the same filesystem.
+	mustAppend(t, c, sampleSet(Logical, "vol0", 0, 100, 0, 0, 0, MediaRef{Volume: "a"}))
+	mustAppend(t, c, sampleSet(Logical, "vol0", 3, 200, 100, 0, 0, MediaRef{Volume: "b"}))
+	mustAppend(t, c, sampleSet(Logical, "vol0", 0, 300, 0, 0, 0, MediaRef{Volume: "c"}))
+	mustAppend(t, c, sampleSet(Logical, "vol0", 3, 400, 300, 0, 0, MediaRef{Volume: "d"}))
+
+	p, err := c.Plan(PlanOptions{Engine: Logical, FSID: "vol0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids := planIDs(p); !reflect.DeepEqual(ids, []uint64{3, 4}) {
+		t.Fatalf("baseline plan = %v, want [3 4]", ids)
+	}
+
+	// Scrub condemns the newer full: the plan must route to the older
+	// generation rather than fail.
+	if err := c.MarkDamaged(3, 900, "scrub: unreadable record"); err != nil {
+		t.Fatal(err)
+	}
+	p, err = c.Plan(PlanOptions{Engine: Logical, FSID: "vol0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids := planIDs(p); !reflect.DeepEqual(ids, []uint64{1, 2}) {
+		t.Fatalf("routed plan = %v, want [1 2]", ids)
+	}
+
+	// Damage to a chain MEMBER (not the target) must also divert: kill
+	// the older full too and demand the typed refusal.
+	if err := c.MarkDamaged(1, 901, "scrub: stream corrupt"); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Plan(PlanOptions{Engine: Logical, FSID: "vol0"})
+	var up *UnplannableError
+	if !errors.As(err, &up) {
+		t.Fatalf("want *UnplannableError, got %v", err)
+	}
+	if len(up.Blocked) == 0 {
+		t.Fatal("UnplannableError names no blocked chains")
+	}
+	if !strings.Contains(err.Error(), "damaged") {
+		t.Fatalf("error does not explain the damage: %v", err)
+	}
+
+	// The salvage escape hatch restores the newest chain as-is.
+	p, err = c.Plan(PlanOptions{Engine: Logical, FSID: "vol0", IncludeDamaged: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids := planIDs(p); !reflect.DeepEqual(ids, []uint64{3, 4}) {
+		t.Fatalf("IncludeDamaged plan = %v, want [3 4]", ids)
+	}
+
+	// Repair clears the block.
+	if err := c.MarkRepaired(3, 950, "scrub: rewrote from mirror"); err != nil {
+		t.Fatal(err)
+	}
+	p, err = c.Plan(PlanOptions{Engine: Logical, FSID: "vol0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids := planIDs(p); !reflect.DeepEqual(ids, []uint64{3, 4}) {
+		t.Fatalf("post-repair plan = %v, want [3 4]", ids)
+	}
+}
+
+// TestPlanDamagedBaseBlocksChain: damage mid-chain (the base, not the
+// candidate target) diverts to an intact generation.
+func TestPlanDamagedBaseBlocksChain(t *testing.T) {
+	c, _ := Open(&MemStore{})
+	mustAppend(t, c, sampleSet(Image, "vol0", -1, 100, 0, 4, 0))
+	mustAppend(t, c, sampleSet(Image, "vol0", -1, 200, 0, 9, 4))
+	mustAppend(t, c, sampleSet(Image, "vol0", -1, 300, 0, 15, 0)) // fresh full
+	if err := c.MarkDamaged(1, 900, "scrub: unreadable record"); err != nil {
+		t.Fatal(err)
+	}
+	// Newest candidate is 3 (a full): unaffected.
+	p, err := c.Plan(PlanOptions{Engine: Image, FSID: "vol0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids := planIDs(p); !reflect.DeepEqual(ids, []uint64{3}) {
+		t.Fatalf("plan = %v, want [3]", ids)
+	}
+	// Point-in-time 200 forces the 1→2 chain, whose base is damaged and
+	// has no alternative: typed refusal.
+	_, err = c.Plan(PlanOptions{Engine: Image, FSID: "vol0", At: 200})
+	var up *UnplannableError
+	if !errors.As(err, &up) {
+		t.Fatalf("want *UnplannableError, got %v", err)
+	}
+}
+
+// TestSetHealthJournal: damage/repair records replay across journal
+// reopen, idempotently, and surface through the health accessors.
+func TestSetHealthJournal(t *testing.T) {
+	store := &MemStore{}
+	c, _ := Open(store)
+	id := mustAppend(t, c, sampleSet(Logical, "vol0", 0, 100, 0, 0, 0, MediaRef{Volume: "a"}))
+	if err := c.MarkDamaged(99, 500, "nope"); err == nil {
+		t.Fatal("MarkDamaged of unknown set succeeded")
+	}
+	if err := c.MarkDamaged(id, 500, "scrub: unreadable record"); err != nil {
+		t.Fatal(err)
+	}
+	before := len(store.Buf)
+	// Re-damaging a damaged set must not grow the journal.
+	if err := c.MarkDamaged(id, 501, "again"); err != nil {
+		t.Fatal(err)
+	}
+	if len(store.Buf) != before {
+		t.Fatal("idempotent MarkDamaged appended a record")
+	}
+	if reason, bad := c.Damaged(id); !bad || !strings.Contains(reason, "unreadable") {
+		t.Fatalf("Damaged = %q, %v", reason, bad)
+	}
+	if got := c.HealthLabel(id); got != "damaged" {
+		t.Fatalf("HealthLabel = %q", got)
+	}
+	if err := c.AppendMediaEvent(MediaEvent{Kind: MediaQuarantine, Volume: "a", Pool: "p", Time: 502}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.VolumeQuarantined("a") {
+		t.Fatal("quarantine not recorded")
+	}
+
+	// Replay: state must survive verbatim.
+	c2, err := Open(&MemStore{Buf: append([]byte(nil), store.Buf...)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, bad := c2.Damaged(id); !bad {
+		t.Fatal("damage lost on replay")
+	}
+	if !c2.VolumeQuarantined("a") {
+		t.Fatal("quarantine lost on replay")
+	}
+	if got := c2.HealthLabel(id); got != "quarantined-media" && got != "damaged" {
+		t.Fatalf("replayed HealthLabel = %q", got)
+	}
+
+	// Repair flips it back and survives another replay.
+	if err := c2.MarkRepaired(id, 600, "scrub: rewrote from mirror"); err != nil {
+		t.Fatal(err)
+	}
+	if _, bad := c2.Damaged(id); bad {
+		t.Fatal("still damaged after repair")
 	}
 }
 

@@ -24,6 +24,9 @@ func FuzzDecodeJournal(f *testing.F) {
 	_ = c.AppendFileIndex(id, []FileIndexEntry{{Path: "a/b", Ino: 9, Unit: 4}})
 	_ = c.Expire(id, 300)
 	_ = c.AppendMediaEvent(MediaEvent{Kind: MediaActivate, Volume: "t0", Pool: "main", Time: 250})
+	_ = c.MarkDamaged(id, 260, "scrub: unreadable record")
+	_ = c.MarkRepaired(id, 270, "scrub: rewrote from mirror")
+	_ = c.AppendMediaEvent(MediaEvent{Kind: MediaQuarantine, Volume: "t0", Pool: "main", Time: 280})
 	whole := append([]byte(nil), store.Buf...)
 	f.Add(whole)
 	f.Add(whole[:len(whole)/2])
@@ -51,6 +54,8 @@ func FuzzDecodeJournal(f *testing.F) {
 				enc = encodeMediaEvent(&r)
 			case SessionCheckpoint:
 				enc = encodeSessionCkpt(&r)
+			case SetHealth:
+				enc = encodeSetHealth(&r)
 			}
 			if !bytes.Equal(enc, data) {
 				t.Fatalf("decode/encode not canonical: %x -> %x", data, enc)

@@ -2,6 +2,7 @@ package catalog
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -21,6 +22,37 @@ type PlanOptions struct {
 	// recovery from media that retention released but reclamation has
 	// not yet erased.
 	IncludeExpired bool
+	// IncludeDamaged lets the planner use sets the scrubber marked
+	// damaged — a last-resort recovery that accepts salvage semantics
+	// instead of routing around the damage.
+	IncludeDamaged bool
+}
+
+// BlockedChain explains why one candidate restore chain is unusable:
+// the newest set it would reproduce, and the damage that blocks it.
+type BlockedChain struct {
+	Target uint64
+	Reason string
+}
+
+// UnplannableError is the planner's typed refusal: every candidate
+// full+incremental chain is blocked by damaged sets, and Blocked names
+// each candidate target with the exact set that blocks it — the
+// precise explanation that replaces a mid-restore surprise.
+type UnplannableError struct {
+	Engine  Engine
+	FSID    string
+	Blocked []BlockedChain
+}
+
+func (e *UnplannableError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "catalog: no undamaged %s chain for %q", e.Engine, e.FSID)
+	for _, bc := range e.Blocked {
+		fmt.Fprintf(&b, "; chain to set %d: %s", bc.Target, bc.Reason)
+	}
+	b.WriteString(" (rerun with IncludeDamaged for salvage semantics)")
+	return b.String()
 }
 
 // Plan is a restore chain: Steps applied in order reproduce the
@@ -81,38 +113,89 @@ func (p *Plan) String() string {
 // the set whose generation equals its BaseGen. A broken link — the
 // base was never recorded, or was expired and IncludeExpired is off —
 // is an error naming the missing base, not a silently shorter chain.
+//
+// Sets the scrubber marked Damaged are routed around: the planner
+// walks candidates newest-first and returns the first chain with no
+// damaged member, reproducing a slightly older state rather than
+// failing mid-restore. When every candidate chain is damage-blocked
+// the refusal is a typed *UnplannableError naming each block.
 func (c *Catalog) Plan(opts PlanOptions) (*Plan, error) {
 	if opts.Engine != Logical && opts.Engine != Image {
 		return nil, fmt.Errorf("catalog: plan needs an engine")
 	}
 	pool := c.sets
-	eligible := func(ds *DumpSet) bool {
-		if ds.Engine != opts.Engine || ds.FSID != opts.FSID {
-			return false
+	damaged := func(id uint64) (string, bool) {
+		if opts.IncludeDamaged {
+			return "", false
 		}
-		if _, dead := c.expired[ds.ID]; dead && !opts.IncludeExpired {
-			return false
-		}
-		return opts.At == 0 || ds.Date <= opts.At
+		return c.Damaged(id)
 	}
 
-	// Newest eligible set = the state to reproduce. Ties on Date break
-	// to the later ID (completion order).
-	var target *DumpSet
+	// Candidate targets, newest first. Ties on Date break to the later
+	// ID (completion order). The first candidate is the state the
+	// operator asked for; the rest exist only for damage route-around.
+	var cands []*DumpSet
 	for i := range pool {
 		ds := &pool[i]
-		if !eligible(ds) {
+		if ds.Engine != opts.Engine || ds.FSID != opts.FSID {
 			continue
 		}
-		if target == nil || ds.Date > target.Date || (ds.Date == target.Date && ds.ID > target.ID) {
-			target = ds
+		if _, dead := c.expired[ds.ID]; dead && !opts.IncludeExpired {
+			continue
 		}
+		if opts.At != 0 && ds.Date > opts.At {
+			continue
+		}
+		cands = append(cands, ds)
 	}
-	if target == nil {
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Date != cands[j].Date {
+			return cands[i].Date > cands[j].Date
+		}
+		return cands[i].ID > cands[j].ID
+	})
+	if len(cands) == 0 {
 		return nil, fmt.Errorf("catalog: no %s dump of %q at or before %d", opts.Engine, opts.FSID, opts.At)
 	}
 
-	// Walk base links back to the full dump.
+	var blocked []BlockedChain
+	for _, target := range cands {
+		if why, bad := damaged(target.ID); bad {
+			blocked = append(blocked, BlockedChain{Target: target.ID,
+				Reason: fmt.Sprintf("set %d is damaged: %s", target.ID, why)})
+			continue
+		}
+		chain, block, err := c.chainFor(opts, target)
+		if err != nil {
+			// Non-damage failures (missing or expired base, cycle) are
+			// catalog corruption or retention mistakes, not something a
+			// different candidate fixes — keep them hard errors.
+			return nil, err
+		}
+		if block != "" {
+			blocked = append(blocked, BlockedChain{Target: target.ID, Reason: block})
+			continue
+		}
+		p := &Plan{Engine: opts.Engine, FSID: opts.FSID, File: opts.File, Steps: chain}
+		if opts.File != "" && opts.Engine == Logical {
+			if err := c.pruneForFile(p); err != nil {
+				return nil, err
+			}
+		}
+		// An image plan keeps the whole chain even for one file: blocks
+		// of the file may live in any member, and Extract walks them all.
+		return p, nil
+	}
+	return nil, &UnplannableError{Engine: opts.Engine, FSID: opts.FSID, Blocked: blocked}
+}
+
+// chainFor walks base links from target back to its full dump. It
+// returns the chain full-first; a non-empty block reason when a member
+// is damaged (the caller routes to an older candidate); or a hard
+// error when the catalog itself cannot produce any chain through this
+// target (missing base, expired base, base-link cycle).
+func (c *Catalog) chainFor(opts PlanOptions, target *DumpSet) ([]DumpSet, string, error) {
+	pool := c.sets
 	chain := []DumpSet{*target}
 	cur := target
 	for !cur.Full() {
@@ -135,33 +218,29 @@ func (c *Catalog) Plan(opts PlanOptions) (*Plan, error) {
 		}
 		if base == nil {
 			if opts.Engine == Image {
-				return nil, fmt.Errorf("catalog: set %d needs base generation %d, which is not in the catalog", cur.ID, cur.BaseGen)
+				return nil, "", fmt.Errorf("catalog: set %d needs base generation %d, which is not in the catalog", cur.ID, cur.BaseGen)
 			}
-			return nil, fmt.Errorf("catalog: set %d needs base date %d, which is not in the catalog", cur.ID, cur.BaseDate)
+			return nil, "", fmt.Errorf("catalog: set %d needs base date %d, which is not in the catalog", cur.ID, cur.BaseDate)
 		}
 		if _, dead := c.expired[base.ID]; dead && !opts.IncludeExpired {
-			return nil, fmt.Errorf("catalog: set %d needs set %d, which is expired", cur.ID, base.ID)
+			return nil, "", fmt.Errorf("catalog: set %d needs set %d, which is expired", cur.ID, base.ID)
+		}
+		if !opts.IncludeDamaged {
+			if why, bad := c.Damaged(base.ID); bad {
+				return nil, fmt.Sprintf("set %d needs set %d, which is damaged: %s", cur.ID, base.ID, why), nil
+			}
 		}
 		chain = append(chain, *base)
 		cur = base
 		if len(chain) > len(pool) {
-			return nil, fmt.Errorf("catalog: base-link cycle involving set %d", cur.ID)
+			return nil, "", fmt.Errorf("catalog: base-link cycle involving set %d", cur.ID)
 		}
 	}
 	// Reverse: full first.
 	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
 		chain[i], chain[j] = chain[j], chain[i]
 	}
-
-	p := &Plan{Engine: opts.Engine, FSID: opts.FSID, File: opts.File, Steps: chain}
-	if opts.File != "" && opts.Engine == Logical {
-		if err := c.pruneForFile(p); err != nil {
-			return nil, err
-		}
-	}
-	// An image plan keeps the whole chain even for one file: blocks of
-	// the file may live in any member, and Extract walks them all.
-	return p, nil
+	return chain, "", nil
 }
 
 // pruneForFile reduces a logical chain to the single newest member

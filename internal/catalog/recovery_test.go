@@ -30,6 +30,20 @@ func buildJournal(t *testing.T, n int) (buf []byte, lastFrame int) {
 	if err := c.Expire(1, 999); err != nil {
 		t.Fatal(err)
 	}
+	// Integrity records are acknowledged history too: damage, repair
+	// and quarantine must replay like everything else.
+	if err := c.MarkDamaged(2, 1000, "scrub: unreadable record"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MarkRepaired(2, 1001, "scrub: rewrote from mirror"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MarkDamaged(3, 1002, "scrub: stream corrupt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AppendMediaEvent(MediaEvent{Kind: MediaQuarantine, Volume: "t2", Pool: "main", Time: 1003}); err != nil {
+		t.Fatal(err)
+	}
 	lastFrame = len(store.Buf)
 	if _, err := c.AppendDumpSet(sampleSet(Image, "vol0", -1, 5000, 0, 42, 0, MediaRef{Volume: "last"})); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,282 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/media"
+	"repro/internal/sched"
+	"repro/internal/scrub"
+	"repro/internal/workload"
+)
+
+// scrubRig is the catalog rig plus the integrity layer: a stream
+// mirror fed by the scheduler and a scrubber wired into the schedule.
+type scrubRig struct {
+	f      *core.Filer
+	cat    *catalog.Catalog
+	pool   *media.Pool
+	s      *sched.Scheduler
+	mirror *scrub.Store
+	scr    *scrub.Scrubber
+}
+
+func newScrubRig(t *testing.T, engine catalog.Engine, withMirror bool) *scrubRig {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Name = "vol0"
+	cfg.Simulate = true
+	cfg.BlocksPerDisk = 512
+	cfg.CartridgesPerDrive = 8
+	f, err := core.NewFiler(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := workload.Generate(ctx, f.FS, workload.Spec{
+		Seed: 99, Files: 20, DirFanout: 4, MeanFileSize: 6 << 10,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cat, err := catalog.Open(&catalog.MemStore{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := media.NewPool("main", cat)
+	if err := pool.Adopt(f.Tapes[0], 0); err != nil {
+		t.Fatal(err)
+	}
+	f.AttachCatalog(cat)
+
+	scfg := scrub.Config{Catalog: cat, Pool: pool, Env: f.Env}
+	var mirror *scrub.Store
+	if withMirror {
+		mirror = scrub.NewStore()
+		scfg.Replicas = []scrub.Replica{mirror}
+	}
+	scr, err := scrub.New(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.New(sched.Config{
+		Filer: f, Catalog: cat, Pool: pool, Engine: engine,
+		Policy: sched.BSDLadder{Ladder: []int{3, 5}},
+		Mirror: mirror, Scrub: scr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &scrubRig{f: f, cat: cat, pool: pool, s: s, mirror: mirror, scr: scr}
+}
+
+func (r *scrubRig) digest(t *testing.T) map[string]workload.Entry {
+	t.Helper()
+	d, err := workload.TreeDigest(ctx, r.f.FS.ActiveView(), "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// rot injects one fault at the first record of a catalogued set:
+// a latched read error (detected by the drive) or a silent bit flip
+// (detected only by the stream's own checksums).
+func (r *scrubRig) rot(t *testing.T, setID uint64, latent bool) string {
+	t.Helper()
+	ds, ok := r.cat.Set(setID)
+	if !ok {
+		t.Fatalf("rot: set %d not in catalog", setID)
+	}
+	ref := ds.Media[0]
+	v, ok := r.pool.Volume(ref.Volume)
+	if !ok || v.Cart == nil {
+		t.Fatalf("rot: volume %q not mountable", ref.Volume)
+	}
+	if latent {
+		if !v.Cart.InjectLatentFault(int(ref.Start)) {
+			t.Fatalf("rot: latent inject at %d failed", ref.Start)
+		}
+	} else if !v.Cart.CorruptRecordAt(int(ref.Start)) {
+		t.Fatalf("rot: corrupt at %d failed", ref.Start)
+	}
+	return ref.Volume
+}
+
+// TestChaosScrubBitRotRepair: latent read faults and silent bit flips
+// land on catalogued media between scheduled runs. The nightly scrub
+// must detect every fault and repair it in place from the stream
+// mirror — no set degraded, no media quarantined — and the final
+// catalog-planned restore must be byte-identical. A corrupted record
+// must never reach a restore undetected.
+func TestChaosScrubBitRotRepair(t *testing.T) {
+	for seed := int64(1); seed <= int64(seedCount()); seed++ {
+		for _, engine := range []catalog.Engine{catalog.Logical, catalog.Image} {
+			t.Run(fmt.Sprintf("seed%d-%s", seed, engine), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(seed))
+				r := newScrubRig(t, engine, true)
+
+				var last map[string]workload.Entry
+				for run := 0; run < 3; run++ {
+					if run > 0 {
+						if _, err := r.f.FS.WriteFile(ctx, "/data/report.txt",
+							[]byte(fmt.Sprintf("revision %d", run)), 0644); err != nil {
+							t.Fatal(err)
+						}
+						// Rot a random already-catalogued set before the
+						// next scheduled cycle.
+						live := r.cat.Live()
+						victim := live[rng.Intn(len(live))]
+						r.rot(t, victim.ID, rng.Intn(2) == 0)
+					}
+					last = r.digest(t)
+					res, err := r.s.RunOne(ctx)
+					if err != nil {
+						t.Fatalf("run %d: %v", run, err)
+					}
+					if res.Scrub == nil {
+						t.Fatalf("run %d: no scheduled scrub report", run)
+					}
+					if run > 0 && len(res.Scrub.Repaired) == 0 {
+						t.Fatalf("run %d: injected fault not repaired: %+v", run, res.Scrub)
+					}
+					if len(res.Scrub.Findings) != 0 || len(res.Scrub.Damaged) != 0 ||
+						len(res.Scrub.Quarantined) != 0 {
+						t.Fatalf("run %d: mirror-backed rot degraded the archive: %+v", run, res.Scrub)
+					}
+					if res.Scrub.BytesScanned == 0 {
+						t.Fatalf("run %d: scrub scanned nothing", run)
+					}
+				}
+				if ids := r.cat.DamagedSets(); len(ids) != 0 {
+					t.Fatalf("damaged sets after repairs: %v", ids)
+				}
+
+				// The repaired media restores the newest state exactly.
+				plan, err := r.cat.Plan(catalog.PlanOptions{Engine: engine, FSID: "vol0"})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(plan.Steps) != 3 {
+					t.Fatalf("plan has %d steps: %s", len(plan.Steps), plan)
+				}
+				opts := sched.RecoverOptions{}
+				if engine == catalog.Logical {
+					opts.Wipe = true
+				}
+				if _, err := sched.Recover(ctx, r.f, r.pool, plan, opts); err != nil {
+					t.Fatalf("recover from repaired media: %v", err)
+				}
+				if diffs := workload.DiffDigests(last, r.digest(t)); len(diffs) > 0 {
+					t.Fatalf("restored tree differs after bit-rot repairs: %v", diffs)
+				}
+			})
+		}
+	}
+}
+
+// TestChaosScrubDegradeRouteAround: the same rot with no mirror to
+// repair from. The scrub must mark the set damaged and quarantine its
+// media BEFORE any restore touches it, the planner must route the
+// restore around the damaged set (an older intact generation), and the
+// rerouted restore must be byte-identical to the state that chain
+// dumped. The full chain stays reachable only through the explicit
+// salvage escape hatch.
+func TestChaosScrubDegradeRouteAround(t *testing.T) {
+	for seed := int64(1); seed <= int64(seedCount()); seed++ {
+		for _, engine := range []catalog.Engine{catalog.Logical, catalog.Image} {
+			t.Run(fmt.Sprintf("seed%d-%s", seed, engine), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(seed))
+				r := newScrubRig(t, engine, false)
+
+				// Full, then two chained incrementals.
+				var states []map[string]workload.Entry
+				for run := 0; run < 3; run++ {
+					if run > 0 {
+						if _, err := r.f.FS.WriteFile(ctx, "/data/report.txt",
+							[]byte(fmt.Sprintf("revision %d", run)), 0644); err != nil {
+							t.Fatal(err)
+						}
+					}
+					states = append(states, r.digest(t))
+					if _, err := r.s.RunN(ctx, 1); err != nil {
+						t.Fatalf("run %d: %v", run, err)
+					}
+				}
+
+				// Rot the middle incremental: every later set chains
+				// through it.
+				vol := r.rot(t, 2, rng.Intn(2) == 0)
+				rep, err := r.scr.Run(ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(rep.Damaged) != 1 || rep.Damaged[0] != 2 {
+					t.Fatalf("scrub did not degrade set 2: %+v", rep)
+				}
+				if len(rep.Quarantined) == 0 {
+					t.Fatalf("no media quarantined: %+v", rep)
+				}
+				v, _ := r.pool.Volume(vol)
+				if v.State != media.Quarantined {
+					t.Fatalf("volume %q state %s, want quarantined", vol, v.State)
+				}
+				if got, err := r.pool.Reclaim(1 << 50); err != nil || len(got) != 0 {
+					t.Fatalf("Reclaim touched quarantined media: %v %v", got, err)
+				}
+
+				// Route around: the only undamaged chain is the bare full.
+				plan, err := r.cat.Plan(catalog.PlanOptions{Engine: engine, FSID: "vol0"})
+				if err != nil {
+					t.Fatalf("plan did not route around damage: %v", err)
+				}
+				if len(plan.Steps) != 1 || plan.Steps[0].ID != 1 {
+					t.Fatalf("rerouted plan = %s, want the level-0 set alone", plan)
+				}
+				opts := sched.RecoverOptions{}
+				if engine == catalog.Logical {
+					opts.Wipe = true
+				}
+				if _, err := sched.Recover(ctx, r.f, r.pool, plan, opts); err != nil {
+					t.Fatalf("rerouted recover: %v", err)
+				}
+				if diffs := workload.DiffDigests(states[0], r.digest(t)); len(diffs) > 0 {
+					t.Fatalf("rerouted restore differs from the full's state: %v", diffs)
+				}
+
+				// Rot the full as well: now every chain passes through
+				// damage, and the scrub must degrade it too.
+				r.rot(t, 1, rng.Intn(2) == 0)
+				rep2, err := r.scr.Run(ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(rep2.Damaged) != 1 || rep2.Damaged[0] != 1 {
+					t.Fatalf("scrub did not degrade set 1: %+v", rep2)
+				}
+				// With no undamaged chain left the planner refuses with
+				// the typed error naming every blocked chain...
+				_, err = r.cat.Plan(catalog.PlanOptions{Engine: engine, FSID: "vol0"})
+				var up *catalog.UnplannableError
+				if !errors.As(err, &up) {
+					t.Fatalf("plan through damage: want *UnplannableError, got %v", err)
+				}
+				if len(up.Blocked) == 0 {
+					t.Fatalf("UnplannableError names no blocked chains: %v", up)
+				}
+				// ...and the salvage escape hatch still yields the chain.
+				p2, err := r.cat.Plan(catalog.PlanOptions{
+					Engine: engine, FSID: "vol0", IncludeDamaged: true,
+				})
+				if err != nil {
+					t.Fatalf("IncludeDamaged plan: %v", err)
+				}
+				if len(p2.Steps) != 3 {
+					t.Fatalf("salvage plan = %s, want the 3-step chain", p2)
+				}
+			})
+		}
+	}
+}

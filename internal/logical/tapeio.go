@@ -21,6 +21,7 @@ import (
 	"io"
 
 	"repro/internal/dumpfmt"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/storage"
 	"repro/internal/tape"
@@ -196,6 +197,10 @@ func (s *DriveSource) ReadRecord() ([]byte, error) {
 				return nil, serr
 			}
 			s.skipped++
+			if s.Ctx != nil {
+				obs.MetricsFrom(s.Ctx).Counter("restore_skipped_records_total",
+					obs.Labels{"engine": "logical"}).Inc()
+			}
 			attempt = 0
 		default:
 			return nil, err

@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"repro/internal/dumpfmt"
+	"repro/internal/obs"
 	"repro/internal/wafl"
 )
 
@@ -46,6 +47,8 @@ func Verify(ctx context.Context, opts VerifyOptions) (*VerifyResult, error) {
 	if opts.View == nil || opts.Source == nil {
 		return nil, fmt.Errorf("logical: nil view or source")
 	}
+	ctx, span := obs.Start(ctx, "logical.verify")
+	defer span.End()
 	r := dumpfmt.NewReader(opts.Source)
 	res := &VerifyResult{}
 	addf := func(format string, args ...interface{}) {
@@ -157,6 +160,15 @@ func Verify(ctx context.Context, opts VerifyOptions) (*VerifyResult, error) {
 		h = next
 	}
 	res.SkippedUnits = r.Skipped()
+	span.SetAttr("files", res.FilesChecked)
+	span.SetAttr("dirs", res.DirsChecked)
+	span.SetAttr("bytes", res.BytesRead)
+	span.SetAttr("problems", len(res.Problems))
+	m := obs.MetricsFrom(ctx)
+	lbl := obs.Labels{"engine": "logical"}
+	m.Counter("verify_bytes_total", lbl).Add(res.BytesRead)
+	m.Counter("verify_problems_total", lbl).Add(int64(len(res.Problems)))
+	m.Counter("verify_skipped_units_total", lbl).Add(int64(res.SkippedUnits))
 	return res, nil
 }
 

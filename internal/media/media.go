@@ -33,6 +33,11 @@ const (
 	// Expired volumes hold only expired dump sets; they are awaiting
 	// reclamation and still readable (last-resort restores).
 	Expired
+	// Quarantined volumes carry media damage the scrubber could not
+	// repair. They are excluded from Reclaim and refused by Erase —
+	// frozen as evidence and for salvage reads — until an operator
+	// re-registers them after replacing the media.
+	Quarantined
 )
 
 func (s State) String() string {
@@ -43,6 +48,8 @@ func (s State) String() string {
 		return "active"
 	case Expired:
 		return "expired"
+	case Quarantined:
+		return "quarantined"
 	}
 	return fmt.Sprintf("state(%d)", int(s))
 }
@@ -85,6 +92,8 @@ func NewPool(name string, cat *catalog.Catalog) *Pool {
 			v := p.ensure(ev.Volume)
 			v.State = Scratch
 			v.Sets = nil
+		case catalog.MediaQuarantine:
+			p.ensure(ev.Volume).State = Quarantined
 		}
 	}
 	// Rebuild set references and expired states from the dump history.
@@ -299,12 +308,38 @@ func (p *Pool) Reclaim(now int64) ([]string, error) {
 	return out, nil
 }
 
+// Quarantine freezes a volume after unrepairable damage: journaled,
+// excluded from Reclaim, refused by Erase. Idempotent while the volume
+// stays quarantined. Unknown labels are auto-registered first — damage
+// may be found on media the pool had not seen.
+func (p *Pool) Quarantine(label string, now int64) error {
+	if _, ok := p.vols[label]; !ok {
+		if err := p.Register(label, nil, now); err != nil {
+			return err
+		}
+	}
+	v := p.vols[label]
+	if v.State == Quarantined {
+		return nil
+	}
+	if err := p.cat.AppendMediaEvent(catalog.MediaEvent{
+		Kind: catalog.MediaQuarantine, Volume: label, Pool: p.Name, Time: now,
+	}); err != nil {
+		return err
+	}
+	v.State = Quarantined
+	return nil
+}
+
 // Erase force-erases one volume, refusing while any unexpired dump
 // set references it.
 func (p *Pool) Erase(label string, now int64) error {
 	v, ok := p.vols[label]
 	if !ok {
 		return fmt.Errorf("media: unknown volume %q", label)
+	}
+	if v.State == Quarantined {
+		return fmt.Errorf("media: volume %q is quarantined", label)
 	}
 	for _, id := range v.Sets {
 		if _, dead := p.cat.Expired(id); !dead {

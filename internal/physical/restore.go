@@ -248,6 +248,9 @@ func restoreBody(ctx context.Context, vol storage.Device, r *streamReader, h *st
 		}
 		stats.TornTail = true
 		stats.BytesRead = r.read
+		span.SetAttr("torn_tail", true)
+		obs.MetricsFrom(ctx).Counter("restore_salvaged_streams_total",
+			obs.Labels{"engine": "image"}).Inc()
 		return stats, nil
 	}
 	for {

@@ -1,10 +1,12 @@
 package physical
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
 
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -26,6 +28,31 @@ type StreamCheck struct {
 // (header, extent bounds, trailer) and the payload checksum, writing
 // nothing. It returns the stream's identity on success.
 func VerifyStream(src Source) (*StreamCheck, error) {
+	return VerifyStreamCtx(context.Background(), src)
+}
+
+// VerifyStreamCtx is VerifyStream with observability: the pass runs
+// under a "physical.verify" span and feeds the verify_* metrics from
+// the registry in ctx — the scrubber's image-set entry point.
+func VerifyStreamCtx(ctx context.Context, src Source) (*StreamCheck, error) {
+	_, span := obs.Start(ctx, "physical.verify")
+	defer span.End()
+	m := obs.MetricsFrom(ctx)
+	lbl := obs.Labels{"engine": "image"}
+	check, err := verifyStream(src)
+	if err != nil {
+		m.Counter("verify_problems_total", lbl).Inc()
+		span.SetAttr("error", err.Error())
+		return nil, err
+	}
+	span.SetAttr("blocks", check.BlockCount)
+	span.SetAttr("extents", check.Extents)
+	span.SetAttr("bytes", check.BytesRead)
+	m.Counter("verify_bytes_total", lbl).Add(check.BytesRead)
+	return check, nil
+}
+
+func verifyStream(src Source) (*StreamCheck, error) {
 	r := &streamReader{src: src}
 	h, err := readHeader(r)
 	if err != nil {

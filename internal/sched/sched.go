@@ -16,10 +16,12 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/dumpfmt"
 	"repro/internal/logical"
 	"repro/internal/media"
 	"repro/internal/obs"
 	"repro/internal/physical"
+	"repro/internal/scrub"
 	"repro/internal/sim"
 	"repro/internal/wafl"
 )
@@ -108,6 +110,16 @@ type Config struct {
 	// Churn, when set, mutates the filesystem before each run after
 	// the first — the users the schedule is protecting.
 	Churn func(ctx context.Context, run int) error
+	// Mirror, when set, receives a byte-identical capture of every
+	// dump's stream records, keyed by set ID — the stream-level
+	// standby replica the scrubber repairs damaged media from.
+	Mirror *scrub.Store
+	// Scrub, when set, runs a scheduled integrity pass (scan, repair,
+	// degrade, fsck) after a run's retention completes.
+	Scrub *scrub.Scrubber
+	// ScrubEvery is the scrub period in runs (default 1 — nightly
+	// scrub after the nightly dump).
+	ScrubEvery int
 }
 
 // RunResult describes one completed scheduled dump.
@@ -119,6 +131,8 @@ type RunResult struct {
 	Bytes   int64
 	Media   []string
 	Expired []uint64 // sets expired by retention after this run
+	// Scrub is the integrity pass run after this run, when scheduled.
+	Scrub *scrub.Report
 }
 
 // imageBase tracks the snapshot a future incremental can base on, per
@@ -160,6 +174,9 @@ func New(cfg Config) (*Scheduler, error) {
 	}
 	if cfg.Drive < 0 || cfg.Drive >= len(cfg.Filer.Tapes) {
 		return nil, fmt.Errorf("sched: drive %d of %d", cfg.Drive, len(cfg.Filer.Tapes))
+	}
+	if cfg.ScrubEvery <= 0 {
+		cfg.ScrubEvery = 1
 	}
 	return &Scheduler{cfg: cfg, bases: make(map[int]imageBase)}, nil
 }
@@ -238,9 +255,21 @@ func (s *Scheduler) RunOne(ctx context.Context) (*RunResult, error) {
 			return nil, err
 		}
 		res.Expired = expired
+		if s.cfg.Mirror != nil {
+			for _, id := range expired {
+				s.cfg.Mirror.Drop(id)
+			}
+		}
 		if _, err := s.cfg.Pool.Reclaim(now); err != nil {
 			return nil, err
 		}
+	}
+	if s.cfg.Scrub != nil && s.runs%s.cfg.ScrubEvery == 0 {
+		srep, err := s.cfg.Scrub.Run(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("sched: scrub after run %d: %w", run, err)
+		}
+		res.Scrub = srep
 	}
 	return res, nil
 }
@@ -258,13 +287,19 @@ func (s *Scheduler) logicalRun(ctx context.Context, run, level int) (*RunResult,
 		return nil, err
 	}
 	track := &media.TrackingSink{Sink: f.Sink(ctx, s.cfg.Drive), Drive: f.Tapes[s.cfg.Drive]}
+	var sink dumpfmt.Sink = track
+	var capture *scrub.CaptureSink
+	if s.cfg.Mirror != nil {
+		capture = &scrub.CaptureSink{Sink: track}
+		sink = capture
+	}
 	var index []catalog.FileIndexEntry
 	stats, err := logical.Dump(ctx, logical.DumpOptions{
 		View:      view,
 		Level:     level,
 		Dates:     f.Dates,
 		FSID:      s.cfg.FSID,
-		Sink:      track,
+		Sink:      sink,
 		Label:     snap,
 		ReadAhead: 16,
 		FileIndex: func(path string, ino wafl.Inum, unit int64) {
@@ -293,6 +328,9 @@ func (s *Scheduler) logicalRun(ctx context.Context, run, level int) (*RunResult,
 	if err := s.cfg.Catalog.AppendFileIndex(id, index); err != nil {
 		return nil, err
 	}
+	if capture != nil {
+		s.cfg.Mirror.Put(id, capture.Records())
+	}
 	if err := s.cfg.Pool.CommitSet(id, track.Labels(), stats.Date); err != nil {
 		return nil, err
 	}
@@ -319,12 +357,18 @@ func (s *Scheduler) imageRun(ctx context.Context, run, level int) (*RunResult, e
 	}
 
 	track := &media.TrackingSink{Sink: f.Sink(ctx, s.cfg.Drive), Drive: f.Tapes[s.cfg.Drive]}
+	var sink physical.Sink = track
+	var capture *scrub.CaptureSink
+	if s.cfg.Mirror != nil {
+		capture = &scrub.CaptureSink{Sink: track}
+		sink = capture
+	}
 	stats, err := physical.Dump(ctx, physical.DumpOptions{
 		FS:           f.FS,
 		Vol:          f.Vol,
 		SnapName:     snap,
 		BaseSnapName: base.snap,
-		Sink:         track,
+		Sink:         sink,
 		Costs:        f.Config.PhysCosts,
 	})
 	if err != nil {
@@ -349,6 +393,9 @@ func (s *Scheduler) imageRun(ctx context.Context, run, level int) (*RunResult, e
 	})
 	if err != nil {
 		return nil, err
+	}
+	if capture != nil {
+		s.cfg.Mirror.Put(id, capture.Records())
 	}
 	if err := s.cfg.Pool.CommitSet(id, track.Labels(), date); err != nil {
 		return nil, err

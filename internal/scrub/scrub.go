@@ -1,0 +1,598 @@
+// Package scrub is the end-to-end integrity subsystem: a scheduled
+// media scrubber that re-reads every catalogued dump set and verifies
+// it before a restore needs it, a catalog↔media fsck cross-checking
+// the two sources of truth, and automated repair — rewrite damaged
+// records from a replica of the stream, or degrade gracefully by
+// marking the set Damaged in the catalog and quarantining its volumes
+// so the restore planner routes around them.
+//
+// The paper's opening horror story is tapes that sat unread for a
+// year and turned out rotten at restore time. The scrubber closes
+// that window: latent faults (injectable via tape.FaultConfig and
+// Cartridge.InjectLatentFault) are found on the schedule's clock, not
+// the disaster's.
+package scrub
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/dumpfmt"
+	"repro/internal/media"
+	"repro/internal/obs"
+	"repro/internal/physical"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/tape"
+)
+
+// FindingKind classifies one integrity finding.
+type FindingKind int
+
+const (
+	// MediaFault is an unreadable record: the drive's ECC gave up on a
+	// spot of tape (a latched persistent read error).
+	MediaFault FindingKind = iota + 1
+	// StreamCorrupt is a stream that reads but fails its own format
+	// checks: CRC framing, header checksums, resynced units, torn end.
+	StreamCorrupt
+	// ByteCountMismatch is a stream that terminated cleanly but carried
+	// fewer bytes than the catalog recorded for the set.
+	ByteCountMismatch
+	// OrphanSet is a live catalog set whose media the pool cannot
+	// produce: unknown label, unbound cartridge, or scratch/blank media.
+	OrphanSet
+	// MissingBase is a live incremental whose base set is gone from the
+	// catalog or expired — retention or operator error broke the chain.
+	MissingBase
+	// IndexPastExtent is a seek-index entry (media start position or
+	// file-index unit) pointing past the recorded extent.
+	IndexPastExtent
+	// PoolStateMismatch is a pool label whose lifecycle state disagrees
+	// with what the catalog's media events imply the media holds.
+	PoolStateMismatch
+)
+
+func (k FindingKind) String() string {
+	switch k {
+	case MediaFault:
+		return "media-fault"
+	case StreamCorrupt:
+		return "stream-corrupt"
+	case ByteCountMismatch:
+		return "byte-count-mismatch"
+	case OrphanSet:
+		return "orphan-set"
+	case MissingBase:
+		return "missing-base"
+	case IndexPastExtent:
+		return "index-past-extent"
+	case PoolStateMismatch:
+		return "pool-state-mismatch"
+	}
+	return fmt.Sprintf("finding(%d)", int(k))
+}
+
+// Finding is one typed integrity problem.
+type Finding struct {
+	Kind   FindingKind
+	SetID  uint64 // 0 when the finding is not about one set
+	Volume string // "" when not media-located
+	Record int    // raw media record index; -1 when unknown
+	Detail string
+}
+
+func (f Finding) String() string {
+	s := f.Kind.String()
+	if f.SetID != 0 {
+		s += fmt.Sprintf(" set %d", f.SetID)
+	}
+	if f.Volume != "" {
+		s += fmt.Sprintf(" volume %q", f.Volume)
+		if f.Record >= 0 {
+			s += fmt.Sprintf(" record %d", f.Record)
+		}
+	}
+	if f.Detail != "" {
+		s += ": " + f.Detail
+	}
+	return s
+}
+
+// Report is the outcome of one scrub pass.
+type Report struct {
+	// Sets is how many live sets were scanned.
+	Sets int
+	// BytesScanned is stream bytes re-read off media.
+	BytesScanned int64
+	// Repaired lists findings fixed in place (and re-verified clean).
+	Repaired []Finding
+	// Findings lists problems that remain after repair — the scan
+	// findings of sets that had to be degraded, plus fsck findings.
+	Findings []Finding
+	// Damaged lists sets newly marked Damaged in the catalog.
+	Damaged []uint64
+	// Quarantined lists volumes newly quarantined in the pool.
+	Quarantined []string
+}
+
+// Unrepaired returns the findings no repair resolved; a nonzero count
+// is what turns a backupctl scrub/fsck exit nonzero.
+func (r *Report) Unrepaired() []Finding { return r.Findings }
+
+func (r *Report) String() string {
+	return fmt.Sprintf("scrub: %d set(s), %d bytes; %d repaired, %d unrepaired, %d damaged, %d quarantined",
+		r.Sets, r.BytesScanned, len(r.Repaired), len(r.Findings), len(r.Damaged), len(r.Quarantined))
+}
+
+// RecordSource supplies one dump set's stream records, io.EOF at end —
+// the subset of tape/stream sources the verifiers need.
+type RecordSource interface {
+	ReadRecord() ([]byte, error)
+}
+
+// Config wires a Scrubber to the catalog and pool it guards.
+type Config struct {
+	Catalog *catalog.Catalog
+	Pool    *media.Pool
+	// Env builds the maintenance drive (nil = untimed reads).
+	Env *sim.Env
+	// Params is the maintenance drive's model (zero = DefaultParams).
+	Params tape.Params
+	// Name prefixes the maintenance drive and spans (default "scrub").
+	Name string
+	// Replicas are stream-record redundancy sources tried in order for
+	// in-place repair — the -standby mirror, a RAID rebuild, anything
+	// that can produce the set's byte-identical record list.
+	Replicas []Replica
+	// PauseEvery is how many scanned bytes between rate-limit pauses
+	// (default 8 MiB) so scrubbing never starves live dumps of drive
+	// time; Pause is the pause length (default 250ms of virtual time).
+	PauseEvery int64
+	Pause      time.Duration
+	// Now supplies catalog timestamps for damage/quarantine records
+	// (default: the filesystem clock is not reachable from here, 0).
+	Now func() int64
+}
+
+// Scrubber runs integrity passes.
+type Scrubber struct {
+	cfg Config
+}
+
+// New validates cfg and returns a Scrubber.
+func New(cfg Config) (*Scrubber, error) {
+	if cfg.Catalog == nil || cfg.Pool == nil {
+		return nil, fmt.Errorf("scrub: catalog and pool are required")
+	}
+	if cfg.Params.Rate == 0 {
+		cfg.Params = tape.DefaultParams()
+	}
+	if cfg.Name == "" {
+		cfg.Name = "scrub"
+	}
+	if cfg.PauseEvery <= 0 {
+		cfg.PauseEvery = 8 << 20
+	}
+	if cfg.Pause <= 0 {
+		cfg.Pause = 250 * time.Millisecond
+	}
+	return &Scrubber{cfg: cfg}, nil
+}
+
+func (s *Scrubber) now() int64 {
+	if s.cfg.Now != nil {
+		return s.cfg.Now()
+	}
+	return 0
+}
+
+// Run executes one full integrity pass: scan every live, undamaged
+// set's media end to end; attempt in-place repair of anything found
+// (re-verifying after); degrade what cannot be repaired (mark the set
+// Damaged, quarantine its volumes); then fsck the catalog against the
+// pool. Already-damaged sets are skipped — their verdict is in.
+func (s *Scrubber) Run(ctx context.Context) (*Report, error) {
+	ctx, span := obs.Start(ctx, s.cfg.Name+".run")
+	defer span.End()
+	m := obs.MetricsFrom(ctx)
+	rep := &Report{}
+	for _, ds := range s.cfg.Catalog.Live() {
+		if _, bad := s.cfg.Catalog.Damaged(ds.ID); bad {
+			continue
+		}
+		findings, n, err := s.scanSet(ctx, ds)
+		if err != nil {
+			return nil, err
+		}
+		rep.Sets++
+		rep.BytesScanned += n
+		m.Counter("scrub_bytes_total", nil).Add(n)
+		if len(findings) == 0 {
+			continue
+		}
+		m.Counter("scrub_errors_total", nil).Add(int64(len(findings)))
+		if s.repairSet(ctx, ds) {
+			// Trust nothing: the set counts as repaired only if a fresh
+			// scan of the media comes back clean.
+			re, n2, err := s.scanSet(ctx, ds)
+			rep.BytesScanned += n2
+			if err == nil && len(re) == 0 {
+				if err := s.cfg.Catalog.MarkRepaired(ds.ID, s.now(),
+					fmt.Sprintf("scrub repaired %d finding(s)", len(findings))); err != nil {
+					return nil, err
+				}
+				rep.Repaired = append(rep.Repaired, findings...)
+				m.Counter("scrub_repairs_total", nil).Inc()
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			findings = re
+		}
+		rep.Findings = append(rep.Findings, findings...)
+		if err := s.degrade(ds, findings, rep, m); err != nil {
+			return nil, err
+		}
+	}
+	fsck := Fsck(s.cfg.Catalog, FsckOptions{Pool: s.cfg.Pool})
+	rep.Findings = append(rep.Findings, fsck...)
+	m.Counter("scrub_errors_total", nil).Add(int64(len(fsck)))
+	span.SetAttr("sets", rep.Sets)
+	span.SetAttr("bytes", rep.BytesScanned)
+	span.SetAttr("unrepaired", len(rep.Findings))
+	return rep, nil
+}
+
+// degrade marks a set Damaged and quarantines the implicated volumes:
+// those named by media-located findings, or — when the corruption
+// cannot be pinned to a spot (a stream-level checksum failure) — every
+// volume the set touches.
+func (s *Scrubber) degrade(ds catalog.DumpSet, findings []Finding, rep *Report, m *obs.Registry) error {
+	detail := findings[0].String()
+	if len(findings) > 1 {
+		detail = fmt.Sprintf("%s (+%d more)", detail, len(findings)-1)
+	}
+	if err := s.cfg.Catalog.MarkDamaged(ds.ID, s.now(), detail); err != nil {
+		return err
+	}
+	rep.Damaged = append(rep.Damaged, ds.ID)
+	vols := map[string]bool{}
+	for _, f := range findings {
+		if f.Volume != "" {
+			vols[f.Volume] = true
+		}
+	}
+	if len(vols) == 0 {
+		for _, ref := range ds.Media {
+			vols[ref.Volume] = true
+		}
+	}
+	for _, ref := range ds.Media { // deterministic order
+		if !vols[ref.Volume] {
+			continue
+		}
+		vols[ref.Volume] = false
+		v, ok := s.cfg.Pool.Volume(ref.Volume)
+		already := ok && v.State == media.Quarantined
+		if err := s.cfg.Pool.Quarantine(ref.Volume, s.now()); err != nil {
+			return err
+		}
+		if !already {
+			rep.Quarantined = append(rep.Quarantined, ref.Volume)
+			m.Counter("scrub_quarantines_total", nil).Inc()
+		}
+	}
+	return nil
+}
+
+// scanSet mounts a set's media on a maintenance drive and re-reads its
+// stream end to end, collecting findings. The heavy lifting is the
+// format verifiers; this layers media-fault capture, rate limiting and
+// byte accounting around them.
+func (s *Scrubber) scanSet(ctx context.Context, ds catalog.DumpSet) ([]Finding, int64, error) {
+	_, span := obs.Start(ctx, s.cfg.Name+".set")
+	defer span.End()
+	span.SetAttr("set", ds.ID)
+	span.SetAttr("engine", ds.Engine.String())
+
+	// Media the pool cannot produce is a finding, not an error: the
+	// scrubber's job is to report exactly this.
+	var findings []Finding
+	drive := tape.NewDrive(s.cfg.Env, s.cfg.Name+"/maint", s.cfg.Params)
+	for _, ref := range ds.Media {
+		v, ok := s.cfg.Pool.Volume(ref.Volume)
+		if !ok || v.Cart == nil {
+			findings = append(findings, Finding{Kind: OrphanSet, SetID: ds.ID,
+				Volume: ref.Volume, Record: -1, Detail: "pool cannot mount volume"})
+			continue
+		}
+		drive.AddCartridges(v.Cart)
+	}
+	if len(findings) > 0 {
+		return findings, 0, nil
+	}
+
+	src := &scanSource{
+		drive: drive, proc: sim.ProcFrom(ctx), refs: ds.Media,
+		retry:      storage.DefaultRetryPolicy(),
+		pauseEvery: s.cfg.PauseEvery, pause: s.cfg.Pause,
+	}
+	findings = append(findings, verifyStream(ctx, ds, src)...)
+	findings = append(findings, src.findings(ds.ID)...)
+	return dedupe(findings), src.bytes, nil
+}
+
+// VerifySetStream verifies one dump set's stream from an arbitrary
+// record source — the non-tape entry (backupctl's stream files). It
+// returns format-level findings only; media faults belong to sources
+// that can surface them.
+func VerifySetStream(ctx context.Context, ds catalog.DumpSet, src RecordSource) []Finding {
+	return verifyStream(ctx, ds, &countingSource{src: src})
+}
+
+// verifyStream runs the engine's format verifier over the stream and
+// translates the outcome into findings.
+func verifyStream(ctx context.Context, ds catalog.DumpSet, src interface {
+	RecordSource
+	count() int64
+}) []Finding {
+	var findings []Finding
+	if ds.Engine == catalog.Image {
+		if _, err := physical.VerifyStreamCtx(ctx, src); err != nil && !isMediaErr(err) {
+			findings = append(findings, Finding{Kind: StreamCorrupt, SetID: ds.ID,
+				Record: -1, Detail: err.Error()})
+		}
+	} else {
+		r := dumpfmt.NewReader(src)
+		err := drainLogical(r)
+		if err != nil && !isMediaErr(err) {
+			findings = append(findings, Finding{Kind: StreamCorrupt, SetID: ds.ID,
+				Record: -1, Detail: err.Error()})
+		}
+		if n := r.Skipped(); n > 0 {
+			findings = append(findings, Finding{Kind: StreamCorrupt, SetID: ds.ID,
+				Record: -1, Detail: fmt.Sprintf("%d corrupt unit(s) resynced over", n)})
+		}
+	}
+	// Fewer bytes than the catalog recorded means part of the stream is
+	// gone; only meaningful when nothing louder already fired.
+	if len(findings) == 0 && src.count() < ds.Bytes {
+		findings = append(findings, Finding{Kind: ByteCountMismatch, SetID: ds.ID,
+			Record: -1, Detail: fmt.Sprintf("catalog says %d bytes, media yields %d", ds.Bytes, src.count())})
+	}
+	return findings
+}
+
+// drainLogical walks a logical dump stream to its TS_END, consuming
+// every header's data segments; header checksums are verified by the
+// reader as it goes.
+func drainLogical(r *dumpfmt.Reader) error {
+	for {
+		h, err := r.NextHeader()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if h.Type == dumpfmt.TSEnd {
+			return nil
+		}
+		present := 0
+		for _, a := range h.Addrs {
+			if a == 1 {
+				present++
+			}
+		}
+		if present == 0 {
+			continue
+		}
+		if _, err := r.ReadSegments(present); err != nil && err != io.ErrUnexpectedEOF {
+			return err
+		}
+	}
+}
+
+func isMediaErr(err error) bool {
+	return errors.Is(err, tape.ErrMediaRead) || errors.Is(err, tape.ErrMediaWrite)
+}
+
+// dedupe collapses findings that name the same (kind, volume, record).
+func dedupe(in []Finding) []Finding {
+	seen := map[string]bool{}
+	var out []Finding
+	for _, f := range in {
+		k := fmt.Sprintf("%d|%d|%s|%d", f.Kind, f.SetID, f.Volume, f.Record)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, f)
+	}
+	return out
+}
+
+// countingSource adapts a bare RecordSource with byte accounting.
+type countingSource struct {
+	src   RecordSource
+	bytes int64
+}
+
+func (c *countingSource) ReadRecord() ([]byte, error) {
+	rec, err := c.src.ReadRecord()
+	c.bytes += int64(len(rec))
+	return rec, err
+}
+
+func (c *countingSource) count() int64 { return c.bytes }
+
+// scanSource walks a set's MediaRefs on the maintenance drive like the
+// restore executor's source, but never gives up on a persistent media
+// fault: the damaged record is logged as a finding, the head spaces
+// past it, and the scan keeps going — the scrubber wants the full
+// damage map, not the first hit. Reads are rate-limited by sleeping
+// the configured pause every pauseEvery bytes.
+type scanSource struct {
+	drive *tape.Drive
+	proc  *sim.Proc
+	refs  []catalog.MediaRef
+	cur   int
+	ready bool
+	retry storage.RetryPolicy
+
+	bytes      int64
+	pauseEvery int64
+	pause      time.Duration
+	sincePause int64
+	damage     []Finding // volume+record stamped; SetID filled later
+}
+
+func (s *scanSource) count() int64 { return s.bytes }
+
+func (s *scanSource) findings(setID uint64) []Finding {
+	out := make([]Finding, len(s.damage))
+	for i, f := range s.damage {
+		f.SetID = setID
+		out[i] = f
+	}
+	return out
+}
+
+func (s *scanSource) mount(label string) error {
+	if c := s.drive.Loaded(); c != nil && c.Label == label {
+		return nil
+	}
+	tries := len(s.drive.Stacker()) + 1
+	for i := 0; i < tries; i++ {
+		if err := s.drive.Load(s.proc); err != nil {
+			return err
+		}
+		if c := s.drive.Loaded(); c != nil && c.Label == label {
+			return nil
+		}
+	}
+	return fmt.Errorf("scrub: volume %q is not in the maintenance drive", label)
+}
+
+func (s *scanSource) position() error {
+	ref := s.refs[s.cur]
+	if err := s.mount(ref.Volume); err != nil {
+		return err
+	}
+	s.drive.Rewind(s.proc)
+	if ref.Start > 0 {
+		if err := s.drive.SpaceRecords(s.proc, int(ref.Start)); err != nil {
+			return err
+		}
+	}
+	s.ready = true
+	return nil
+}
+
+// ReadRecord implements dumpfmt.Source and physical.Source.
+func (s *scanSource) ReadRecord() ([]byte, error) {
+	attempt := 0
+	for {
+		if s.cur >= len(s.refs) {
+			return nil, io.EOF
+		}
+		if !s.ready {
+			if err := s.position(); err != nil {
+				return nil, err
+			}
+		}
+		rec, err := s.drive.ReadRecord(s.proc)
+		var me *tape.MediaError
+		switch {
+		case err == nil:
+			s.bytes += int64(len(rec))
+			s.sincePause += int64(len(rec))
+			if s.sincePause >= s.pauseEvery {
+				s.sincePause = 0
+				if s.proc != nil {
+					s.proc.Sleep(s.pause)
+				}
+			}
+			return rec, nil
+		case errors.Is(err, tape.ErrFileMark):
+			continue
+		case errors.Is(err, tape.ErrEndOfTape):
+			s.cur++
+			s.ready = false
+		case tape.IsTransientMedia(err):
+			attempt++
+			if attempt > s.retry.MaxRetries {
+				return nil, err
+			}
+			if s.proc != nil {
+				s.proc.Sleep(s.retry.Delay(attempt))
+			}
+		case errors.As(err, &me) && me.Read:
+			// Persistent fault: log it, space past, keep scanning.
+			vol := ""
+			if c := s.drive.Loaded(); c != nil {
+				vol = c.Label
+			}
+			s.damage = append(s.damage, Finding{Kind: MediaFault,
+				Volume: vol, Record: me.Record, Detail: "unreadable record"})
+			if serr := s.drive.SpaceRecords(s.proc, 1); serr != nil {
+				return nil, serr
+			}
+			attempt = 0
+		default:
+			return nil, err
+		}
+	}
+}
+
+// repairSet tries each redundancy source in order until one produces
+// the set's record list and the media walk applies cleanly.
+func (s *Scrubber) repairSet(ctx context.Context, ds catalog.DumpSet) bool {
+	for _, rep := range s.cfg.Replicas {
+		recs, ok := rep.Fetch(ctx, ds.ID)
+		if !ok || len(recs) == 0 {
+			continue
+		}
+		if s.repairFrom(ds, recs) {
+			return true
+		}
+	}
+	return false
+}
+
+// repairFrom rewrites the set's media records from a replica's record
+// list. Dump streams land contiguously: a set's records occupy
+// [ref.Start, …) on each of its volumes in order, and a failed tape
+// write never lands, so the k-th replica record corresponds exactly to
+// the k-th data record of the walk. Unreadable or byte-divergent
+// records are rewritten in place (clearing latched faults); the repair
+// succeeds only if every replica record found its spot.
+func (s *Scrubber) repairFrom(ds catalog.DumpSet, recs [][]byte) bool {
+	k := 0
+	for _, ref := range ds.Media {
+		v, ok := s.cfg.Pool.Volume(ref.Volume)
+		if !ok || v.Cart == nil {
+			return false
+		}
+		for raw := int(ref.Start); k < len(recs); raw++ {
+			data, mark, unreadable, ok := v.Cart.RecordAt(raw)
+			if !ok || mark {
+				break // end of this volume's span
+			}
+			if unreadable || !bytes.Equal(data, recs[k]) {
+				if !v.Cart.RepairRecordAt(raw, recs[k]) {
+					return false
+				}
+			}
+			k++
+		}
+	}
+	return k == len(recs)
+}

@@ -1,0 +1,318 @@
+package scrub_test
+
+import (
+	"context"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/dumpfmt"
+	"repro/internal/media"
+	"repro/internal/scrub"
+	"repro/internal/tape"
+)
+
+// driveSink adapts a bare drive to the stream sink shape, untimed.
+type driveSink struct{ d *tape.Drive }
+
+func (s driveSink) WriteRecord(data []byte) error { return s.d.WriteRecord(nil, data) }
+func (s driveSink) NextVolume() error             { return s.d.Load(nil) }
+
+// rig is one cartridge holding one logical dump set, with its catalog,
+// pool and stream mirror.
+type rig struct {
+	cat     *catalog.Catalog
+	store   *catalog.MemStore
+	pool    *media.Pool
+	cart    *tape.Cartridge
+	mirror  *scrub.Store
+	setID   uint64
+	start   int // raw index of the set's first record
+	records int // records the stream occupies
+}
+
+// newRig writes a small valid logical dump stream onto a cartridge and
+// catalogs it, mirroring the records for repair.
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	cart := tape.NewCartridge("vol0")
+	drive := tape.NewDrive(nil, "rig", tape.Params{Rate: 1 << 20})
+	drive.AddCartridges(cart)
+	if err := drive.Load(nil); err != nil {
+		t.Fatal(err)
+	}
+	capture := &scrub.CaptureSink{Sink: driveSink{drive}}
+	start := cart.Index()
+	w, err := dumpfmt.NewWriter(capture, "rig", 1000, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := make([]byte, dumpfmt.TPBSize)
+	for i := range seg {
+		seg[i] = byte(i)
+	}
+	for f := 0; f < 4; f++ {
+		if err := w.WriteHeader(&dumpfmt.Header{Type: dumpfmt.TSInode,
+			Inumber: uint32(10 + f), Count: 3, Addrs: []byte{1, 1, 1}}); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 3; j++ {
+			if err := w.WriteSegment(seg); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	store := &catalog.MemStore{}
+	cat, err := catalog.Open(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := cat.AppendDumpSet(catalog.DumpSet{
+		Engine: catalog.Logical, FSID: "fs", Snap: "s0", Level: 0, Date: 1000,
+		Bytes: w.Written(), Units: 4,
+		Media: []catalog.MediaRef{{Volume: "vol0", Start: int64(start)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := media.NewPool("p", cat)
+	if err := pool.Register("vol0", cart, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.CommitSet(id, []string{"vol0"}, 1000); err != nil {
+		t.Fatal(err)
+	}
+	mirror := scrub.NewStore()
+	mirror.Put(id, capture.Records())
+	return &rig{cat: cat, store: store, pool: pool, cart: cart, mirror: mirror,
+		setID: id, start: start, records: cart.Index() - start}
+}
+
+func (r *rig) scrubber(t *testing.T, withMirror bool) *scrub.Scrubber {
+	t.Helper()
+	cfg := scrub.Config{Catalog: r.cat, Pool: r.pool}
+	if withMirror {
+		cfg.Replicas = []scrub.Replica{r.mirror}
+	}
+	s, err := scrub.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestScrubCleanPass(t *testing.T) {
+	r := newRig(t)
+	rep, err := r.scrubber(t, true).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sets != 1 || rep.BytesScanned == 0 {
+		t.Fatalf("scanned %d sets, %d bytes", rep.Sets, rep.BytesScanned)
+	}
+	if len(rep.Findings) != 0 || len(rep.Repaired) != 0 {
+		t.Fatalf("clean media produced findings: %+v", rep)
+	}
+}
+
+func TestScrubRepairsLatentFault(t *testing.T) {
+	r := newRig(t)
+	if !r.cart.InjectLatentFault(r.start) {
+		t.Fatal("inject failed")
+	}
+	rep, err := r.scrubber(t, true).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Repaired) == 0 {
+		t.Fatalf("latent fault not repaired: %+v", rep)
+	}
+	if len(rep.Findings) != 0 || len(rep.Damaged) != 0 || len(rep.Quarantined) != 0 {
+		t.Fatalf("repairable fault degraded the set: %+v", rep)
+	}
+	if _, bad := r.cat.Damaged(r.setID); bad {
+		t.Fatal("set marked damaged after successful repair")
+	}
+	if r.cart.BadRecords() != 0 {
+		t.Fatalf("%d latched records remain after repair", r.cart.BadRecords())
+	}
+	// The repair must be durable: a fresh pass finds nothing.
+	rep2, err := r.scrubber(t, true).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Findings)+len(rep2.Repaired) != 0 {
+		t.Fatalf("re-scan after repair not clean: %+v", rep2)
+	}
+}
+
+func TestScrubRepairsSilentCorruption(t *testing.T) {
+	r := newRig(t)
+	// Flip bits without latching: only the stream's own checksums can
+	// notice, and only the replica byte-compare can fix it.
+	if !r.cart.CorruptRecordAt(r.start + 1) {
+		t.Fatal("corrupt failed")
+	}
+	rep, err := r.scrubber(t, true).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Repaired) == 0 || len(rep.Findings) != 0 {
+		t.Fatalf("silent corruption not repaired: %+v", rep)
+	}
+}
+
+func TestScrubDegradesWithoutReplica(t *testing.T) {
+	r := newRig(t)
+	r.cart.InjectLatentFault(r.start)
+	rep, err := r.scrubber(t, false).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Damaged) != 1 || rep.Damaged[0] != r.setID {
+		t.Fatalf("set not marked damaged: %+v", rep)
+	}
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0] != "vol0" {
+		t.Fatalf("volume not quarantined: %+v", rep)
+	}
+	if _, bad := r.cat.Damaged(r.setID); !bad {
+		t.Fatal("catalog does not report the set damaged")
+	}
+	v, _ := r.pool.Volume("vol0")
+	if v.State != media.Quarantined {
+		t.Fatalf("pool state = %s, want quarantined", v.State)
+	}
+	// Quarantine is frozen: no reclaim, no erase.
+	if got, err := r.pool.Reclaim(5000); err != nil || len(got) != 0 {
+		t.Fatalf("Reclaim touched quarantined media: %v %v", got, err)
+	}
+	if err := r.pool.Erase("vol0", 5000); err == nil ||
+		!strings.Contains(err.Error(), "quarantined") {
+		t.Fatalf("Erase of quarantined volume: %v", err)
+	}
+	// A second pass skips the already-damaged set.
+	rep2, err := r.scrubber(t, false).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Sets != 0 {
+		t.Fatalf("damaged set re-scanned: %+v", rep2)
+	}
+}
+
+func TestScrubQuarantineSurvivesReopen(t *testing.T) {
+	r := newRig(t)
+	r.cart.InjectLatentFault(r.start)
+	if _, err := r.scrubber(t, false).Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Replay the journal into a fresh catalog + pool: health and
+	// quarantine must come back.
+	cat2, err := catalog.Open(&catalog.MemStore{Buf: append([]byte(nil), r.store.Buf...)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, bad := cat2.Damaged(r.setID); !bad {
+		t.Fatal("damage lost across journal replay")
+	}
+	pool2 := media.NewPool("p", cat2)
+	v, ok := pool2.Volume("vol0")
+	if !ok || v.State != media.Quarantined {
+		t.Fatalf("quarantine lost across replay: %+v", v)
+	}
+}
+
+func TestFsckFindings(t *testing.T) {
+	r := newRig(t)
+	// Orphan: a live set naming a volume the pool has never seen.
+	orphanID, err := r.cat.AppendDumpSet(catalog.DumpSet{
+		Engine: catalog.Logical, FSID: "fs", Snap: "s1", Level: 0, Date: 2000,
+		Bytes: 100, Media: []catalog.MediaRef{{Volume: "ghost"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Missing base: an incremental whose base date matches nothing.
+	mbID, err := r.cat.AppendDumpSet(catalog.DumpSet{
+		Engine: catalog.Logical, FSID: "fs", Snap: "s2", Level: 1, Date: 3000,
+		BaseDate: 77, Bytes: 100, Media: []catalog.MediaRef{{Volume: "vol0", Start: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Index past extent: a file-index unit beyond the set's stream.
+	if err := r.cat.AppendFileIndex(r.setID, []catalog.FileIndexEntry{
+		{Path: "/late", Ino: 9, Unit: 1 << 20},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got := map[scrub.FindingKind]int{}
+	for _, f := range scrub.Fsck(r.cat, scrub.FsckOptions{Pool: r.pool}) {
+		got[f.Kind]++
+	}
+	if got[scrub.OrphanSet] == 0 {
+		t.Fatalf("orphan set %d not found: %v", orphanID, got)
+	}
+	if got[scrub.MissingBase] == 0 {
+		t.Fatalf("missing base of set %d not found: %v", mbID, got)
+	}
+	if got[scrub.IndexPastExtent] == 0 {
+		t.Fatalf("index-past-extent not found: %v", got)
+	}
+
+	// Pool mismatch: erase the cartridge behind the pool's back.
+	r.cart.Erase()
+	found := false
+	for _, f := range scrub.Fsck(r.cat, scrub.FsckOptions{Pool: r.pool}) {
+		if f.Kind == scrub.PoolStateMismatch && f.Volume == "vol0" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("blank active media not reported as pool-state-mismatch")
+	}
+}
+
+// memSource replays a record list, io.EOF at the end.
+type memSource struct {
+	recs [][]byte
+	i    int
+}
+
+func (m *memSource) ReadRecord() ([]byte, error) {
+	if m.i >= len(m.recs) {
+		return nil, io.EOF
+	}
+	r := m.recs[m.i]
+	m.i++
+	return r, nil
+}
+
+func TestVerifySetStream(t *testing.T) {
+	r := newRig(t)
+	ds, _ := r.cat.Set(r.setID)
+	recs, _ := r.mirror.Fetch(context.Background(), r.setID)
+	if fs := scrub.VerifySetStream(context.Background(), ds, &memSource{recs: recs}); len(fs) != 0 {
+		t.Fatalf("clean stream produced findings: %v", fs)
+	}
+	// Corrupt one record copy: the stream check must notice.
+	bad := make([][]byte, len(recs))
+	copy(bad, recs)
+	c := append([]byte(nil), bad[1]...)
+	for i := range c {
+		c[i] ^= 0xFF
+	}
+	bad[1] = c
+	if fs := scrub.VerifySetStream(context.Background(), ds, &memSource{recs: bad}); len(fs) == 0 {
+		t.Fatal("corrupted stream passed verification")
+	}
+	// Truncated stream: fewer bytes than the catalog recorded.
+	if fs := scrub.VerifySetStream(context.Background(), ds, &memSource{recs: recs[:1]}); len(fs) == 0 {
+		t.Fatal("truncated stream passed verification")
+	}
+}

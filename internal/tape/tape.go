@@ -127,6 +127,71 @@ func (c *Cartridge) CorruptRecord(i int) bool {
 	return false
 }
 
+// CorruptRecordAt silently flips bits in the record at raw index i
+// (the Index() coordinate, counting file marks). Unlike InjectLatentFault
+// the record stays readable — detection is up to stream checksums,
+// modelling rot the drive's ECC misses. It reports whether a data
+// record was corrupted.
+func (c *Cartridge) CorruptRecordAt(i int) bool {
+	if i < 0 || i >= len(c.records) || c.records[i].mark {
+		return false
+	}
+	for k := range c.records[i].data {
+		c.records[i].data[k] ^= 0xFF
+	}
+	return true
+}
+
+// InjectLatentFault latches the record at raw index i unreadable — the
+// latent-sector rot a drive's ECC does catch, surfacing as a persistent
+// MediaError on read. It reports whether a data record was latched.
+func (c *Cartridge) InjectLatentFault(i int) bool {
+	if i < 0 || i >= len(c.records) || c.records[i].mark {
+		return false
+	}
+	if c.badReads == nil {
+		c.badReads = make(map[int]bool)
+	}
+	c.badReads[i] = true
+	return true
+}
+
+// RecordAt is the scrubber's maintenance read: it returns a copy of the
+// record at raw index i without the drive fault model or time charges.
+// unreadable reports a latched read fault (data is nil then); mark
+// reports a file mark; ok is false past the recorded extent.
+func (c *Cartridge) RecordAt(i int) (data []byte, mark, unreadable, ok bool) {
+	if i < 0 || i >= len(c.records) {
+		return nil, false, false, false
+	}
+	r := c.records[i]
+	if r.mark {
+		return nil, true, false, true
+	}
+	if c.badReads[i] {
+		return nil, false, true, true
+	}
+	cp := make([]byte, len(r.data))
+	copy(cp, r.data)
+	return cp, false, false, true
+}
+
+// RepairRecordAt rewrites the record at raw index i with known-good
+// bytes (from a replica or RAID reconstruction), clearing any latched
+// read fault — the in-place repair of the scrub subsystem. It refuses
+// file marks and out-of-range indexes.
+func (c *Cartridge) RepairRecordAt(i int, data []byte) bool {
+	if i < 0 || i >= len(c.records) || c.records[i].mark || len(data) == 0 {
+		return false
+	}
+	c.used += int64(len(data)) - int64(len(c.records[i].data))
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	c.records[i].data = cp
+	delete(c.badReads, i)
+	return true
+}
+
 // Drive is a simulated tape drive with an attached stacker (a queue of
 // cartridges). Loading, reading, writing and changing cartridges all
 // charge virtual time when a sim process is attached via the methods'
