@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 race bench-smoke build vet test chaos fuzz-smoke transport-race obs-smoke pipeline-race replica-race scrub-race
+.PHONY: tier1 race bench-smoke build vet test chaos fuzz-smoke transport-race obs-smoke pipeline-race replica-race scrub-race chunk-race
 
 tier1: ## vet + build + full test suite (the repo's gate)
 	$(GO) vet ./...
@@ -33,6 +33,8 @@ fuzz-smoke: ## brief real fuzzing of the untrusted-input parsers
 	$(GO) test -fuzz FuzzUnmarshalHeader -fuzztime 10s ./internal/dumpfmt/
 	$(GO) test -fuzz FuzzStreamHeader -fuzztime 10s ./internal/physical/
 	$(GO) test -fuzz FuzzDecodeJournal -fuzztime 10s ./internal/catalog/
+	$(GO) test -fuzz FuzzDecodeChunkIndex -fuzztime 10s ./internal/catalog/
+	$(GO) test -fuzz FuzzDecodeManifest -fuzztime 10s ./internal/catalog/
 	$(GO) test -fuzz FuzzDecodeWire -fuzztime 10s ./internal/replica/
 
 replica-race: ## race-detector pass over catalog replication and the failover chaos scenarios
@@ -57,8 +59,16 @@ pipeline-race: ## race-detector pass over the parallel pipeline, both engines' c
 		./internal/logical/ ./internal/physical/
 	$(GO) test -race -count 1 -run 'TestChaosParallel' -timeout 300s ./internal/chaos/
 
+chunk-race: ## race-detector pass over the dedup chunk layer, its catalog/engine integration, and the mid-dump crash chaos scenarios
+	$(GO) test -race -count 1 ./internal/chunk/
+	$(GO) test -race -count 1 -run 'Chunk|Dedup' -timeout 300s \
+		./internal/catalog/ ./internal/logical/ ./internal/physical/ \
+		./internal/media/ ./internal/bench/ ./cmd/backupctl/
+	$(GO) test -race -count 1 -run 'TestChunkCrashMidDump' -timeout 300s ./internal/chaos/
+
 bench-smoke: ## quick fast-path micro-benchmarks, gated against the committed baseline
 	$(GO) test -run xxx -bench 'RunRead|RunWrite|RecordWrite' -benchtime 100x \
 		./internal/storage/ ./internal/vdev/ ./internal/raid/ \
 		./internal/dumpfmt/ ./internal/physical/
 	$(GO) run ./cmd/backupctl bench -json '' -compare BENCH_fastpath.json
+	$(GO) run ./cmd/backupctl bench -chunk -json '' -compare BENCH_chunk.json

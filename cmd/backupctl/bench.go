@@ -37,18 +37,50 @@ func benchCommand(args []string) error {
 	drivesList := set.String("drives", "1,2,4", "comma-separated drive counts for -parallel")
 	readers := set.Int("readers", 0, "parallel readers per shard for -parallel (0 = default)")
 	depth := set.Int("depth", 0, "per-reader read-ahead depth for -parallel (0 = default)")
-	mb := set.Int("mb", 24, "dataset size in MiB for -parallel")
+	mb := set.Int("mb", 24, "dataset size in MiB for -parallel / -chunkweek")
+	chunkSuite := set.Bool("chunk", false, "run the chunk splitter/dedup micro-suite instead; -json defaults to BENCH_chunk.json")
+	chunkWeek := set.Bool("chunkweek", false, "run the dedup-week experiment (forward and reverse) and print its table")
 	if err := set.Parse(args); err != nil {
 		return err
 	}
-	if *parallel {
-		path := *jsonPath
+	jsonOf := func(def string) string {
 		explicit := false
 		set.Visit(func(f *flag.Flag) { explicit = explicit || f.Name == "json" })
-		if !explicit {
-			path = "BENCH_parallel.json"
+		if explicit {
+			return *jsonPath
 		}
-		return benchParallel(path, *drivesList, *readers, *depth, *mb)
+		return def
+	}
+	if *parallel {
+		return benchParallel(jsonOf("BENCH_parallel.json"), *drivesList, *readers, *depth, *mb)
+	}
+	if *chunkWeek {
+		return benchChunkWeek(*mb)
+	}
+	if *chunkSuite {
+		path := jsonOf("BENCH_chunk.json")
+		rep := bench.RunChunkBench()
+		fmt.Print(rep.Format())
+		if path != "" {
+			if err := rep.WriteJSON(path); err != nil {
+				return err
+			}
+			fmt.Printf("report written to %s\n", path)
+		}
+		if *comparePath != "" {
+			base, err := bench.ReadFastPathJSON(*comparePath)
+			if err != nil {
+				return err
+			}
+			if regs := bench.Compare(base, rep, *tolerance); len(regs) > 0 {
+				for _, r := range regs {
+					fmt.Fprintf(os.Stderr, "regression: %s\n", r)
+				}
+				return fmt.Errorf("bench: %d regression(s) against %s", len(regs), *comparePath)
+			}
+			fmt.Printf("no regressions against %s (tolerance %.0f%%)\n", *comparePath, 100**tolerance)
+		}
+		return nil
 	}
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -108,6 +140,35 @@ func benchCommand(args []string) error {
 			return err
 		}
 		fmt.Printf("observability report written to %s\n", *obsPath)
+	}
+	return nil
+}
+
+// benchChunkWeek runs the dedup-week experiment in both modes and
+// prints the EXPERIMENTS.md table: a week of daily level-0 fulls
+// through the chunk layer, then the restore-latest / restore-oldest
+// tradeoff against a conventional streaming restore.
+func benchChunkWeek(mb int) error {
+	for _, reverse := range []bool{false, true} {
+		mode := "forward"
+		if reverse {
+			mode = "reverse"
+		}
+		rep, err := bench.RunChunkWeek(context.Background(),
+			bench.Config{DataMB: mb, Seed: 7}, reverse)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("dedup week (%s, %d MiB dataset)\n", mode, mb)
+		fmt.Println("day  logical MB   added MB      hits    misses  rewrites   dump sim s")
+		for _, d := range rep.Days {
+			fmt.Printf("%3d  %10.2f  %9.2f  %8d  %8d  %8d  %11.2f\n",
+				d.Day, d.LogicalMB, d.AddedMB, d.Hits, d.Misses, d.Rewrites, d.DumpSimSec)
+		}
+		fmt.Printf("dedup ratio: %.2fx (%d logical bytes in %d unique stored bytes)\n",
+			rep.DedupRatio, rep.LogicalBytes, rep.UniqueBytes)
+		fmt.Printf("restore latest %.2fs, oldest %.2fs, streaming baseline %.2fs (latest/baseline %.2fx)\n\n",
+			rep.RestoreLatestSec, rep.RestoreOldestSec, rep.BaselineRestoreSec, rep.LatestVsBaseline)
 	}
 	return nil
 }

@@ -62,8 +62,9 @@ func catalogDates(cat *catalog.Catalog, vol string) *logical.DumpDates {
 	return legacy
 }
 
-// recordLogicalSet journals one completed logical dump.
-func recordLogicalSet(cat *catalog.Catalog, vol, snap, out string, level int, stats *logical.DumpStats, index []catalog.FileIndexEntry) error {
+// recordLogicalSet journals one completed logical dump, returning the
+// new set's id (a dedup-encoded dump appends its manifest under it).
+func recordLogicalSet(cat *catalog.Catalog, vol, snap, out string, level int, stats *logical.DumpStats, index []catalog.FileIndexEntry) (uint64, error) {
 	id, err := cat.AppendDumpSet(catalog.DumpSet{
 		Engine: catalog.Logical, FSID: vol, Snap: snap,
 		Level: int32(level), Date: stats.Date, BaseDate: stats.BaseDate,
@@ -71,26 +72,26 @@ func recordLogicalSet(cat *catalog.Catalog, vol, snap, out string, level int, st
 		Media: []catalog.MediaRef{{Volume: out}},
 	})
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if len(index) > 0 {
-		return cat.AppendFileIndex(id, index)
+		return id, cat.AppendFileIndex(id, index)
 	}
-	return nil
+	return id, nil
 }
 
-// recordImageSet journals one completed image dump. Image sets have no
-// filesystem dump date; the snapshot generation is the monotonic clock
-// that orders them, so it doubles as the set's Date for -at planning.
-func recordImageSet(cat *catalog.Catalog, vol, snap, out string, stats *physical.DumpStats) error {
-	_, err := cat.AppendDumpSet(catalog.DumpSet{
+// recordImageSet journals one completed image dump, returning the new
+// set's id. Image sets have no filesystem dump date; the snapshot
+// generation is the monotonic clock that orders them, so it doubles as
+// the set's Date for -at planning.
+func recordImageSet(cat *catalog.Catalog, vol, snap, out string, stats *physical.DumpStats) (uint64, error) {
+	return cat.AppendDumpSet(catalog.DumpSet{
 		Engine: catalog.Image, FSID: vol, Snap: snap, Level: -1,
 		Date: int64(stats.Gen), Gen: stats.Gen, BaseGen: stats.BaseGen,
 		NBlocks: stats.NBlocks, Bytes: stats.BytesWritten,
 		Units: int64(stats.BlocksDumped),
 		Media: []catalog.MediaRef{{Volume: out}},
 	})
-	return err
 }
 
 // catalogCommand lists and edits the catalog beside -vol.
@@ -100,6 +101,7 @@ func catalogCommand(vol string, rest []string) error {
 	files := set.Uint64("files", 0, "print the file index of this set id")
 	expire := set.Uint64("expire", 0, "mark this set id expired (manual retention)")
 	now := set.Int64("now", 0, "timestamp recorded with -expire")
+	sweep := set.Bool("sweep", false, "erase zero-ref chunks from <vol>.chunkstore")
 	if err := set.Parse(rest); err != nil {
 		return err
 	}
@@ -112,6 +114,9 @@ func catalogCommand(vol string, rest []string) error {
 	}
 	defer store.Close()
 
+	if *sweep {
+		return sweepChunks(cat, vol)
+	}
 	if *expire != 0 {
 		if err := cat.Expire(*expire, *now); err != nil {
 			return err
@@ -141,17 +146,37 @@ func catalogCommand(vol string, rest []string) error {
 			state = fmt.Sprintf("expired@%d", when)
 		}
 		health := cat.HealthLabel(ds.ID)
+		// Dedup column: raw-to-stored ratio of the set's chunk manifest,
+		// "-" for conventional stream sets.
+		dd := "-"
+		if m, ok := cat.Manifest(ds.ID); ok {
+			if m.StoredBytes > 0 {
+				dd = fmt.Sprintf("%.1fx", float64(m.RawBytes)/float64(m.StoredBytes))
+			} else {
+				dd = "inf" // every chunk was a hit; the set stored nothing
+			}
+		}
 		var vols []string
 		for _, m := range ds.Media {
 			vols = append(vols, m.Volume)
 		}
 		if ds.Engine == catalog.Image {
-			fmt.Printf("%-3d image   gen=%-6d base=%-6d %8d blocks %10d bytes %-12s %-17s %s\n",
-				ds.ID, ds.Gen, ds.BaseGen, ds.Units, ds.Bytes, state, health, strings.Join(vols, ","))
+			fmt.Printf("%-3d image   gen=%-6d base=%-6d %8d blocks %10d bytes %-12s %-17s dedup=%-5s %s\n",
+				ds.ID, ds.Gen, ds.BaseGen, ds.Units, ds.Bytes, state, health, dd, strings.Join(vols, ","))
 		} else {
-			fmt.Printf("%-3d logical lvl=%-2d date=%-8d base=%-8d %6d files %10d bytes %-12s %-17s %s\n",
-				ds.ID, ds.Level, ds.Date, ds.BaseDate, ds.Units, ds.Bytes, state, health, strings.Join(vols, ","))
+			fmt.Printf("%-3d logical lvl=%-2d date=%-8d base=%-8d %6d files %10d bytes %-12s %-17s dedup=%-5s %s\n",
+				ds.ID, ds.Level, ds.Date, ds.BaseDate, ds.Units, ds.Bytes, state, health, dd, strings.Join(vols, ","))
 		}
+	}
+	if entries, stored, dead := cat.ChunkStats(); entries > 0 {
+		zero := 0
+		for _, n := range cat.ChunkRefcounts() {
+			if n == 0 {
+				zero++
+			}
+		}
+		fmt.Printf("chunks: %d indexed, %d stored bytes, %d dead bytes, %d zero-ref (catalog -sweep erases them)\n",
+			entries, stored, dead, zero)
 	}
 	if *media {
 		for _, ev := range cat.MediaEvents() {
@@ -466,21 +491,21 @@ var commandDocs = []commandDoc{
 	{"fsck", "fsck", "check filesystem consistency and cross-check <vol>.catalog"},
 	{"fill", "fill -mb N [-seed N]", "generate a synthetic dataset"},
 	{"age", "age -rounds N [-seed N]", "churn the dataset to fragment it"},
-	{"dump", "dump -o FILE [-level N] [-subtree DIR]", "logical dump; recorded in <vol>.catalog"},
-	{"restore", "restore -i FILE [-file PATH] [-target DIR] [-sync-deletes]", "apply one logical stream"},
+	{"dump", "dump -o FILE|-dedup [-revdedup] [-level N] [-subtree DIR]", "logical dump; -dedup chunks it into <vol>.chunkstore"},
+	{"restore", "restore -i FILE|-set ID [-file PATH] [-target DIR] [-sync-deletes]", "apply one logical stream (or a dedup-encoded set)"},
 	{"verify", "verify -i FILE [-subtree DIR]", "compare a logical stream against the volume"},
-	{"imagedump", "imagedump -o FILE [-snap NAME] [-base NAME]", "physical image dump; recorded in <vol>.catalog"},
-	{"imagerestore", "imagerestore -i FILE [-incremental]", "apply one image stream to -vol"},
+	{"imagedump", "imagedump -o FILE|-dedup [-revdedup] [-snap NAME] [-base NAME]", "physical image dump; -dedup chunks it into <vol>.chunkstore"},
+	{"imagerestore", "imagerestore -i FILE|-set ID [-from VOL] [-incremental]", "apply one image stream (or a dedup-encoded set) to -vol"},
 	{"imageverify", "imageverify -i FILE", "check an image stream's integrity"},
 	{"extract", "extract -i FULL [-incr A,B] PATH...", "pull files out of image streams offline"},
-	{"catalog", "catalog [-media] [-files ID] [-expire ID -now T]", "list or edit the backup catalog (per-set health column)"},
+	{"catalog", "catalog [-media] [-files ID] [-expire ID -now T] [-sweep]", "list or edit the backup catalog (health + dedup columns; -sweep erases zero-ref chunks)"},
 	{"scrub", "scrub [-mark] [-now T]", "re-read and verify every live set's stream files"},
 	{"plan", "plan [-engine E] [-at T] [-file PATH] [-expired] [-damaged]", "show the restore chain the catalog selects (routes around damaged sets)"},
 	{"recover", "recover [-engine E] [-at T] [-file PATH] [-target DIR] [-wipe] [-damaged]", "execute a catalog-selected restore chain"},
 	{"push", "push -to HOST:PORT [-kind logical|image] [-level N]", "dump across the network to a serve host"},
 	{"serve", "serve -listen ADDR -o FILE [-standby FILE] [-once]", "receive pushed streams; recorded in <out>.catalog (mirrored to -standby)"},
 	{"replica", "replica status -primary FILE -standby FILE", "report catalog journal replication state"},
-	{"bench", "bench [-json FILE] [-compare BASE] [-parallel -drives 1,2,4 -readers N]", "run the fast-path micro-benchmarks or the parallel scaling matrix"},
+	{"bench", "bench [-json FILE] [-compare BASE] [-parallel -drives 1,2,4 -readers N] [-chunk] [-chunkweek]", "run the fast-path or chunk micro-benchmarks, the parallel scaling matrix, or the dedup-week experiment"},
 	{"help", "help [command]", "show usage"},
 }
 

@@ -37,6 +37,7 @@ import (
 	"strings"
 
 	"repro/internal/catalog"
+	"repro/internal/chunk"
 	"repro/internal/dumpfmt"
 	"repro/internal/logical"
 	"repro/internal/obs"
@@ -99,20 +100,55 @@ func run(args []string) error {
 	case "imagerestore":
 		fs := newFlagSet("imagerestore")
 		in := fs.String("i", "", "image stream file")
+		setID := fs.Uint64("set", 0, "restore this dedup-encoded set from a chunk store")
+		from := fs.String("from", "", "volume whose catalog/chunkstore holds -set (default -vol)")
 		incr := fs.Bool("incremental", false, "apply as incremental on the current volume state")
 		if err := fs.Parse(rest); err != nil {
 			return err
 		}
-		if *vol == "" || *in == "" {
-			return fmt.Errorf("imagerestore: -vol and -i required")
+		if *vol == "" || (*in == "") == (*setID == 0) {
+			return fmt.Errorf("imagerestore: -vol and exactly one of -i and -set required")
 		}
-		src, _, err := openStream(*in)
-		if err != nil {
-			return err
-		}
-		nblocks, _, _, replay, err := physical.StreamInfo(src)
-		if err != nil {
-			return err
+		var replay physical.Source
+		var nblocks uint64
+		if *setID != 0 {
+			catVol := *from
+			if catVol == "" {
+				catVol = *vol
+			}
+			cat, store, err := openVolCatalog(catVol)
+			if err != nil {
+				return err
+			}
+			defer store.Close()
+			found := false
+			for _, ds := range cat.Sets() {
+				if ds.ID == *setID {
+					if ds.Engine != catalog.Image {
+						return fmt.Errorf("imagerestore: set %d is a %s dump, not an image (use restore -set)", *setID, ds.Engine)
+					}
+					nblocks = ds.NBlocks
+					found = true
+				}
+			}
+			if !found {
+				return fmt.Errorf("imagerestore: set %d not in %s catalog", *setID, catVol)
+			}
+			rd, media, err := manifestSource(cat, catVol, *setID)
+			if err != nil {
+				return fmt.Errorf("imagerestore: %w", err)
+			}
+			defer media.Close()
+			replay = rd
+		} else {
+			src, _, err := openStream(*in)
+			if err != nil {
+				return err
+			}
+			nblocks, _, _, replay, err = physical.StreamInfo(src)
+			if err != nil {
+				return err
+			}
 		}
 		dev, err := openOrCreate(*vol, int(nblocks))
 		if err != nil {
@@ -445,12 +481,17 @@ func volumeCommand(ctx context.Context, fs *wafl.FS, vol, cmd string, rest []str
 		out := set.String("o", "", "output stream file")
 		level := set.Int("level", 0, "incremental level 0-9")
 		subtree := set.String("subtree", "", "dump only this directory")
+		dedup := set.Bool("dedup", false, "dedup-encode into <vol>.chunkstore instead of a stream file")
+		revdedup := set.Bool("revdedup", false, "reverse dedup: rewrite old-set hits so this dump restores at streaming rate (implies -dedup)")
 		trace := set.String("trace", "", "write a Chrome trace of the dump to this file")
 		if err := set.Parse(rest); err != nil {
 			return err
 		}
-		if *out == "" {
-			return fmt.Errorf("dump: -o required")
+		if *revdedup {
+			*dedup = true
+		}
+		if *out == "" && !*dedup {
+			return fmt.Errorf("dump: -o required (or -dedup)")
 		}
 		if *trace != "" {
 			tracer, flush, err := traceToFile(*trace)
@@ -474,9 +515,31 @@ func volumeCommand(ctx context.Context, fs *wafl.FS, vol, cmd string, rest []str
 		if err != nil {
 			return err
 		}
-		sink, err := createStream(*out, uint64(fs.NumBlocks()))
-		if err != nil {
-			return err
+		var sink dumpfmt.Sink
+		var closeSink func() error
+		var dw *chunk.Writer
+		media := *out
+		if *dedup {
+			store, err := openChunkStore(vol)
+			if err != nil {
+				return err
+			}
+			defer store.Close()
+			dw, err = chunk.NewWriter(chunk.WriterOptions{
+				Index: cat, Media: store, Reverse: *revdedup,
+				Ctx: ctx, Engine: "logical",
+			})
+			if err != nil {
+				return err
+			}
+			sink, closeSink = dw, nil
+			media = chunkStorePath(vol)
+		} else {
+			fsink, err := createStream(*out, uint64(fs.NumBlocks()))
+			if err != nil {
+				return err
+			}
+			sink, closeSink = fsink, fsink.Close
 		}
 		var index []catalog.FileIndexEntry
 		stats, err := logical.Dump(ctx, logical.DumpOptions{
@@ -489,23 +552,39 @@ func volumeCommand(ctx context.Context, fs *wafl.FS, vol, cmd string, rest []str
 		if err != nil {
 			return err
 		}
-		if err := sink.Close(); err != nil {
+		var manifest chunk.Manifest
+		if dw != nil {
+			if manifest, err = dw.Close(); err != nil {
+				return err
+			}
+		} else if err := closeSink(); err != nil {
 			return err
 		}
 		// The catalog journal is the authoritative record; the legacy
 		// <vol>.dumpdates file is kept in sync for older tooling.
-		if err := recordLogicalSet(cat, vol, "backupctl.dump", *out, *level, stats, index); err != nil {
+		id, err := recordLogicalSet(cat, vol, "backupctl.dump", media, *level, stats, index)
+		if err != nil {
 			return err
+		}
+		if dw != nil {
+			if err := cat.AppendManifest(id, manifest); err != nil {
+				return err
+			}
 		}
 		if err := saveDates(vol, dates); err != nil {
 			return err
 		}
 		fmt.Printf("dumped %d files, %d dirs, %d bytes (level %d, base date %d)\n",
 			stats.FilesDumped, stats.DirsDumped, stats.BytesWritten, *level, stats.BaseDate)
+		if dw != nil {
+			printDedupStats(dw.Stats(), manifest)
+		}
 		return nil
 	case "restore":
 		set := newFlagSet("restore")
 		in := set.String("i", "", "input stream file")
+		setID := set.Uint64("set", 0, "restore this dedup-encoded set from <vol>.chunkstore")
+		from := set.String("from", "", "volume whose catalog/chunkstore holds -set (default -vol)")
 		target := set.String("target", "/", "directory to graft the dump onto")
 		syncDel := set.Bool("sync-deletes", false, "apply deletions (incremental chains)")
 		file := set.String("file", "", "restore only this dump-relative path")
@@ -513,8 +592,8 @@ func volumeCommand(ctx context.Context, fs *wafl.FS, vol, cmd string, rest []str
 		if err := set.Parse(rest); err != nil {
 			return err
 		}
-		if *in == "" {
-			return fmt.Errorf("restore: -i required")
+		if (*in == "") == (*setID == 0) {
+			return fmt.Errorf("restore: exactly one of -i and -set required")
 		}
 		if *trace != "" {
 			tracer, flush, err := traceToFile(*trace)
@@ -524,9 +603,29 @@ func volumeCommand(ctx context.Context, fs *wafl.FS, vol, cmd string, rest []str
 			defer flush()
 			ctx = obs.WithTracer(ctx, tracer)
 		}
-		src, _, err := openStream(*in)
-		if err != nil {
-			return err
+		var src dumpfmt.Source
+		if *setID != 0 {
+			catVol := *from
+			if catVol == "" {
+				catVol = vol
+			}
+			cat, store, err := openVolCatalog(catVol)
+			if err != nil {
+				return err
+			}
+			defer store.Close()
+			rd, media, err := manifestSource(cat, catVol, *setID)
+			if err != nil {
+				return fmt.Errorf("restore: %w", err)
+			}
+			defer media.Close()
+			src = rd
+		} else {
+			s, _, err := openStream(*in)
+			if err != nil {
+				return err
+			}
+			src = s
 		}
 		var files []string
 		if *file != "" {
@@ -549,12 +648,17 @@ func volumeCommand(ctx context.Context, fs *wafl.FS, vol, cmd string, rest []str
 		out := set.String("o", "", "output stream file")
 		snap := set.String("snap", "", "snapshot to dump (created if missing)")
 		base := set.String("base", "", "base snapshot for an incremental")
+		dedup := set.Bool("dedup", false, "dedup-encode into <vol>.chunkstore instead of a stream file")
+		revdedup := set.Bool("revdedup", false, "reverse dedup: rewrite old-set hits so this image restores at streaming rate (implies -dedup)")
 		trace := set.String("trace", "", "write a Chrome trace of the image dump to this file")
 		if err := set.Parse(rest); err != nil {
 			return err
 		}
-		if *out == "" {
-			return fmt.Errorf("imagedump: -o required")
+		if *revdedup {
+			*dedup = true
+		}
+		if *out == "" && !*dedup {
+			return fmt.Errorf("imagedump: -o required (or -dedup)")
 		}
 		if *trace != "" {
 			tracer, flush, err := traceToFile(*trace)
@@ -573,9 +677,36 @@ func volumeCommand(ctx context.Context, fs *wafl.FS, vol, cmd string, rest []str
 				return err
 			}
 		}
-		sink, err := createStream(*out, uint64(fs.NumBlocks()))
+		cat, store, err := openVolCatalog(vol)
 		if err != nil {
 			return err
+		}
+		defer store.Close()
+		var sink dumpfmt.Sink
+		var closeSink func() error
+		var dw *chunk.Writer
+		media := *out
+		if *dedup {
+			cstore, err := openChunkStore(vol)
+			if err != nil {
+				return err
+			}
+			defer cstore.Close()
+			dw, err = chunk.NewWriter(chunk.WriterOptions{
+				Index: cat, Media: cstore, Reverse: *revdedup,
+				Ctx: ctx, Engine: "image",
+			})
+			if err != nil {
+				return err
+			}
+			sink = dw
+			media = chunkStorePath(vol)
+		} else {
+			fsink, err := createStream(*out, uint64(fs.NumBlocks()))
+			if err != nil {
+				return err
+			}
+			sink, closeSink = fsink, fsink.Close
 		}
 		stats, err := physical.Dump(ctx, physical.DumpOptions{
 			FS: fs, Vol: fs.Device(), SnapName: name, BaseSnapName: *base, Sink: sink,
@@ -583,19 +714,28 @@ func volumeCommand(ctx context.Context, fs *wafl.FS, vol, cmd string, rest []str
 		if err != nil {
 			return err
 		}
-		if err := sink.Close(); err != nil {
+		var manifest chunk.Manifest
+		if dw != nil {
+			if manifest, err = dw.Close(); err != nil {
+				return err
+			}
+		} else if err := closeSink(); err != nil {
 			return err
 		}
-		cat, store, err := openVolCatalog(vol)
+		id, err := recordImageSet(cat, vol, name, media, stats)
 		if err != nil {
 			return err
 		}
-		defer store.Close()
-		if err := recordImageSet(cat, vol, name, *out, stats); err != nil {
-			return err
+		if dw != nil {
+			if err := cat.AppendManifest(id, manifest); err != nil {
+				return err
+			}
 		}
 		fmt.Printf("image-dumped %d blocks (generation %d, base %d)\n",
 			stats.BlocksDumped, stats.Gen, stats.BaseGen)
+		if dw != nil {
+			printDedupStats(dw.Stats(), manifest)
+		}
 		return nil
 	}
 	return fmt.Errorf("unknown command %q; run 'backupctl help'", cmd)

@@ -79,6 +79,16 @@ func statsCommand(ctx context.Context, rest []string) error {
 		rep.Logical.FilesDumped, rep.Logical.DirsDumped, rep.Logical.BytesWritten)
 	fmt.Printf("image dump:   %d blocks, %d bytes (generation %d)\n",
 		rep.Image.BlocksDumped, rep.Image.BytesWritten, rep.Image.Gen)
+	storedRaw := rep.DedupPrime.RawBytes + rep.DedupRepeat.RawBytes -
+		rep.DedupPrime.HitBytes - rep.DedupRepeat.HitBytes
+	compress := 1.0
+	if stored := rep.DedupPrime.StoredBytes + rep.DedupRepeat.StoredBytes; stored > 0 {
+		compress = float64(storedRaw) / float64(stored)
+	}
+	fmt.Printf("dedup:        %d hits, %d misses, %d bytes saved, compress %.2fx\n",
+		rep.DedupPrime.Hits+rep.DedupRepeat.Hits,
+		rep.DedupPrime.Misses+rep.DedupRepeat.Misses,
+		rep.DedupPrime.HitBytes+rep.DedupRepeat.HitBytes, compress)
 
 	var promOut bytes.Buffer
 	if err := rep.Registry.WritePrometheus(&promOut); err != nil {
@@ -189,6 +199,12 @@ func checkMetrics(rep *bench.ObsReport) error {
 		"logical_dump_bytes_total",
 		"physical_dump_blocks_total",
 		"physical_dump_bytes_total",
+		"chunk_hits_total",
+		"chunk_misses_total",
+		"chunk_bytes_saved_total",
+		"chunk_raw_bytes_total",
+		"chunk_stored_bytes_total",
+		"chunk_index_entries",
 	}
 	for _, name := range nonzero {
 		if !reg.Has(name) {
@@ -207,6 +223,11 @@ func checkMetrics(rep *bench.ObsReport) error {
 		{"logical_dump_bytes_total", float64(rep.Logical.BytesWritten)},
 		{"physical_dump_blocks_total", float64(rep.Image.BlocksDumped)},
 		{"physical_dump_bytes_total", float64(rep.Image.BytesWritten)},
+		{"chunk_hits_total", float64(rep.DedupPrime.Hits + rep.DedupRepeat.Hits)},
+		{"chunk_misses_total", float64(rep.DedupPrime.Misses + rep.DedupRepeat.Misses)},
+		{"chunk_bytes_saved_total", float64(rep.DedupPrime.HitBytes + rep.DedupRepeat.HitBytes)},
+		{"chunk_raw_bytes_total", float64(rep.DedupPrime.RawBytes + rep.DedupRepeat.RawBytes)},
+		{"chunk_stored_bytes_total", float64(rep.DedupPrime.StoredBytes + rep.DedupRepeat.StoredBytes)},
 	}
 	for _, a := range agree {
 		if got := reg.Sum(a.name); got != a.want {

@@ -1,0 +1,367 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/chunk"
+	"repro/internal/logical"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/wafl"
+	"repro/internal/workload"
+)
+
+// Chunk-layer benchmarks: the splitter micro-suite behind
+// BENCH_chunk.json (a hard regression contract, like the fast-path
+// report) and the dedup-week experiment behind the EXPERIMENTS.md
+// table.
+
+// RunChunkBench executes the chunk micro-suite. ChunkSplit is the
+// zero-copy path (one large Write, chunks emitted as subslices);
+// ChunkSplitRecords feeds dump-sized 10 KB records, the shape the
+// engines actually produce; ChunkWriterHits is full writer overhead
+// (hash + lookup) on an all-hits stream — the dedup path that skips
+// media entirely.
+func RunChunkBench() *FastPathReport {
+	rep := &FastPathReport{}
+	add := func(name string, fn func(b *testing.B)) {
+		rep.Results = append(rep.Results, resultOf(name, testing.Benchmark(fn)))
+	}
+	add("ChunkSplit", benchChunkSplit)
+	add("ChunkSplitRecords", benchChunkSplitRecords)
+	add("ChunkWriterHits", benchChunkWriterHits)
+	return rep
+}
+
+func chunkBenchData(n int) []byte {
+	rng := rand.New(rand.NewSource(42))
+	buf := make([]byte, n)
+	rng.Read(buf)
+	return buf
+}
+
+func benchChunkSplit(b *testing.B) {
+	data := chunkBenchData(4 << 20)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := chunk.NewSplitter(chunk.DefaultParams())
+		if err := s.Write(data, func([]byte) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Flush(func([]byte) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+		s.Close()
+	}
+}
+
+func benchChunkSplitRecords(b *testing.B) {
+	data := chunkBenchData(4 << 20)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := chunk.NewSplitter(chunk.DefaultParams())
+		for off := 0; off < len(data); off += chunk.RecordBytes {
+			end := off + chunk.RecordBytes
+			if end > len(data) {
+				end = len(data)
+			}
+			if err := s.Write(data[off:end], func([]byte) error { return nil }); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := s.Flush(func([]byte) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+		s.Close()
+	}
+}
+
+// benchIndex is a minimal map index for the writer benchmark.
+type benchIndex map[chunk.Hash]chunk.Entry
+
+func (ix benchIndex) LookupChunk(h chunk.Hash) (chunk.Entry, bool) { e, ok := ix[h]; return e, ok }
+func (ix benchIndex) CommitChunks(es []chunk.Entry) error {
+	for _, e := range es {
+		ix[e.Hash] = e
+	}
+	return nil
+}
+
+func benchChunkWriterHits(b *testing.B) {
+	data := chunkBenchData(4 << 20)
+	ix := benchIndex{}
+	media := chunk.NewMemMedia("bench")
+	prime, err := chunk.NewWriter(chunk.WriterOptions{Index: ix, Media: media})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := prime.WriteRecord(data); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := prime.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := chunk.NewWriter(chunk.WriterOptions{Index: ix, Media: media})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for off := 0; off < len(data); off += chunk.RecordBytes {
+			end := off + chunk.RecordBytes
+			if end > len(data) {
+				end = len(data)
+			}
+			if err := w.WriteRecord(data[off:end]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- dedup week ---------------------------------------------------------
+
+// ChunkDayRow is one scheduled full in the dedup-week experiment.
+type ChunkDayRow struct {
+	Day        int     `json:"day"`
+	LogicalMB  float64 `json:"logical_mb"`
+	AddedMB    float64 `json:"added_mb"` // unique bytes this full stored
+	Hits       int64   `json:"hits"`
+	Misses     int64   `json:"misses"`
+	Rewrites   int64   `json:"rewrites"`
+	DumpSimSec float64 `json:"dump_sim_sec"`
+}
+
+// ChunkWeekReport is the dedup-week outcome: a scheduled week of
+// level-0 fulls over a mostly-unchanged volume, plus the restore
+// tradeoff that motivates reverse dedup.
+type ChunkWeekReport struct {
+	Reverse      bool          `json:"reverse"`
+	Days         []ChunkDayRow `json:"days"`
+	LogicalBytes int64         `json:"logical_bytes"`
+	UniqueBytes  int64         `json:"unique_bytes"` // live chunk-store bytes after the week
+	DedupRatio   float64       `json:"dedup_ratio"`
+
+	RestoreLatestSec   float64 `json:"restore_latest_sim_sec"`
+	RestoreOldestSec   float64 `json:"restore_oldest_sim_sec"`
+	BaselineRestoreSec float64 `json:"baseline_restore_sim_sec"` // non-dedup streaming restore
+	LatestVsBaseline   float64 `json:"latest_vs_baseline"`       // >1 = slower than streaming
+}
+
+// WriteJSON serializes the report.
+func (r *ChunkWeekReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// RunChunkWeek schedules a week of daily level-0 logical fulls through
+// the chunk layer onto a simulated tape library, with light churn
+// between days. Drive 0 carries the dedup'd chunk stream; drive 1
+// takes one conventional (non-dedup) full of the final day as the
+// streaming-restore baseline. All times are simulated tape/CPU time.
+func RunChunkWeek(ctx context.Context, cfg Config, reverse bool) (*ChunkWeekReport, error) {
+	f, err := buildFiler(ctx, cfg, "chunkweek", 2, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	const mean = 64 << 10
+	files := cfg.DataMB << 20 / mean
+	paths, err := workload.Generate(ctx, f.FS, workload.Spec{
+		Seed: cfg.Seed, Files: files, DirFanout: 12, MeanFileSize: mean,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := f.FS.CP(ctx); err != nil {
+		return nil, err
+	}
+
+	cat, err := catalog.Open(&catalog.MemStore{})
+	if err != nil {
+		return nil, err
+	}
+	media := chunk.NewDriveMedia(f.Tapes[0], nil)
+	rep := &ChunkWeekReport{Reverse: reverse}
+
+	manifests := make([]chunk.Manifest, 0, 7)
+	for day := 1; day <= 7; day++ {
+		if day > 1 {
+			// Mostly-unchanged volume: ~2% of files churn per day.
+			if paths, err = workload.Age(ctx, f.FS, paths, workload.AgeSpec{
+				Seed: cfg.Seed + int64(day), Rounds: 1,
+				ChurnPerRound: 1 + files/50, MeanFileSize: mean,
+			}); err != nil {
+				return nil, err
+			}
+			if err := f.FS.CP(ctx); err != nil {
+				return nil, err
+			}
+		}
+		snap := fmt.Sprintf("day%d", day)
+		if err := f.FS.CreateSnapshot(ctx, snap); err != nil {
+			return nil, err
+		}
+		var dumpErr error
+		f.Env.Spawn(snap, func(p *sim.Proc) {
+			c := sim.WithProc(ctx, p)
+			media.Proc = p
+			// Each full gets its own cartridge, as a scheduler would
+			// rotate media; restore-of-latest then mounts one volume and
+			// streams instead of spacing over older sets.
+			if dumpErr = media.NextVolume(); dumpErr != nil {
+				return
+			}
+			start := p.Now()
+			view, err := f.FS.SnapshotView(snap)
+			if err != nil {
+				dumpErr = err
+				return
+			}
+			w, err := chunk.NewWriter(chunk.WriterOptions{
+				Index: cat, Media: media, Reverse: reverse,
+				Ctx: c, Engine: "logical",
+			})
+			if err != nil {
+				dumpErr = err
+				return
+			}
+			if _, err := logical.Dump(c, logical.DumpOptions{
+				View: view, Label: snap, FSID: "chunkweek",
+				ReadAhead: 16, Sink: w,
+			}); err != nil {
+				dumpErr = err
+				return
+			}
+			m, err := w.Close()
+			if err != nil {
+				dumpErr = err
+				return
+			}
+			id, err := cat.AppendDumpSet(catalog.DumpSet{
+				Engine: catalog.Logical, FSID: "chunkweek", Snap: snap,
+				Date: int64(day), Bytes: m.RawBytes,
+				Media: []catalog.MediaRef{{Volume: f.Tapes[0].Loaded().Label}},
+			})
+			if err != nil {
+				dumpErr = err
+				return
+			}
+			if dumpErr = cat.AppendManifest(id, m); dumpErr != nil {
+				return
+			}
+			ws := w.Stats()
+			manifests = append(manifests, m)
+			rep.Days = append(rep.Days, ChunkDayRow{
+				Day:        day,
+				LogicalMB:  float64(m.RawBytes) / (1 << 20),
+				AddedMB:    float64(ws.StoredBytes) / (1 << 20),
+				Hits:       ws.Hits,
+				Misses:     ws.Misses,
+				Rewrites:   ws.Rewrites,
+				DumpSimSec: (p.Now() - start).Seconds(),
+			})
+			rep.LogicalBytes += m.RawBytes
+		})
+		f.Env.Run()
+		if dumpErr != nil {
+			return nil, fmt.Errorf("bench: dedup week day %d: %w", day, dumpErr)
+		}
+	}
+	_, rep.UniqueBytes, _ = cat.ChunkStats()
+	if rep.UniqueBytes > 0 {
+		rep.DedupRatio = float64(rep.LogicalBytes) / float64(rep.UniqueBytes)
+	}
+
+	// Restore-of-latest vs restore-of-oldest through the chunk layer.
+	restoreSimSec := func(name string, m chunk.Manifest) (float64, error) {
+		var sec float64
+		var rerr error
+		f.Env.Spawn(name, func(p *sim.Proc) {
+			c := sim.WithProc(ctx, p)
+			media.Proc = p
+			dst, err := wafl.Mkfs(c, storage.NewMemDevice(f.Vol.NumBlocks()), nil, wafl.Options{})
+			if err != nil {
+				rerr = err
+				return
+			}
+			start := p.Now()
+			if _, err := logical.Restore(c, logical.RestoreOptions{
+				FS: dst, Source: chunk.NewReader(cat, media, m),
+				KernelIntegrated: true,
+			}); err != nil {
+				rerr = err
+				return
+			}
+			sec = (p.Now() - start).Seconds()
+		})
+		f.Env.Run()
+		return sec, rerr
+	}
+	if rep.RestoreLatestSec, err = restoreSimSec("restore-latest", manifests[len(manifests)-1]); err != nil {
+		return nil, err
+	}
+	if rep.RestoreOldestSec, err = restoreSimSec("restore-oldest", manifests[0]); err != nil {
+		return nil, err
+	}
+
+	// Non-dedup baseline: one conventional full of the final day to
+	// drive 1, restored as a straight stream.
+	var baseErr error
+	f.Env.Spawn("baseline", func(p *sim.Proc) {
+		c := sim.WithProc(ctx, p)
+		if baseErr = f.LoadTape(c, 1); baseErr != nil {
+			return
+		}
+		view, err := f.FS.SnapshotView("day7")
+		if err != nil {
+			baseErr = err
+			return
+		}
+		if _, err := logical.Dump(c, logical.DumpOptions{
+			View: view, Label: "day7-raw", FSID: "chunkweek",
+			ReadAhead: 16, Sink: f.Sink(c, 1),
+		}); err != nil {
+			baseErr = err
+			return
+		}
+		f.Tapes[1].Flush(p)
+		dst, err := wafl.Mkfs(c, storage.NewMemDevice(f.Vol.NumBlocks()), nil, wafl.Options{})
+		if err != nil {
+			baseErr = err
+			return
+		}
+		f.Tapes[1].Rewind(p)
+		start := p.Now()
+		if _, err := logical.Restore(c, logical.RestoreOptions{
+			FS: dst, Source: f.Source(c, 1), KernelIntegrated: true,
+		}); err != nil {
+			baseErr = err
+			return
+		}
+		rep.BaselineRestoreSec = (p.Now() - start).Seconds()
+	})
+	f.Env.Run()
+	if baseErr != nil {
+		return nil, fmt.Errorf("bench: dedup week baseline: %w", baseErr)
+	}
+	if rep.BaselineRestoreSec > 0 {
+		rep.LatestVsBaseline = rep.RestoreLatestSec / rep.BaselineRestoreSec
+	}
+	return rep, nil
+}

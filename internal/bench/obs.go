@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/catalog"
+	"repro/internal/chunk"
 	"repro/internal/core"
 	"repro/internal/logical"
 	"repro/internal/obs"
@@ -22,10 +24,15 @@ type ObsReport struct {
 	DataBytes int64               `json:"data_bytes"`
 	Logical   *logical.DumpStats  `json:"logical"`
 	Image     *physical.DumpStats `json:"image"`
-	Metrics   []obs.Point         `json:"metrics"`
-	Stages    []*Stage            `json:"-"`
-	Registry  *obs.Registry       `json:"-"`
-	Filer     *core.Filer         `json:"-"`
+	// DedupPrime and DedupRepeat are the two passes of the dedup
+	// smoke: the same snapshot chunked twice over one index, so the
+	// repeat is (nearly) all hits and every chunk counter moves.
+	DedupPrime  chunk.WriterStats `json:"dedup_prime"`
+	DedupRepeat chunk.WriterStats `json:"dedup_repeat"`
+	Metrics     []obs.Point       `json:"metrics"`
+	Stages      []*Stage          `json:"-"`
+	Registry    *obs.Registry     `json:"-"`
+	Filer       *core.Filer       `json:"-"`
 }
 
 // WriteJSON dumps the report (with a fresh metrics snapshot) for
@@ -65,6 +72,7 @@ func RunObs(ctx context.Context, cfg Config, tr *obs.Tracer) (*ObsReport, error)
 
 	meters := &Meters{Env: f.Env, CPU: f.CPU, Vols: []*raid.Volume{f.Vol}, Tapes: f.Tapes}
 	reg := meters.Registry()
+	plain := ctx // no registry: the dedup smoke's dumps must not recount engine metrics
 	ctx = obs.WithMetrics(ctx, reg)
 	if tr != nil {
 		ctx = obs.WithTracer(ctx, tr)
@@ -102,6 +110,61 @@ func RunObs(ctx context.Context, cfg Config, tr *obs.Tracer) (*ObsReport, error)
 	f.Env.Run()
 	if imgErr != nil {
 		return nil, fmt.Errorf("bench: obs image dump: %w", imgErr)
+	}
+
+	// Dedup smoke: chunk the same snapshot twice through one index.
+	// The prime pass stores (misses), the repeat pass dedups (hits),
+	// so the registry's chunk counters are all guaranteed nonzero.
+	dcat, err := catalog.Open(&catalog.MemStore{})
+	if err != nil {
+		return nil, err
+	}
+	dcat.RegisterChunkMetrics(reg)
+	dmedia := chunk.NewMemMedia("obs-chunks")
+	if err := f.FS.CreateSnapshot(ctx, "obs-dedup"); err != nil {
+		return nil, err
+	}
+	for _, pass := range []string{"dedup-prime", "dedup-repeat"} {
+		var passErr error
+		var ws chunk.WriterStats
+		f.Env.Spawn(pass, func(p *sim.Proc) {
+			// The dump itself runs metrics-free (its files/bytes would
+			// double-count the engine counters the -check cross-checks);
+			// only the chunk writer reports to the registry.
+			c := sim.WithProc(plain, p)
+			view, err := f.FS.SnapshotView("obs-dedup")
+			if err != nil {
+				passErr = err
+				return
+			}
+			w, err := chunk.NewWriter(chunk.WriterOptions{
+				Index: dcat, Media: dmedia, Ctx: ctx, Engine: "logical",
+			})
+			if err != nil {
+				passErr = err
+				return
+			}
+			if _, err := logical.Dump(c, logical.DumpOptions{
+				View: view, Label: "obs-dedup", FSID: "obs",
+				ReadAhead: 8, Sink: w,
+			}); err != nil {
+				passErr = err
+				return
+			}
+			if _, passErr = w.Close(); passErr != nil {
+				return
+			}
+			ws = w.Stats()
+		})
+		f.Env.Run()
+		if passErr != nil {
+			return nil, fmt.Errorf("bench: obs %s: %w", pass, passErr)
+		}
+		if pass == "dedup-prime" {
+			rep.DedupPrime = ws
+		} else {
+			rep.DedupRepeat = ws
+		}
 	}
 	rep.Stages = rec.Stages
 	return rep, nil

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/chunk"
 	"repro/internal/logical"
 	"repro/internal/obs"
 )
@@ -216,6 +217,13 @@ type Catalog struct {
 	health      map[uint64]SetHealth
 	quarantined map[string]bool
 
+	// Chunk-layer state (see chunk.go): the SHA-256 chunk index and
+	// per-set manifests, plus stored/dead byte accounting.
+	chunks      map[chunk.Hash]chunk.Entry
+	manifests   map[uint64]chunk.Manifest
+	chunkStored int64
+	chunkDead   int64
+
 	// TornBytes is how many trailing journal bytes recovery discarded
 	// as a torn or corrupt final record (0 = clean open).
 	TornBytes int64
@@ -241,6 +249,8 @@ func Open(store Store) (*Catalog, error) {
 		progress:    make(map[streamKey]uint64),
 		health:      make(map[uint64]SetHealth),
 		quarantined: make(map[string]bool),
+		chunks:      make(map[chunk.Hash]chunk.Entry),
+		manifests:   make(map[uint64]chunk.Manifest),
 	}
 	valid, err := ScanFrames(buf, func(off int64, p []byte) error {
 		rec, err := DecodeRecord(p)
@@ -306,6 +316,8 @@ func (c *Catalog) apply(rec Record) {
 		if r.Seq > c.progress[k] {
 			c.progress[k] = r.Seq
 		}
+	default:
+		c.applyChunk(rec)
 	}
 }
 
@@ -834,5 +846,5 @@ func DecodeRecord(p []byte) (Record, error) {
 		}
 		return r, nil
 	}
-	return nil, fmt.Errorf("catalog: unknown record kind %d", kind)
+	return decodeChunkRecord(kind, d, p)
 }

@@ -27,6 +27,11 @@ func FuzzDecodeJournal(f *testing.F) {
 	_ = c.MarkDamaged(id, 260, "scrub: unreadable record")
 	_ = c.MarkRepaired(id, 270, "scrub: rewrote from mirror")
 	_ = c.AppendMediaEvent(MediaEvent{Kind: MediaQuarantine, Volume: "t0", Pool: "main", Time: 280})
+	_ = c.CommitChunks(sampleChunkEntries("t0", 0))
+	id2, _ := c.AppendDumpSet(DumpSet{Engine: Logical, FSID: "vol0", Snap: "s2",
+		Date: 400, Bytes: 4096, Units: 1, Media: []MediaRef{{Volume: "t0"}}})
+	_ = c.AppendManifest(id2, sampleManifest("t0", 0))
+	_, _ = c.SweepChunks(nil)
 	whole := append([]byte(nil), store.Buf...)
 	f.Add(whole)
 	f.Add(whole[:len(whole)/2])
@@ -56,6 +61,12 @@ func FuzzDecodeJournal(f *testing.F) {
 				enc = encodeSessionCkpt(&r)
 			case SetHealth:
 				enc = encodeSetHealth(&r)
+			case chunkIndexRecord:
+				enc = encodeChunkIndex(&r)
+			case chunkManifestRecord:
+				enc = encodeChunkManifest(&r)
+			case chunkEraseRecord:
+				enc = encodeChunkErase(&r)
 			}
 			if !bytes.Equal(enc, data) {
 				t.Fatalf("decode/encode not canonical: %x -> %x", data, enc)

@@ -44,6 +44,18 @@ func buildJournal(t *testing.T, n int) (buf []byte, lastFrame int) {
 	if err := c.AppendMediaEvent(MediaEvent{Kind: MediaQuarantine, Volume: "t2", Pool: "main", Time: 1003}); err != nil {
 		t.Fatal(err)
 	}
+	// Chunk-layer records are acknowledged history too: index batches,
+	// a manifest, and a sweep's erase record all sit mid-journal so the
+	// every-byte corruption sweep covers kinds 7-9.
+	if err := c.CommitChunks(sampleChunkEntries("t0", 11)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AppendManifest(2, sampleManifest("t0", 11)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SweepChunks(nil); err != nil {
+		t.Fatal(err)
+	}
 	lastFrame = len(store.Buf)
 	if _, err := c.AppendDumpSet(sampleSet(Image, "vol0", -1, 5000, 0, 42, 0, MediaRef{Volume: "last"})); err != nil {
 		t.Fatal(err)

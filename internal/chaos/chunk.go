@@ -1,0 +1,286 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/catalog"
+	"repro/internal/chunk"
+	"repro/internal/logical"
+	"repro/internal/physical"
+	"repro/internal/storage"
+	"repro/internal/wafl"
+	"repro/internal/workload"
+)
+
+// ChunkScenario crashes a dedup-encoded dump mid-stream: the chunk
+// media dies partway through day two's full, the catalog journal is
+// torn mid-frame, and the rig recovers and redumps. The invariants:
+//
+//   - recovery leaves refcounts consistent — every chunk a surviving
+//     manifest names is still indexed;
+//   - the sweep after recovery erases only zero-ref chunks (the
+//     crashed dump's orphans), never one a live manifest references;
+//   - the redump completes (cheaply, via hits against the survivors)
+//     and every set restores byte-identical through the chunk layer.
+type ChunkScenario struct {
+	Seed    int64
+	Engine  Engine
+	Reverse bool // day-two dumps in reverse (RevDedup) mode
+
+	Files        int
+	MeanFileSize int
+	// FailAfter is the media append the crash lands on, counted from
+	// the start of the day-two dump; 0 derives one from Seed.
+	FailAfter int
+}
+
+// ChunkReport is the outcome of a ChunkScenario.
+type ChunkReport struct {
+	Engine         Engine
+	Seed           int64
+	TornBytes      int64 // catalog journal bytes lost to the torn tail
+	OrphansSwept   int   // zero-ref chunks the post-recovery sweep erased
+	RedumpHits     int64 // dedup hits the redump scored against survivors
+	RedumpRewrites int64 // reverse-mode rewrites of surviving chunks
+	Identical      bool  // every surviving set restored byte-identical
+	StoredBytes    int64 // live chunk bytes after redump + sweep
+	LogicalBytes   int64 // raw stream bytes across both sets
+	ManifestsLive  int
+}
+
+// RunChunkCrash executes one scenario. An error means the scenario
+// could not be evaluated; invariant violations also surface as errors
+// (they are hard failures, not report fields — except Identical, which
+// callers assert).
+func RunChunkCrash(ctx context.Context, s ChunkScenario) (*ChunkReport, error) {
+	if s.Files <= 0 {
+		s.Files = 24
+	}
+	if s.MeanFileSize <= 0 {
+		s.MeanFileSize = 12 << 10
+	}
+	rep := &ChunkReport{Engine: s.Engine, Seed: s.Seed}
+
+	const blocks = 8192
+	dev := storage.NewMemDevice(blocks)
+	fs, err := wafl.Mkfs(ctx, dev, nil, wafl.Options{})
+	if err != nil {
+		return nil, err
+	}
+	paths, err := workload.Generate(ctx, fs, workload.Spec{
+		Seed: s.Seed, Files: s.Files, DirFanout: 5, MeanFileSize: s.MeanFileSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := fs.CreateSnapshot(ctx, "day1"); err != nil {
+		return nil, err
+	}
+
+	store := &catalog.MemStore{}
+	cat, err := catalog.Open(store)
+	if err != nil {
+		return nil, err
+	}
+	media := chunk.NewMemMedia("m0")
+
+	// Day one: a clean full, manifest journaled with the set.
+	m1, _, err := dedupDump(ctx, s, fs, dev, "day1", cat, media, false)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: day-one dump: %w", err)
+	}
+	id1, err := recordChunkSet(cat, "day1", 100, m1)
+	if err != nil {
+		return nil, err
+	}
+	rep.LogicalBytes += m1.RawBytes
+
+	// Mutate a handful of files, snapshot day two.
+	rng := rand.New(rand.NewSource(s.Seed*31 + 7))
+	for i := 0; i < 1+len(paths)/8; i++ {
+		p := paths[rng.Intn(len(paths))]
+		buf := make([]byte, 4<<10)
+		rng.Read(buf)
+		if _, err := fs.WriteFile(ctx, p, buf, 0644); err != nil {
+			return nil, err
+		}
+	}
+	if err := fs.CreateSnapshot(ctx, "day2"); err != nil {
+		return nil, err
+	}
+
+	// Day two, take one: the media dies mid-dump. The writer is
+	// abandoned — no Close, no manifest — exactly a crash.
+	media.FailAfter = s.FailAfter
+	if media.FailAfter <= 0 {
+		media.FailAfter = 3 + int(rng.Int63n(20))
+	}
+	if _, _, err := dedupDump(ctx, s, fs, dev, "day2", cat, media, s.Reverse); err == nil {
+		return nil, fmt.Errorf("chaos: injected media failure never surfaced")
+	}
+	media.FailAfter = 0
+
+	// The crash also tears the catalog journal mid-frame: half of a
+	// would-be record follows the last durable frame.
+	store.Buf = append(store.Buf, []byte("CAT1\xee\x00\x00\x00half-a-frame")...)
+
+	// Recovery: reopen the journal.
+	cat2, err := catalog.Open(store)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: catalog recovery: %w", err)
+	}
+	rep.TornBytes = cat2.TornBytes
+
+	// Invariant: every chunk the surviving manifest names is indexed.
+	m1r, ok := cat2.Manifest(id1)
+	if !ok {
+		return nil, fmt.Errorf("chaos: day-one manifest lost in recovery")
+	}
+	refs := cat2.ChunkRefcounts()
+	for _, r := range m1r.Refs {
+		if refs[r.Hash] < 1 {
+			return nil, fmt.Errorf("chaos: recovered refcounts inconsistent: live ref %s counts %d", r.Hash, refs[r.Hash])
+		}
+	}
+
+	// Day two, take two: redump on the recovered catalog. Survivors of
+	// the crashed attempt are committed index entries with intact media
+	// bytes, so the redump dedups against them.
+	m2, ws, err := dedupDump(ctx, s, fs, dev, "day2", cat2, media, s.Reverse)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: redump after recovery: %w", err)
+	}
+	rep.RedumpHits = ws.Hits
+	rep.RedumpRewrites = ws.Rewrites
+	if _, err := recordChunkSet(cat2, "day2", 200, m2); err != nil {
+		return nil, err
+	}
+	rep.LogicalBytes += m2.RawBytes
+
+	// Sweep the crashed attempt's orphans. Invariant: no victim is
+	// referenced by a live manifest.
+	live := make(map[chunk.Hash]bool)
+	for _, r := range m1r.Refs {
+		live[r.Hash] = true
+	}
+	for _, r := range m2.Refs {
+		live[r.Hash] = true
+	}
+	swept, err := cat2.SweepChunks(func(e chunk.Entry) error { return media.Erase(e.Loc) })
+	if err != nil {
+		return nil, fmt.Errorf("chaos: sweep: %w", err)
+	}
+	for _, v := range swept {
+		if live[v.Hash] {
+			return nil, fmt.Errorf("chaos: sweep erased referenced chunk %s", v.Hash)
+		}
+	}
+	rep.OrphansSwept = len(swept)
+	_, rep.StoredBytes, _ = cat2.ChunkStats()
+	rep.ManifestsLive = 2
+
+	// Both sets must restore byte-identical through the chunk layer.
+	rep.Identical = true
+	for _, day := range []struct {
+		snap string
+		id   uint64
+		m    chunk.Manifest
+	}{{"day1", id1, m1r}, {"day2", 0, m2}} {
+		want, err := snapDigest(ctx, fs, day.snap)
+		if err != nil {
+			return nil, err
+		}
+		got, err := dedupRestore(ctx, s, cat2, media, day.m, blocks)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: restoring %s: %w", day.snap, err)
+		}
+		if diffs := workload.DiffDigests(want, got); len(diffs) > 0 {
+			rep.Identical = false
+		}
+	}
+	return rep, nil
+}
+
+// dedupDump runs one engine dump of snap through a fresh chunk.Writer
+// into (index, media), returning the manifest and writer stats.
+func dedupDump(ctx context.Context, s ChunkScenario, fs *wafl.FS, dev storage.Device, snap string, index chunk.Index, media chunk.Media, reverse bool) (chunk.Manifest, chunk.WriterStats, error) {
+	w, err := chunk.NewWriter(chunk.WriterOptions{
+		Index: index, Media: media, Reverse: reverse,
+		Ctx: ctx, Engine: s.Engine.String(),
+	})
+	if err != nil {
+		return chunk.Manifest{}, chunk.WriterStats{}, err
+	}
+	if s.Engine == Logical {
+		view, err := fs.SnapshotView(snap)
+		if err != nil {
+			return chunk.Manifest{}, chunk.WriterStats{}, err
+		}
+		_, err = logical.Dump(ctx, logical.DumpOptions{
+			View: view, Label: "chaos", ReadAhead: 8, CheckpointEvery: 4,
+			Sink: w,
+		})
+		if err != nil {
+			return chunk.Manifest{}, w.Stats(), err
+		}
+	} else {
+		_, err = physical.Dump(ctx, physical.DumpOptions{
+			FS: fs, Vol: dev, SnapName: snap, CheckpointEvery: 16, Sink: w,
+		})
+		if err != nil {
+			return chunk.Manifest{}, w.Stats(), err
+		}
+	}
+	m, err := w.Close()
+	return m, w.Stats(), err
+}
+
+// dedupRestore restores a manifest through the chunk layer and digests
+// the resulting tree.
+func dedupRestore(ctx context.Context, s ChunkScenario, index chunk.Lookup, media chunk.Media, m chunk.Manifest, blocks int) (map[string]workload.Entry, error) {
+	src := chunk.NewReader(index, media, m)
+	if s.Engine == Logical {
+		dst, err := wafl.Mkfs(ctx, storage.NewMemDevice(blocks), nil, wafl.Options{})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := logical.Restore(ctx, logical.RestoreOptions{
+			FS: dst, Source: src, KernelIntegrated: true,
+		}); err != nil {
+			return nil, err
+		}
+		return workload.TreeDigest(ctx, dst.ActiveView(), "/")
+	}
+	target := storage.NewMemDevice(blocks)
+	if _, err := physical.Restore(ctx, physical.RestoreOptions{Vol: target, Source: src}); err != nil {
+		return nil, err
+	}
+	dst, err := wafl.Mount(ctx, target, nil, wafl.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return workload.TreeDigest(ctx, dst.ActiveView(), "/")
+}
+
+// recordChunkSet journals a dedup-encoded dump set and its manifest.
+func recordChunkSet(cat *catalog.Catalog, snap string, date int64, m chunk.Manifest) (uint64, error) {
+	id, err := cat.AppendDumpSet(catalog.DumpSet{
+		Engine: catalog.Logical, FSID: "chaos", Snap: snap,
+		Date: date, Bytes: m.RawBytes, Media: []catalog.MediaRef{{Volume: "m0"}},
+	})
+	if err != nil {
+		return 0, err
+	}
+	return id, cat.AppendManifest(id, m)
+}
+
+// snapDigest digests a snapshot's tree.
+func snapDigest(ctx context.Context, fs *wafl.FS, snap string) (map[string]workload.Entry, error) {
+	v, err := fs.SnapshotView(snap)
+	if err != nil {
+		return nil, err
+	}
+	return workload.TreeDigest(ctx, v, "/")
+}

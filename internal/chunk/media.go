@@ -1,0 +1,299 @@
+package chunk
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/tape"
+)
+
+// ErrChunkErased is returned by media reads of a chunk the sweep has
+// erased. Seeing it through a live manifest means the sweep's
+// zero-ref precondition was violated — the chaos tests assert it
+// never surfaces.
+var ErrChunkErased = errors.New("chunk: chunk erased")
+
+// --- MemMedia -----------------------------------------------------------
+
+// MemMedia is in-memory chunk storage for tests and the chaos rigs.
+// Loc.Index is the append sequence number.
+type MemMedia struct {
+	mu     sync.Mutex
+	vol    string
+	chunks [][]byte
+	stored int64
+
+	// FailAfter, when positive, fails the n-th next Append and every
+	// one after it — the chaos hook simulating media loss mid-dump.
+	FailAfter int
+	appends   int
+}
+
+// NewMemMedia creates an empty in-memory volume labelled vol.
+func NewMemMedia(vol string) *MemMedia { return &MemMedia{vol: vol} }
+
+// Append implements Media.
+func (m *MemMedia) Append(data []byte) (Loc, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.appends++
+	if m.FailAfter > 0 && m.appends >= m.FailAfter {
+		return Loc{}, errors.New("chunk: injected media failure")
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	m.chunks = append(m.chunks, cp)
+	m.stored += int64(len(cp))
+	return Loc{Volume: m.vol, Index: int64(len(m.chunks) - 1)}, nil
+}
+
+// ReadAt implements Media.
+func (m *MemMedia) ReadAt(loc Loc) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if loc.Volume != m.vol {
+		return nil, fmt.Errorf("chunk: volume %q not mounted (have %q)", loc.Volume, m.vol)
+	}
+	if loc.Index < 0 || loc.Index >= int64(len(m.chunks)) {
+		return nil, fmt.Errorf("chunk: index %d out of range", loc.Index)
+	}
+	data := m.chunks[loc.Index]
+	if data == nil {
+		return nil, ErrChunkErased
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, nil
+}
+
+// Erase implements Eraser: the chunk's bytes are gone for good.
+func (m *MemMedia) Erase(loc Loc) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if loc.Volume != m.vol || loc.Index < 0 || loc.Index >= int64(len(m.chunks)) {
+		return fmt.Errorf("chunk: erase %s@%d: no such chunk", loc.Volume, loc.Index)
+	}
+	if m.chunks[loc.Index] != nil {
+		m.stored -= int64(len(m.chunks[loc.Index]))
+		m.chunks[loc.Index] = nil
+	}
+	return nil
+}
+
+// StoredBytes returns the live (unerased) bytes on the volume.
+func (m *MemMedia) StoredBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stored
+}
+
+// --- FileMedia ----------------------------------------------------------
+
+// maxFileChunk bounds a frame length read back from a chunk-store
+// file, so a corrupt length prefix cannot drive an oversized
+// allocation. Far above any splitter Max in use.
+const maxFileChunk = 16 << 20
+
+// FileMedia stores chunks in one host file — backupctl's
+// `<volume>.chunkstore`. Frames are [u32 LE length][payload];
+// Loc.Index is the frame's byte offset. Erase zeroes a frame's
+// payload in place (the space itself is reclaimed only by deleting
+// the store once every set on it has expired, like retiring a tape).
+type FileMedia struct {
+	mu  sync.Mutex
+	vol string
+	f   *os.File
+	off int64 // append offset
+}
+
+// OpenFileMedia opens or creates the chunk store at path, labelled vol.
+func OpenFileMedia(path, vol string) (*FileMedia, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &FileMedia{vol: vol, f: f, off: st.Size()}, nil
+}
+
+// Volume returns the media's volume label.
+func (m *FileMedia) Volume() string { return m.vol }
+
+// Append implements Media.
+func (m *FileMedia) Append(data []byte) (Loc, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(data)))
+	at := m.off
+	if _, err := m.f.WriteAt(hdr[:], at); err != nil {
+		return Loc{}, err
+	}
+	if _, err := m.f.WriteAt(data, at+4); err != nil {
+		return Loc{}, err
+	}
+	m.off = at + 4 + int64(len(data))
+	return Loc{Volume: m.vol, Index: at}, nil
+}
+
+// ReadAt implements Media.
+func (m *FileMedia) ReadAt(loc Loc) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if loc.Volume != m.vol {
+		return nil, fmt.Errorf("chunk: volume %q not mounted (have %q)", loc.Volume, m.vol)
+	}
+	var hdr [4]byte
+	if _, err := m.f.ReadAt(hdr[:], loc.Index); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFileChunk {
+		return nil, fmt.Errorf("chunk: bad frame length %d at %d", n, loc.Index)
+	}
+	data := make([]byte, n)
+	if _, err := m.f.ReadAt(data, loc.Index+4); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// Erase implements Eraser by zeroing the frame's payload. The frame
+// header survives so later offsets stay valid.
+func (m *FileMedia) Erase(loc Loc) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var hdr [4]byte
+	if _, err := m.f.ReadAt(hdr[:], loc.Index); err != nil {
+		return err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFileChunk {
+		return fmt.Errorf("chunk: bad frame length %d at %d", n, loc.Index)
+	}
+	_, err := m.f.WriteAt(make([]byte, n), loc.Index+4)
+	return err
+}
+
+// Sync implements Syncer.
+func (m *FileMedia) Sync() error { return m.f.Sync() }
+
+// Close closes the store.
+func (m *FileMedia) Close() error { return m.f.Close() }
+
+// --- DriveMedia ---------------------------------------------------------
+
+// DriveMedia adapts a simulated tape drive (with stacker) to chunk
+// Media, charging virtual time for every record and repositioning
+// pass — the media model the EXPERIMENTS.md dedup-week numbers run
+// on. Loc.Volume is the cartridge label, Loc.Index the raw record
+// index.
+//
+// A dump only appends (dedup hits never touch the drive — that is the
+// point); a restore only reads, repositioning with Rewind +
+// SpaceRecords exactly like the catalog-driven restore planner does.
+// Reverse-dedup'd latest sets read back as a straight forward scan;
+// forward-dedup'd old sets pay the seeks, which is the RevDedup
+// tradeoff the experiment measures.
+type DriveMedia struct {
+	Drive *tape.Drive
+	Proc  *sim.Proc
+
+	pos int // tracked read-head position on the loaded cartridge
+}
+
+// NewDriveMedia wraps drive; proc (may be nil) is charged tape time.
+func NewDriveMedia(drive *tape.Drive, proc *sim.Proc) *DriveMedia {
+	return &DriveMedia{Drive: drive, Proc: proc}
+}
+
+// Append implements Media, spanning cartridges at end of media.
+func (m *DriveMedia) Append(data []byte) (Loc, error) {
+	for {
+		cart := m.Drive.Loaded()
+		if cart == nil {
+			if err := m.Drive.Load(m.Proc); err != nil {
+				return Loc{}, err
+			}
+			m.pos = 0
+			continue
+		}
+		idx := cart.Index()
+		err := m.Drive.WriteRecord(m.Proc, data)
+		if err == nil {
+			return Loc{Volume: cart.Label, Index: int64(idx)}, nil
+		}
+		if !errors.Is(err, tape.ErrEndOfMedia) {
+			return Loc{}, err
+		}
+		if err := m.Drive.Load(m.Proc); err != nil {
+			return Loc{}, err
+		}
+		m.pos = 0
+	}
+}
+
+// ReadAt implements Media: mount the chunk's cartridge if needed,
+// position the head (forward spacing at search speed, backward via a
+// rewind) and read the record.
+func (m *DriveMedia) ReadAt(loc Loc) ([]byte, error) {
+	if err := m.mount(loc.Volume); err != nil {
+		return nil, err
+	}
+	target := int(loc.Index)
+	if target < m.pos {
+		m.Drive.Rewind(m.Proc)
+		m.pos = 0
+	}
+	if target > m.pos {
+		if err := m.Drive.SpaceRecords(m.Proc, target-m.pos); err != nil {
+			return nil, err
+		}
+		m.pos = target
+	}
+	rec, err := m.Drive.ReadRecord(m.Proc)
+	if err != nil {
+		return nil, err
+	}
+	m.pos++
+	return rec, nil
+}
+
+// NextVolume cycles the stacker to the next cartridge, so a scheduler
+// can give each day's full its own volume (and a restore of the
+// newest set mounts one cartridge and streams, never spacing over
+// older sets' bytes).
+func (m *DriveMedia) NextVolume() error {
+	if err := m.Drive.Load(m.Proc); err != nil {
+		return err
+	}
+	m.pos = 0
+	return nil
+}
+
+// mount cycles the stacker until the named cartridge is loaded.
+func (m *DriveMedia) mount(vol string) error {
+	if c := m.Drive.Loaded(); c != nil && c.Label == vol {
+		return nil
+	}
+	// One full pass over the stacker finds the cartridge or proves it
+	// isn't there.
+	for range m.Drive.Stacker() {
+		if err := m.Drive.Load(m.Proc); err != nil {
+			return err
+		}
+		m.pos = 0
+		if c := m.Drive.Loaded(); c != nil && c.Label == vol {
+			return nil
+		}
+	}
+	return fmt.Errorf("chunk: cartridge %q not in stacker", vol)
+}

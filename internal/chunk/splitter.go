@@ -1,0 +1,146 @@
+package chunk
+
+import (
+	"math/bits"
+
+	"repro/internal/bufpool"
+)
+
+// gearWindow is the rolling hash's effective window: h = h<<1 + g[b]
+// shifts every contribution left once per byte, so after 64 bytes a
+// byte's bits have left the accumulator entirely (addition carries
+// only move upward). Bytes further back than this cannot affect a cut
+// decision, which is what makes the min-skip optimization exact.
+const gearWindow = 64
+
+// gearTable maps byte values to the random 64-bit keys the rolling
+// hash mixes in. It is generated deterministically (splitmix64 from a
+// fixed seed) because chunk boundaries are an on-media contract:
+// changing the table would break dedup against every existing set.
+var gearTable = func() [256]uint64 {
+	var t [256]uint64
+	s := uint64(0x9e3779b97f4a7c15)
+	for i := range t {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		t[i] = z ^ (z >> 31)
+	}
+	return t
+}()
+
+// Splitter cuts a byte stream into content-defined chunks: a cut
+// happens where the rolling hash's low bits are all zero (expected
+// once per 2^bits bytes), no earlier than Min and no later than Max
+// bytes into the chunk. Boundaries depend only on the local bytes, so
+// an edit reshapes only nearby chunks and the rest of the stream
+// dedups against prior sets.
+//
+// The splitter is zero-copy where it can be: a chunk that begins and
+// ends within one Write call is emitted as a subslice of the input;
+// only chunks spanning calls are assembled in a pooled carry buffer.
+// Emitted slices are valid only until the callback returns.
+type Splitter struct {
+	min, max int
+	mask     uint64
+
+	h        uint64  // rolling hash of the current chunk's tail
+	n        int     // bytes accumulated in the current chunk
+	carry    *[]byte // pooled buffer for chunks spanning Write calls
+	carryLen int
+}
+
+// NewSplitter creates a splitter with p (zero fields take defaults).
+func NewSplitter(p Params) *Splitter {
+	p = p.norm()
+	// The first cut test happens at Min, then one chance per byte at
+	// 2^-bits odds: E[chunk] ≈ Min + 2^bits, so aim 2^bits at Avg-Min.
+	span := p.Avg - p.Min
+	if span < 1 {
+		span = 1
+	}
+	b := bits.Len(uint(span)) - 1
+	if uint(span)&(uint(span)>>1) != 0 { // round up when closer to the next power
+		b++
+	}
+	if b < 1 {
+		b = 1
+	}
+	return &Splitter{min: p.Min, max: p.Max, mask: 1<<b - 1}
+}
+
+// Write feeds p through the splitter, calling emit for every completed
+// chunk. The emitted slice may alias p or the internal carry buffer
+// and must be consumed before emit returns.
+func (s *Splitter) Write(p []byte, emit func(chunk []byte) error) error {
+	start := 0 // where the in-progress chunk begins within p
+	i := 0
+	for i < len(p) {
+		// Bytes this far from a possible cut can't affect the hash
+		// (gearWindow) or host a boundary (min): skip them unhashed.
+		if skip := s.min - gearWindow - s.n; skip > 0 {
+			if skip > len(p)-i {
+				skip = len(p) - i
+			}
+			i += skip
+			s.n += skip
+			continue
+		}
+		s.h = s.h<<1 + gearTable[p[i]]
+		i++
+		s.n++
+		if s.n >= s.min && (s.h&s.mask == 0 || s.n >= s.max) {
+			if err := s.cut(p[start:i], emit); err != nil {
+				return err
+			}
+			start = i
+		}
+	}
+	if start < len(p) {
+		s.stash(p[start:])
+	}
+	return nil
+}
+
+// Flush emits the final partial chunk, if any, and resets the
+// splitter for a new stream.
+func (s *Splitter) Flush(emit func(chunk []byte) error) error {
+	if s.carryLen == 0 {
+		s.h, s.n = 0, 0
+		return nil
+	}
+	chunk := (*s.carry)[:s.carryLen]
+	s.h, s.n, s.carryLen = 0, 0, 0
+	return emit(chunk)
+}
+
+// Close releases the carry buffer. The splitter may be reused after
+// Close (a fresh buffer is pooled on demand).
+func (s *Splitter) Close() {
+	if s.carry != nil {
+		bufpool.Put(s.carry)
+		s.carry = nil
+	}
+}
+
+// cut completes the current chunk with tail and emits it.
+func (s *Splitter) cut(tail []byte, emit func([]byte) error) error {
+	chunk := tail
+	if s.carryLen > 0 {
+		s.stash(tail)
+		chunk = (*s.carry)[:s.carryLen]
+	}
+	s.h, s.n, s.carryLen = 0, 0, 0
+	return emit(chunk)
+}
+
+// stash appends p to the carry buffer (the chunk will complete in a
+// later Write call).
+func (s *Splitter) stash(p []byte) {
+	if s.carry == nil {
+		s.carry = bufpool.Get(s.max)
+	}
+	copy((*s.carry)[s.carryLen:], p)
+	s.carryLen += len(p)
+}

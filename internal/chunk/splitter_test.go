@@ -1,0 +1,190 @@
+package chunk
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// split runs data through a fresh splitter in writeSize slices and
+// returns the chunks (copied).
+func split(t testing.TB, p Params, data []byte, writeSize int) [][]byte {
+	t.Helper()
+	s := NewSplitter(p)
+	defer s.Close()
+	var chunks [][]byte
+	emit := func(c []byte) error {
+		chunks = append(chunks, append([]byte(nil), c...))
+		return nil
+	}
+	for off := 0; off < len(data); off += writeSize {
+		end := off + writeSize
+		if end > len(data) {
+			end = len(data)
+		}
+		if err := s.Write(data[off:end], emit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(emit); err != nil {
+		t.Fatal(err)
+	}
+	return chunks
+}
+
+func TestSplitterReassembly(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	data := make([]byte, 1<<20)
+	rng.Read(data)
+	p := DefaultParams()
+	chunks := split(t, p, data, 10240)
+
+	var joined []byte
+	for i, c := range chunks {
+		if len(c) > p.Max {
+			t.Fatalf("chunk %d: %d bytes exceeds max %d", i, len(c), p.Max)
+		}
+		if len(c) < p.Min && i != len(chunks)-1 {
+			t.Fatalf("chunk %d: %d bytes under min %d (only the final chunk may be short)", i, len(c), p.Min)
+		}
+		joined = append(joined, c...)
+	}
+	if !bytes.Equal(joined, data) {
+		t.Fatal("chunks do not reassemble the input")
+	}
+
+	// The mean should land in the neighborhood of Avg — this is a
+	// distribution property, so the bound is loose but catches a mask
+	// off by orders of magnitude.
+	mean := len(data) / len(chunks)
+	if mean < p.Min || mean > 3*p.Avg {
+		t.Fatalf("mean chunk %d bytes; want within [%d, %d]", mean, p.Min, 3*p.Avg)
+	}
+}
+
+// TestSplitterWriteSizeIndependence: chunk boundaries are a property
+// of the content, not of how the stream is sliced into Write calls —
+// the contract that makes dedup work across engines whose record
+// sizes differ.
+func TestSplitterWriteSizeIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	data := make([]byte, 512<<10)
+	rng.Read(data)
+	want := split(t, Params{}, data, len(data))
+	for _, ws := range []int{1, 37, 1024, 10240, 65536} {
+		got := split(t, Params{}, data, ws)
+		if len(got) != len(want) {
+			t.Fatalf("write size %d: %d chunks, want %d", ws, len(got), len(want))
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("write size %d: chunk %d differs", ws, i)
+			}
+		}
+	}
+}
+
+// TestSplitterShiftResistance: inserting bytes near the front of the
+// stream must disturb only nearby boundaries; the bulk of the chunks
+// re-align and dedup. (A fixed-block splitter would share none.)
+func TestSplitterShiftResistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	data := make([]byte, 1<<20)
+	rng.Read(data)
+	shifted := append(append([]byte{}, []byte("insertion at the front")...), data...)
+
+	base := split(t, Params{}, data, 10240)
+	moved := split(t, Params{}, shifted, 10240)
+
+	seen := make(map[Hash]bool, len(base))
+	for _, c := range base {
+		seen[Sum(c)] = true
+	}
+	shared := 0
+	for _, c := range moved {
+		if seen[Sum(c)] {
+			shared++
+		}
+	}
+	if min := len(base) * 9 / 10; shared < min {
+		t.Fatalf("only %d/%d chunks survived a front insertion; want >= %d", shared, len(moved), min)
+	}
+}
+
+// TestSplitterDeterminism: same bytes, same cuts, run to run — the
+// gear table is a fixed on-media contract.
+func TestSplitterDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	data := make([]byte, 256<<10)
+	rng.Read(data)
+	a := split(t, Params{}, data, 4096)
+	b := split(t, Params{}, data, 4096)
+	if len(a) != len(b) {
+		t.Fatalf("%d vs %d chunks across runs", len(a), len(b))
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("chunk %d differs across runs", i)
+		}
+	}
+}
+
+func TestSplitterEmptyAndTiny(t *testing.T) {
+	if got := split(t, Params{}, nil, 1024); len(got) != 0 {
+		t.Fatalf("empty input produced %d chunks", len(got))
+	}
+	tiny := []byte("shorter than min")
+	got := split(t, Params{}, tiny, 1024)
+	if len(got) != 1 || !bytes.Equal(got[0], tiny) {
+		t.Fatalf("tiny input split wrong: %d chunks", len(got))
+	}
+}
+
+// BenchmarkSplitter measures raw chunking throughput over large
+// buffers (the zero-copy path); the bench -chunk report compares it
+// against the zero-copy record fast path.
+func BenchmarkSplitter(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	data := make([]byte, 4<<20)
+	rng.Read(data)
+	s := NewSplitter(Params{})
+	defer s.Close()
+	emit := func(c []byte) error { return nil }
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Write(data, emit); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	_ = s.Flush(emit)
+}
+
+// BenchmarkSplitterRecords feeds the splitter dump-sized (10 KB)
+// records, the shape the dedup sink actually sees.
+func BenchmarkSplitterRecords(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	data := make([]byte, 4<<20)
+	rng.Read(data)
+	s := NewSplitter(Params{})
+	defer s.Close()
+	emit := func(c []byte) error { return nil }
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for off := 0; off < len(data); off += 10240 {
+			end := off + 10240
+			if end > len(data) {
+				end = len(data)
+			}
+			if err := s.Write(data[off:end], emit); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	_ = s.Flush(emit)
+}

@@ -287,10 +287,18 @@ func chainClose(sets []catalog.DumpSet, keep map[uint64]bool) {
 // reclaimed.
 func (p *Pool) Reclaim(now int64) ([]string, error) {
 	var out []string
+	chunkVols := p.cat.ChunkVolumes()
 	for _, l := range p.order {
 		v := p.vols[l]
 		p.refreshState(v)
 		if v.State != Expired {
+			continue
+		}
+		// A volume holding live indexed chunks is pinned even when every
+		// dump set directly on it has expired: reverse dedup can leave it
+		// hosting the only copy of chunks newer sets reference. Sweep the
+		// chunk index first (catalog.SweepChunks), then reclaim.
+		if chunkVols[l] {
 			continue
 		}
 		if v.Cart != nil {
@@ -345,6 +353,9 @@ func (p *Pool) Erase(label string, now int64) error {
 		if _, dead := p.cat.Expired(id); !dead {
 			return fmt.Errorf("media: volume %q holds unexpired dump set %d", label, id)
 		}
+	}
+	if p.cat.ChunkVolumes()[label] {
+		return fmt.Errorf("media: volume %q holds live dedup chunks", label)
 	}
 	if v.Cart != nil {
 		v.Cart.Erase()

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/catalog"
+	"repro/internal/chunk"
 	"repro/internal/tape"
 )
 
@@ -248,5 +249,55 @@ func TestAdoptFromDrive(t *testing.T) {
 		if v.Cart == nil {
 			t.Fatalf("volume %s not bound to its cartridge", v.Label)
 		}
+	}
+}
+
+// TestReclaimPinsChunkVolumes: a volume whose dump sets all expired is
+// still not reclaimable while the chunk index holds live chunks on it —
+// reverse dedup can leave it hosting the only copy of chunks newer
+// sets reference. Sweeping the zero-ref chunks releases the pin.
+func TestReclaimPinsChunkVolumes(t *testing.T) {
+	c, _ := newCat(t)
+	p := NewPool("main", c)
+	cart := tape.NewCartridge("t0")
+	if err := p.Register("t0", cart, 0); err != nil {
+		t.Fatal(err)
+	}
+	id := record(t, c, "vol0", 0, 100, 0, "t0")
+	if err := p.CommitSet(id, []string{"t0"}, 100); err != nil {
+		t.Fatal(err)
+	}
+	var h chunk.Hash
+	h[0] = 0x55
+	if err := c.CommitChunks([]chunk.Entry{{
+		Hash: h, RawLen: 100, StoredLen: 100,
+		Loc: chunk.Loc{Volume: "t0", Index: 0},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Expire(id, 200); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Reclaim(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("reclaimed %v while t0 holds live chunks", got)
+	}
+	if err := p.Erase("t0", 300); err == nil {
+		t.Fatal("Erase succeeded on a volume holding live chunks")
+	}
+	// No live manifest references h, so the sweep removes it and the
+	// volume becomes reclaimable.
+	if _, err := c.SweepChunks(nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err = p.Reclaim(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "t0" {
+		t.Fatalf("post-sweep reclaim = %v, want [t0]", got)
 	}
 }
