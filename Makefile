@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 race bench-smoke build vet test chaos fuzz-smoke transport-race obs-smoke pipeline-race replica-race scrub-race chunk-race
+.PHONY: tier1 race bench-smoke build vet test chaos fuzz-smoke transport-race obs-smoke pipeline-race replica-race scrub-race chunk-race serve-race
 
 tier1: ## vet + build + full test suite (the repo's gate)
 	$(GO) vet ./...
@@ -66,9 +66,17 @@ chunk-race: ## race-detector pass over the dedup chunk layer, its catalog/engine
 		./internal/media/ ./internal/bench/ ./cmd/backupctl/
 	$(GO) test -race -count 1 -run 'TestChunkCrashMidDump' -timeout 300s ./internal/chaos/
 
+serve-race: ## race-detector pass over the multi-tenant serve stack: registry, scheduler, bench fleet, and the tenant-cut chaos scenario
+	$(GO) test -race -count 1 ./internal/sched/
+	$(GO) test -race -count 1 -run 'TestTransportHost|TestTransportServe|TestTransportReplicate|TestTransportReconnect|TestTransportData|TestTransportGate' \
+		-timeout 300s ./internal/ndmp/ ./cmd/backupctl/
+	$(GO) test -race -count 1 -run 'TestServeBench' -timeout 300s ./internal/bench/
+	$(GO) test -race -count 1 -run 'TestChaosServe' -timeout 300s ./internal/chaos/
+
 bench-smoke: ## quick fast-path micro-benchmarks, gated against the committed baseline
 	$(GO) test -run xxx -bench 'RunRead|RunWrite|RecordWrite' -benchtime 100x \
 		./internal/storage/ ./internal/vdev/ ./internal/raid/ \
 		./internal/dumpfmt/ ./internal/physical/
 	$(GO) run ./cmd/backupctl bench -json '' -compare BENCH_fastpath.json
 	$(GO) run ./cmd/backupctl bench -chunk -json '' -compare BENCH_chunk.json
+	$(GO) run ./cmd/backupctl bench -clients 100 -json '' -compare BENCH_serve.json

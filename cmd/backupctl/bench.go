@@ -25,6 +25,7 @@ import (
 //	backupctl bench -cpuprofile cpu.out -memprofile mem.out
 //	backupctl bench -obs BENCH_obs.json
 //	backupctl bench -parallel -drives 1,2,4 -readers 3 -depth 3
+//	backupctl bench -clients 100 -tenants 4 -pool-drives 4
 func benchCommand(args []string) error {
 	set := newFlagSet("bench")
 	jsonPath := set.String("json", "BENCH_fastpath.json", "write the report here ('' = skip); -parallel defaults to BENCH_parallel.json")
@@ -39,6 +40,9 @@ func benchCommand(args []string) error {
 	depth := set.Int("depth", 0, "per-reader read-ahead depth for -parallel (0 = default)")
 	mb := set.Int("mb", 24, "dataset size in MiB for -parallel / -chunkweek")
 	chunkSuite := set.Bool("chunk", false, "run the chunk splitter/dedup micro-suite instead; -json defaults to BENCH_chunk.json")
+	clients := set.Int("clients", 0, "run the multi-tenant serve bench with this many concurrent clients instead; -json defaults to BENCH_serve.json")
+	tenants := set.Int("tenants", 4, "tenants the serve-bench clients round-robin across")
+	poolDrives := set.Int("pool-drives", 4, "drive-pool slots for the serve bench")
 	chunkWeek := set.Bool("chunkweek", false, "run the dedup-week experiment (forward and reverse) and print its table")
 	if err := set.Parse(args); err != nil {
 		return err
@@ -53,6 +57,11 @@ func benchCommand(args []string) error {
 	}
 	if *parallel {
 		return benchParallel(jsonOf("BENCH_parallel.json"), *drivesList, *readers, *depth, *mb)
+	}
+	if *clients > 0 {
+		return benchServe(jsonOf("BENCH_serve.json"), *comparePath, *tolerance, bench.ServeConfig{
+			Clients: *clients, Tenants: *tenants, Drives: *poolDrives,
+		})
 	}
 	if *chunkWeek {
 		return benchChunkWeek(*mb)
@@ -169,6 +178,37 @@ func benchChunkWeek(mb int) error {
 			rep.DedupRatio, rep.LogicalBytes, rep.UniqueBytes)
 		fmt.Printf("restore latest %.2fs, oldest %.2fs, streaming baseline %.2fs (latest/baseline %.2fx)\n\n",
 			rep.RestoreLatestSec, rep.RestoreOldestSec, rep.BaselineRestoreSec, rep.LatestVsBaseline)
+	}
+	return nil
+}
+
+// benchServe runs the multi-tenant concurrent-push bench: N
+// simulated-clock clients onto one registry host over a drive pool,
+// gated on per-tenant fairness and aggregate throughput.
+func benchServe(jsonPath, comparePath string, tol float64, cfg bench.ServeConfig) error {
+	rep, err := bench.RunServeBench(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Format())
+	if jsonPath != "" {
+		if err := rep.WriteJSON(jsonPath); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", jsonPath)
+	}
+	if comparePath != "" {
+		base, err := bench.ReadServeJSON(comparePath)
+		if err != nil {
+			return err
+		}
+		if regs := bench.CompareServe(base, rep, tol); len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "regression: %s\n", r)
+			}
+			return fmt.Errorf("bench: %d regression(s) against %s", len(regs), comparePath)
+		}
+		fmt.Printf("no regressions against %s (tolerance %.0f%%)\n", comparePath, 100*tol)
 	}
 	return nil
 }

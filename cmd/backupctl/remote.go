@@ -22,12 +22,14 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"sync"
 	"time"
 
 	"repro/internal/logical"
 	"repro/internal/ndmp"
 	"repro/internal/obs"
 	"repro/internal/physical"
+	"repro/internal/sched"
 	"repro/internal/transport"
 	"repro/internal/wafl"
 )
@@ -41,6 +43,17 @@ func streamPath(base string, stream int) string {
 	return fmt.Sprintf("%s.s%d", base, stream)
 }
 
+// tenantPath namespaces a server-side path by tenant: the default
+// tenant keeps the plain path (and its catalog), every other tenant
+// gets its own <path>.<tenant> family — stream files and catalog
+// journals never cross tenant boundaries.
+func tenantPath(path, tenant string) string {
+	if tenant == "" || path == "" {
+		return path
+	}
+	return path + "." + tenant
+}
+
 func serveCommand(rest []string) error {
 	set := newFlagSet("serve")
 	listen := set.String("listen", ":9000", "TCP address to listen on")
@@ -49,6 +62,10 @@ func serveCommand(rest []string) error {
 	standby := set.String("standby", "", "mirror the serve-side catalog to this standby journal file")
 	idle := set.Duration("idle", 30*time.Second, "drop a connection silent for this long")
 	trace := set.String("trace", "", "write a Chrome trace of served connections to this file")
+	drives := set.Int("drives", 4, "tape drives in the pool: concurrent streams admitted")
+	queue := set.Int("queue", 64, "bounded admission wait queue (-1 = reject instead of queueing)")
+	rate := set.Int64("rate", 0, "per-tenant byte-rate limit, bytes/sec (0 = unlimited)")
+	driveRate := set.Int64("drive-rate", 0, "per-drive byte-rate cap, bytes/sec (0 = unlimited)")
 	if err := set.Parse(rest); err != nil {
 		return err
 	}
@@ -69,70 +86,151 @@ func serveCommand(rest []string) error {
 		return err
 	}
 	defer l.Close()
-	fmt.Printf("serving on %s, streams to %s\n", l.Addr(), *out)
-	return serveOn(l, *out, *standby, *once, *idle, tr)
+	pool := sched.NewDrivePool(sched.DrivePoolConfig{
+		Drives: *drives, MaxQueue: *queue,
+		DefaultRate: *rate, DriveRate: *driveRate,
+	})
+	fmt.Printf("serving on %s, streams to %s (%d drives)\n", l.Addr(), *out, *drives)
+	return serveOn(l, *out, *standby, *once, *idle, tr, pool)
 }
 
-// serveOn accepts connections on l and feeds their frames to a single
-// tape host whose sinks are stream files under base. Connections are
-// handled one at a time: a session owns the host until it closes, and
-// a client redialing after a cut first causes the stale connection's
-// read to fail, which drops it back to Accept. Returns after a clean
-// session close when once is set, otherwise serves until l is closed.
-func serveOn(l net.Listener, base, standby string, once bool, idle time.Duration, tr *obs.Tracer) error {
+// serveOn accepts connections concurrently — one goroutine per
+// connection, all feeding one shared session registry — so N clients
+// push at once, multiplexed onto the drive pool by gate. Stream files
+// land under the tenant-namespaced base: each tenant's first live
+// session owns the plain paths, concurrent extra sessions of the same
+// tenant get an .x<session> disambiguator. A session's streams are
+// cataloged if and only if that session closes cleanly (the
+// OnSessionClose hook), so a connection that drops mid-session can
+// never smuggle its aborted streams into the catalog on the back of
+// another client's clean close. Returns after the first clean session
+// close when once is set, otherwise serves until l is closed.
+func serveOn(l net.Listener, base, standby string, once bool, idle time.Duration, tr *obs.Tracer, gate ndmp.Gate) error {
 	traceCtx := obs.WithTracer(context.Background(), tr)
-	var open []*fileSink
-	var received []recvStream
-	closeAll := func() {
-		for _, s := range open {
-			s.Close()
-		}
-		open = open[:0]
-	}
-	defer closeAll()
+	var (
+		mu       sync.Mutex
+		received = make(map[uint64][]recvStream) // session -> landed streams
+		owner    = make(map[string]uint64)       // tenant -> session owning the plain base
+		catMu    sync.Mutex                      // serializes per-tenant catalog appends
+	)
 	host := ndmp.NewHost(func(h ndmp.Hello) (ndmp.Sink, error) {
-		path := streamPath(base, h.Stream)
+		mu.Lock()
+		defer mu.Unlock()
+		own, ok := owner[h.Tenant]
+		if !ok {
+			owner[h.Tenant] = h.Session
+			own = h.Session
+		}
+		path := streamPath(tenantPath(base, h.Tenant), h.Stream)
+		if own != h.Session {
+			// A concurrent session of the same tenant: disambiguate its
+			// stream files so two live pushes never share a path.
+			path = fmt.Sprintf("%s.x%x", path, h.Session)
+		}
 		sink, err := createStream(path, 0)
 		if err != nil {
 			return nil, err
 		}
-		open = append(open, sink)
-		received = append(received, recvStream{hello: h, path: path})
-		fmt.Printf("receiving session %d stream %d (fsid %q level %d) -> %s\n",
-			h.Session, h.Stream, h.FSID, h.Level, path)
+		received[h.Session] = append(received[h.Session], recvStream{hello: h, path: path})
+		fmt.Printf("receiving session %d stream %d (tenant %q fsid %q level %d) -> %s\n",
+			h.Session, h.Stream, h.Tenant, h.FSID, h.Level, path)
 		return sink, nil
 	})
-	for {
-		conn, err := l.Accept()
-		if err != nil {
-			return err
+	host.Gate = gate
+	defer host.Close()
+	// Every cleanly closed session reports its catalog result here;
+	// the accept loop consumes it (and returns in -once mode).
+	closed := make(chan error, 64)
+	host.OnSessionClose = func(session uint64, ends []ndmp.StreamEnd) {
+		var tenant string
+		if len(ends) > 0 {
+			tenant = ends[0].Hello.Tenant
 		}
-		nc := transport.NewNetConn(conn)
-		_, span := obs.Start(traceCtx, "serve.conn")
-		span.SetAttr("peer", conn.RemoteAddr().String())
-		err = ndmp.Serve(nc, host, idle)
-		hs := host.Stats()
-		span.SetAttr("records", hs.Records)
-		span.SetAttr("streams", hs.Streams)
-		span.End()
-		nc.Close()
-		if err != nil {
-			// The client redials recoverable faults; keep listening.
-			fmt.Fprintf(os.Stderr, "backupctl: serve: connection dropped: %v\n", err)
-			continue
+		mu.Lock()
+		rs := received[session]
+		delete(received, session)
+		if owner[tenant] == session {
+			delete(owner, tenant)
 		}
-		st := host.Stats()
-		fmt.Printf("session closed: %d stream(s), %d records, %d replayed duplicates\n",
-			st.Streams, st.Records, st.Duplicates)
-		closeAll()
+		mu.Unlock()
+		var bytes int64
+		for _, e := range ends {
+			bytes += e.Bytes
+		}
+		fmt.Printf("session %d closed: %d stream(s), %d bytes (tenant %q)\n",
+			session, len(ends), bytes, tenant)
 		// The session closed cleanly, so every landed stream is a
-		// completed dump: record them in the server's own catalog.
-		if err := recordReceived(base, standby, received); err != nil {
-			return fmt.Errorf("serve: recording session in catalog: %w", err)
+		// completed dump: record them in the tenant's own catalog.
+		catMu.Lock()
+		err := recordReceived(tenantPath(base, tenant), tenantPath(standby, tenant), rs)
+		catMu.Unlock()
+		if err != nil {
+			err = fmt.Errorf("serve: recording session %d in catalog: %w", session, err)
 		}
-		received = received[:0]
-		if once {
-			return nil
+		select {
+		case closed <- err:
+		default:
+		}
+	}
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	done := make(chan struct{})
+	defer close(done)
+	conns := make(chan net.Conn)
+	acceptErr := make(chan error, 1)
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				select {
+				case acceptErr <- err:
+				case <-done:
+				}
+				return
+			}
+			select {
+			case conns <- c:
+			case <-done:
+				c.Close()
+				return
+			}
+		}
+	}()
+	for {
+		select {
+		case err := <-closed:
+			if err != nil {
+				return err
+			}
+			if once {
+				return nil
+			}
+		case err := <-acceptErr:
+			return err
+		case conn := <-conns:
+			wg.Add(1)
+			go func(conn net.Conn) {
+				defer wg.Done()
+				nc := transport.NewNetConn(conn)
+				go func() { // unblock the read when serveOn returns
+					<-done
+					nc.Close()
+				}()
+				_, span := obs.Start(traceCtx, "serve.conn")
+				span.SetAttr("peer", conn.RemoteAddr().String())
+				hc := host.NewConn()
+				err := ndmp.ServeConn(nc, hc, idle)
+				if h, ok := hc.Bound(); ok {
+					span.SetAttr("tenant", h.Tenant)
+					span.SetAttr("session", h.Session)
+				}
+				span.End()
+				nc.Close()
+				if err != nil {
+					// The client redials recoverable faults; keep listening.
+					fmt.Fprintf(os.Stderr, "backupctl: serve: connection dropped: %v\n", err)
+				}
+			}(conn)
 		}
 	}
 }
@@ -146,6 +244,7 @@ func pushCommand(ctx context.Context, fs *wafl.FS, vol string, rest []string) er
 	ckpt := set.Int("ckpt", 0, "checkpoint interval in files (logical) or blocks (image); 0 = default")
 	window := set.Int("window", 0, "session send window in records (0 = protocol default)")
 	session := set.Uint64("session", 0, "session id (0 = pick at random)")
+	tenant := set.String("tenant", "", "tenant namespace on the receiver (\"\" = default tenant)")
 	maxResumes := set.Int("max-resumes", 4, "give up after this many checkpoint resumes")
 	dead := set.Duration("dead", 0, "declare the receiver dead after this much silence (0 = protocol default)")
 	trace := set.String("trace", "", "write a Chrome trace of the push to this file")
@@ -243,7 +342,7 @@ func pushCommand(ctx context.Context, fs *wafl.FS, vol string, rest []string) er
 		sess, err := ndmp.Dial(dial, ndmp.Config{
 			Kind: streamKind, Session: *session, Stream: attempt,
 			Window: *window, DeadAfter: *dead, Ctx: ctx,
-			FSID: vol, Level: pushLevel,
+			FSID: vol, Level: pushLevel, Tenant: *tenant,
 		})
 		if err != nil {
 			return fmt.Errorf("push: dial stream %d: %w", attempt, err)

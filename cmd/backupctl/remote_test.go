@@ -47,7 +47,7 @@ func TestTransportServePush(t *testing.T) {
 		done = make(chan error, 1)
 		go func() {
 			defer l.Close()
-			done <- serveOn(l, out, "", true, 5*time.Second, nil)
+			done <- serveOn(l, out, "", true, 5*time.Second, nil, nil)
 		}()
 		return l.Addr().String(), done
 	}

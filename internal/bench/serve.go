@@ -1,0 +1,303 @@
+// Multi-tenant serve bench: hundreds of simulated-clock ndmp clients
+// push concurrently through one session-registry host gated by a
+// drive-pool scheduler, measuring aggregate throughput and cross-
+// tenant fairness. The whole fleet runs on one sim.Env, so a run that
+// models minutes of tape time finishes in milliseconds and is exactly
+// reproducible.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/ndmp"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// ServeConfig sizes a serve bench run.
+type ServeConfig struct {
+	Clients    int   // concurrent pushing sessions (default 100)
+	Tenants    int   // tenants the clients round-robin across (default 4)
+	Drives     int   // drive-pool slots (default 4)
+	Records    int   // records per client (default 64)
+	RecordSize int   // bytes per record (default 8 KiB)
+	DriveRate  int64 // per-drive byte rate; 0 takes the default 4 MiB/s
+	TenantRate int64 // per-tenant byte rate (0 = unlimited)
+	Window     int   // client send window (0 = protocol default)
+}
+
+func (c ServeConfig) withDefaults() ServeConfig {
+	if c.Clients <= 0 {
+		c.Clients = 100
+	}
+	if c.Tenants <= 0 {
+		c.Tenants = 4
+	}
+	if c.Tenants > c.Clients {
+		c.Tenants = c.Clients
+	}
+	if c.Drives <= 0 {
+		c.Drives = 4
+	}
+	if c.Records <= 0 {
+		c.Records = 64
+	}
+	if c.RecordSize <= 0 {
+		c.RecordSize = 8 << 10
+	}
+	if c.DriveRate <= 0 {
+		c.DriveRate = 4 << 20
+	}
+	return c
+}
+
+// ServeTenantRow is one tenant's share of a serve bench run.
+type ServeTenantRow struct {
+	Tenant      string  `json:"tenant"`
+	Sessions    int     `json:"sessions"`
+	Bytes       int64   `json:"bytes"`
+	MeanTurnSec float64 `json:"mean_turnaround_sec"` // dial → close, virtual
+	MaxTurnSec  float64 `json:"max_turnaround_sec"`
+}
+
+// ServeReport is the BENCH_serve.json schema.
+type ServeReport struct {
+	Clients      int              `json:"clients"`
+	Tenants      int              `json:"tenants"`
+	Drives       int              `json:"drives"`
+	Records      int              `json:"records_per_client"`
+	RecordSize   int              `json:"record_bytes"`
+	TotalBytes   int64            `json:"total_bytes"`
+	MakespanSec  float64          `json:"makespan_sec"` // virtual
+	AggregateGBh float64          `json:"aggregate_gb_per_hour"`
+	JainIndex    float64          `json:"jain_fairness_index"`
+	Failed       int              `json:"failed_clients"`
+	PerTenant    []ServeTenantRow `json:"per_tenant"`
+	PoolGranted  int              `json:"pool_granted"`
+	PoolWaited   int              `json:"pool_waited"`
+	PoolRejected int              `json:"pool_rejected"`
+	PoolExpired  int              `json:"pool_expired"`
+	Throttled    int              `json:"host_throttled_acks"`
+	HostSessions int              `json:"host_sessions_closed"`
+	HostRecords  int64            `json:"host_records"`
+}
+
+// countSink discards stream bytes, keeping only their count — the
+// bench measures the scheduler and session layers, not media I/O.
+type countSink struct{ bytes int64 }
+
+func (s *countSink) WriteRecord(rec []byte) error { s.bytes += int64(len(rec)); return nil }
+func (s *countSink) NextVolume() error            { return nil }
+
+// RunServeBench pushes cfg.Clients concurrent sessions, spread over
+// cfg.Tenants tenants, through one host on a cfg.Drives drive pool.
+// Every client must complete; Failed counts the ones that did not.
+func RunServeBench(cfg ServeConfig) (*ServeReport, error) {
+	cfg = cfg.withDefaults()
+	env := sim.NewEnv()
+	pool := sched.NewDrivePool(sched.DrivePoolConfig{
+		Drives:      cfg.Drives,
+		MaxQueue:    cfg.Clients, // every over-capacity client may wait
+		Now:         env.Now,
+		DriveRate:   cfg.DriveRate,
+		DefaultRate: cfg.TenantRate,
+		// Waiters poll at the client heartbeat interval; expire only
+		// the ones that have genuinely stopped (crashed mid-wait).
+		StaleAfter: 5 * time.Second,
+	})
+	host := ndmp.NewHost(func(ndmp.Hello) (ndmp.Sink, error) { return &countSink{}, nil })
+	host.Gate = pool
+	defer host.Close()
+
+	type clientResult struct {
+		tenant string
+		bytes  int64
+		turn   time.Duration
+		err    error
+	}
+	results := make([]clientResult, cfg.Clients)
+	rec := make([]byte, cfg.RecordSize)
+	for i := range rec {
+		rec[i] = byte(i)
+	}
+	var makespan time.Duration
+	for i := 0; i < cfg.Clients; i++ {
+		i := i
+		tenant := fmt.Sprintf("tenant%02d", i%cfg.Tenants)
+		l := transport.NewLink(transport.DefaultParams())
+		// Each client link gets its own registry binding: data frames
+		// carry only sequence numbers, so routing them to the right
+		// session state lives in the per-connection binding.
+		l.B().Attach(host.NewConn().HandleFrame)
+		env.Spawn(fmt.Sprintf("client%03d", i), func(p *sim.Proc) {
+			l.A().Bind(p)
+			start := p.Now()
+			res := clientResult{tenant: tenant}
+			defer func() {
+				res.turn = p.Now() - start
+				if p.Now() > makespan {
+					makespan = p.Now()
+				}
+				results[i] = res
+			}()
+			s, err := ndmp.Dial(func() (transport.Conn, error) { return l.A(), nil },
+				ndmp.Config{
+					Kind: ndmp.KindLogical, Session: uint64(i + 1),
+					Tenant: tenant, FSID: fmt.Sprintf("fs%03d", i),
+					Window: cfg.Window, Proc: p,
+					HeartbeatEvery: 50 * time.Millisecond,
+					// Covers the worst queue wait: drained at drive rate,
+					// the whole backlog ahead of one client is bounded by
+					// the run's total virtual length, not by a heartbeat.
+					DeadAfter: 10 * time.Minute,
+				})
+			if err != nil {
+				res.err = err
+				return
+			}
+			for r := 0; r < cfg.Records; r++ {
+				if err := s.WriteRecord(rec); err != nil {
+					res.err = err
+					return
+				}
+			}
+			if err := s.Close(); err != nil {
+				res.err = err
+				return
+			}
+			res.bytes = int64(cfg.Records) * int64(cfg.RecordSize)
+		})
+	}
+	env.Run()
+
+	rep := &ServeReport{
+		Clients: cfg.Clients, Tenants: cfg.Tenants, Drives: cfg.Drives,
+		Records: cfg.Records, RecordSize: cfg.RecordSize,
+		MakespanSec: makespan.Seconds(),
+	}
+	type agg struct {
+		row  ServeTenantRow
+		turn time.Duration
+		max  time.Duration
+	}
+	perTenant := make(map[string]*agg)
+	for _, r := range results {
+		if r.err != nil {
+			rep.Failed++
+			continue
+		}
+		a := perTenant[r.tenant]
+		if a == nil {
+			a = &agg{row: ServeTenantRow{Tenant: r.tenant}}
+			perTenant[r.tenant] = a
+		}
+		a.row.Sessions++
+		a.row.Bytes += r.bytes
+		a.turn += r.turn
+		if r.turn > a.max {
+			a.max = r.turn
+		}
+		rep.TotalBytes += r.bytes
+	}
+	var sum, sumSq float64
+	for _, a := range perTenant {
+		a.row.MeanTurnSec = (a.turn / time.Duration(a.row.Sessions)).Seconds()
+		a.row.MaxTurnSec = a.max.Seconds()
+		rep.PerTenant = append(rep.PerTenant, a.row)
+		x := float64(a.row.Bytes)
+		sum += x
+		sumSq += x * x
+	}
+	sort.Slice(rep.PerTenant, func(i, j int) bool {
+		return rep.PerTenant[i].Tenant < rep.PerTenant[j].Tenant
+	})
+	if n := float64(len(perTenant)); n > 0 && sumSq > 0 {
+		rep.JainIndex = sum * sum / (n * sumSq)
+	}
+	if rep.MakespanSec > 0 {
+		rep.AggregateGBh = float64(rep.TotalBytes) / 1e9 / (rep.MakespanSec / 3600)
+	}
+	ps := pool.Stats()
+	rep.PoolGranted, rep.PoolWaited = ps.Granted, ps.Waited
+	rep.PoolRejected, rep.PoolExpired = ps.Rejected, ps.Expired
+	hs := host.Stats()
+	rep.Throttled, rep.HostSessions, rep.HostRecords = hs.Throttled, hs.Sessions, hs.Records
+	if rep.Failed > 0 {
+		for _, r := range results {
+			if r.err != nil {
+				return rep, fmt.Errorf("bench serve: %d/%d clients failed (first: %v)",
+					rep.Failed, cfg.Clients, r.err)
+			}
+		}
+	}
+	return rep, nil
+}
+
+// Format renders the report as the console table.
+func (r *ServeReport) Format() string {
+	s := fmt.Sprintf("serve bench: %d clients / %d tenants on %d drives, %d×%dB records each\n",
+		r.Clients, r.Tenants, r.Drives, r.Records, r.RecordSize)
+	s += fmt.Sprintf("  makespan %.2fs (virtual), aggregate %.2f GB/h, Jain fairness %.3f\n",
+		r.MakespanSec, r.AggregateGBh, r.JainIndex)
+	s += fmt.Sprintf("  pool: %d granted, %d wait-polls, %d rejected; %d throttled acks\n",
+		r.PoolGranted, r.PoolWaited, r.PoolRejected, r.Throttled)
+	for _, t := range r.PerTenant {
+		s += fmt.Sprintf("  %-10s %3d sessions  %10d bytes  turnaround mean %6.2fs max %6.2fs\n",
+			t.Tenant, t.Sessions, t.Bytes, t.MeanTurnSec, t.MaxTurnSec)
+	}
+	return s
+}
+
+// WriteJSON writes the report to path.
+func (r *ServeReport) WriteJSON(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadServeJSON loads a serve report written by WriteJSON.
+func ReadServeJSON(path string) (*ServeReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r ServeReport
+	if err := json.NewDecoder(f).Decode(&r); err != nil && err != io.EOF {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// CompareServe gates cur against base: fairness must stay at or above
+// 0.9 (and within tol of the baseline), aggregate throughput within
+// tol of the baseline, and every client must have completed.
+func CompareServe(base, cur *ServeReport, tol float64) []string {
+	var regs []string
+	if cur.Failed > 0 {
+		regs = append(regs, fmt.Sprintf("serve: %d clients failed", cur.Failed))
+	}
+	if cur.JainIndex < 0.9 {
+		regs = append(regs, fmt.Sprintf("serve: Jain fairness %.3f below floor 0.90", cur.JainIndex))
+	}
+	if base.JainIndex > 0 && cur.JainIndex < base.JainIndex*(1-tol) {
+		regs = append(regs, fmt.Sprintf("serve: Jain fairness %.3f, baseline %.3f",
+			cur.JainIndex, base.JainIndex))
+	}
+	if base.AggregateGBh > 0 && cur.AggregateGBh < base.AggregateGBh*(1-tol) {
+		regs = append(regs, fmt.Sprintf("serve: %.2f GB/h, baseline %.2f GB/h",
+			cur.AggregateGBh, base.AggregateGBh))
+	}
+	return regs
+}

@@ -1,0 +1,177 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/ndmp"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// ServeScenario is a multi-tenant service chaos run: several tenants
+// push concurrently through one session-registry host on a drive-pool
+// scheduler, and one victim tenant's link is hard-cut mid-dump. The
+// victim must redial and replay to a byte-identical stream; every
+// other tenant must complete untouched — no reconnects, no replays,
+// no cross-session state bleed — which is exactly the isolation the
+// per-(session, stream) registry exists to provide.
+type ServeScenario struct {
+	Seed    int64
+	Tenants int // concurrent pushing tenants (min 3)
+	Drives  int // drive-pool slots (default Tenants-1: one tenant queues)
+	Records int // records per tenant (default 48)
+	CutAt   int // cut the victim's link after this many records (default Records/2)
+}
+
+// ServeChaosReport is the outcome of a ServeScenario.
+type ServeChaosReport struct {
+	Victim     string
+	Reconnects int // victim session redials
+	Replayed   int // victim record retransmissions
+	Identical  bool
+	Diffs      []string // per-tenant stream mismatches
+	Host       ndmp.HostStats
+	Pool       sched.DrivePoolStats
+}
+
+// chaosSink accumulates one stream's records in memory for the
+// byte-identical comparison against what its tenant wrote.
+type chaosSink struct {
+	recs [][]byte
+}
+
+func (s *chaosSink) WriteRecord(rec []byte) error {
+	s.recs = append(s.recs, append([]byte(nil), rec...))
+	return nil
+}
+func (s *chaosSink) NextVolume() error { return nil }
+
+// RunServe executes one multi-tenant cut scenario on a virtual clock.
+func RunServe(s ServeScenario) (*ServeChaosReport, error) {
+	if s.Tenants < 3 {
+		s.Tenants = 3
+	}
+	if s.Drives <= 0 {
+		s.Drives = s.Tenants - 1
+	}
+	if s.Records <= 0 {
+		s.Records = 48
+	}
+	if s.CutAt <= 0 || s.CutAt >= s.Records {
+		s.CutAt = s.Records / 2
+	}
+	rep := &ServeChaosReport{Victim: "tenant00"}
+	env := sim.NewEnv()
+	pool := sched.NewDrivePool(sched.DrivePoolConfig{
+		Drives: s.Drives, MaxQueue: s.Tenants, Now: env.Now,
+		StaleAfter: 5 * time.Second,
+	})
+	sinks := make(map[string]*chaosSink)
+	host := ndmp.NewHost(func(h ndmp.Hello) (ndmp.Sink, error) {
+		sk := &chaosSink{}
+		sinks[h.Tenant] = sk
+		return sk, nil
+	})
+	host.Gate = pool
+	defer host.Close()
+
+	rng := rand.New(rand.NewSource(s.Seed))
+	wrote := make(map[string][][]byte)
+	for i := 0; i < s.Tenants; i++ {
+		recs := make([][]byte, s.Records)
+		for r := range recs {
+			rec := make([]byte, 512+rng.Intn(1536))
+			rng.Read(rec)
+			recs[r] = rec
+		}
+		wrote[fmt.Sprintf("tenant%02d", i)] = recs
+	}
+
+	errs := make([]error, s.Tenants)
+	stats := make([]ndmp.SessionStats, s.Tenants)
+	for i := 0; i < s.Tenants; i++ {
+		i := i
+		tenant := fmt.Sprintf("tenant%02d", i)
+		l := transport.NewLink(transport.DefaultParams())
+		l.B().Attach(host.NewConn().HandleFrame)
+		env.Spawn(tenant, func(p *sim.Proc) {
+			l.A().Bind(p)
+			// The dialer heals the victim's cut: the operator plugged the
+			// cable back in by the time the session redials.
+			dial := func() (transport.Conn, error) {
+				if l.Down() {
+					l.Heal()
+				}
+				return l.A(), nil
+			}
+			sess, err := ndmp.Dial(dial, ndmp.Config{
+				Kind: ndmp.KindLogical, Session: uint64(i + 1), Tenant: tenant,
+				Window: 8, Proc: p,
+				HeartbeatEvery: 50 * time.Millisecond,
+				DeadAfter:      30 * time.Second, // covers the queue wait
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			for r, rec := range wrote[tenant] {
+				if i == 0 && r == s.CutAt {
+					// The victim's cable is pulled with its window in
+					// flight; everyone else's links stay clean.
+					l.Cut()
+				}
+				if err := sess.WriteRecord(rec); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+			if err := sess.Close(); err != nil {
+				errs[i] = err
+				return
+			}
+			stats[i] = sess.Stats()
+		})
+	}
+	env.Run()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("chaos serve: tenant%02d: %w", i, err)
+		}
+	}
+
+	rep.Reconnects = stats[0].Reconnects
+	rep.Replayed = stats[0].Replayed
+	for i := 1; i < s.Tenants; i++ {
+		if stats[i].Reconnects != 0 {
+			rep.Diffs = append(rep.Diffs,
+				fmt.Sprintf("tenant%02d reconnected %d times without a fault on its link",
+					i, stats[i].Reconnects))
+		}
+	}
+	for tenant, recs := range wrote {
+		sk := sinks[tenant]
+		if sk == nil {
+			rep.Diffs = append(rep.Diffs, tenant+": no sink opened")
+			continue
+		}
+		if len(sk.recs) != len(recs) {
+			rep.Diffs = append(rep.Diffs, fmt.Sprintf("%s: %d records landed, wrote %d",
+				tenant, len(sk.recs), len(recs)))
+			continue
+		}
+		for r := range recs {
+			if !bytes.Equal(sk.recs[r], recs[r]) {
+				rep.Diffs = append(rep.Diffs, fmt.Sprintf("%s: record %d differs", tenant, r))
+				break
+			}
+		}
+	}
+	rep.Identical = len(rep.Diffs) == 0
+	rep.Host = host.Stats()
+	rep.Pool = pool.Stats()
+	return rep, nil
+}

@@ -26,8 +26,17 @@ import (
 // replication high-water mark to every ack, the MsgSync/MsgSyncAck
 // checkpoint-replication round trip, and the AckStale status a
 // standby tape host answers when a failed-over client greets it
-// mid-stream.
-const Version = 2
+// mid-stream. Version 3 added the tenant name to the Hello, so a
+// multi-tenant tape host can namespace catalogs and enforce
+// per-tenant scheduling; hosts negotiate down — a v2 Hello is served
+// with an empty tenant.
+const Version = 3
+
+// MinVersion is the oldest Hello a host still serves. Everything a v2
+// client can say decodes identically under v3 (the tenant field is an
+// optional suffix), so the host answers v2 Hellos rather than forcing
+// a flag-day upgrade of every data mover.
+const MinVersion = 2
 
 // Message types carried in transport.Frame.Type.
 const (
@@ -102,7 +111,9 @@ const (
 
 // Hello is the session-open payload. FSID and Level describe what is
 // being dumped, so the tape host can record the pushed stream in its
-// own backup catalog, not just land the bytes.
+// own backup catalog, not just land the bytes. Tenant (v3) names the
+// client's namespace: the host keys catalogs, scheduling shares and
+// rate limits by it. A v2 Hello decodes with Tenant "".
 type Hello struct {
 	Version byte
 	Kind    byte   // KindLogical or KindImage
@@ -110,15 +121,22 @@ type Hello struct {
 	Stream  int    // stream index within the session (volume sequence)
 	Level   int32  // incremental level (logical); -1 for image streams
 	FSID    string // filesystem the stream dumps ("" = unnamed)
+	Tenant  string // namespace on the host ("" = default tenant)
 }
 
 // helloFixed is the fixed-width prefix of an encoded Hello: version,
-// kind, session, stream, level, and the FSID length.
+// kind, session, stream, level, and the FSID length. A v3 Hello
+// appends a length-prefixed tenant name after the FSID.
 const helloFixed = 22
 
-// encodeHello marshals h.
+// encodeHello marshals h. The tenant suffix is emitted only for v3+
+// hellos, so a client negotiated down to v2 stays bit-compatible.
 func encodeHello(h Hello) []byte {
-	buf := make([]byte, helloFixed+len(h.FSID))
+	n := helloFixed + len(h.FSID)
+	if h.Version >= 3 {
+		n += 4 + len(h.Tenant)
+	}
+	buf := make([]byte, n)
 	buf[0] = h.Version
 	buf[1] = h.Kind
 	binary.LittleEndian.PutUint64(buf[2:], h.Session)
@@ -126,10 +144,15 @@ func encodeHello(h Hello) []byte {
 	binary.LittleEndian.PutUint32(buf[14:], uint32(h.Level))
 	binary.LittleEndian.PutUint32(buf[18:], uint32(len(h.FSID)))
 	copy(buf[helloFixed:], h.FSID)
+	if h.Version >= 3 {
+		off := helloFixed + len(h.FSID)
+		binary.LittleEndian.PutUint32(buf[off:], uint32(len(h.Tenant)))
+		copy(buf[off+4:], h.Tenant)
+	}
 	return buf
 }
 
-// decodeHello unmarshals a Hello payload.
+// decodeHello unmarshals a Hello payload of any supported version.
 func decodeHello(p []byte) (Hello, error) {
 	if len(p) < helloFixed {
 		return Hello{}, fmt.Errorf("%w: hello payload %d bytes", transport.ErrBadFrame, len(p))
@@ -138,14 +161,26 @@ func decodeHello(p []byte) (Hello, error) {
 	if n < 0 || helloFixed+n > len(p) {
 		return Hello{}, fmt.Errorf("%w: hello fsid length %d", transport.ErrBadFrame, n)
 	}
-	return Hello{
+	h := Hello{
 		Version: p[0],
 		Kind:    p[1],
 		Session: binary.LittleEndian.Uint64(p[2:]),
 		Stream:  int(binary.LittleEndian.Uint32(p[10:])),
 		Level:   int32(binary.LittleEndian.Uint32(p[14:])),
 		FSID:    string(p[helloFixed : helloFixed+n]),
-	}, nil
+	}
+	if h.Version >= 3 {
+		off := helloFixed + n
+		if len(p) < off+4 {
+			return Hello{}, fmt.Errorf("%w: v3 hello missing tenant length", transport.ErrBadFrame)
+		}
+		tn := int(binary.LittleEndian.Uint32(p[off:]))
+		if tn < 0 || off+4+tn > len(p) {
+			return Hello{}, fmt.Errorf("%w: hello tenant length %d", transport.ErrBadFrame, tn)
+		}
+		h.Tenant = string(p[off+4 : off+4+tn])
+	}
+	return h, nil
 }
 
 // ack is the payload of MsgHelloAck, MsgAck, MsgVolAck and MsgSyncAck:

@@ -3,7 +3,10 @@ package ndmp
 import (
 	"errors"
 	"fmt"
+	"io"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dumpfmt"
@@ -14,7 +17,10 @@ import (
 // Sink is the durable record consumer a Host writes to — structurally
 // the same contract both dump engines emit (dumpfmt.Sink and
 // physical.Sink): WriteRecord returns dumpfmt.ErrEndOfMedia when the
-// volume is full, and NextVolume mounts the next cartridge.
+// volume is full, and NextVolume mounts the next cartridge. A Sink
+// that also implements io.Closer is closed when its stream is evicted
+// from the registry (clean session close, explicit eviction, or host
+// shutdown), which is what finalizes server-side stream files.
 type Sink interface {
 	WriteRecord(rec []byte) error
 	NextVolume() error
@@ -22,10 +28,50 @@ type Sink interface {
 
 // SinkFactory opens the durable sink for one stream of a session. The
 // host calls it on the first Hello naming that stream; re-Hellos of
-// the current stream (reconnects) rebind without reopening.
+// a registered stream (reconnects) rebind without reopening.
 type SinkFactory func(hello Hello) (Sink, error)
 
-// HostStats counts protocol events on the tape-host side.
+// Admission is a Gate's verdict on a new stream.
+type Admission int
+
+const (
+	// AdmitGranted admits the stream onto a drive immediately.
+	AdmitGranted Admission = iota
+	// AdmitWait queues the stream: the host withholds the HelloAck and
+	// the client's re-sent Hellos (its heartbeat-interval retries) poll
+	// the queue until a slot frees or the client's DeadAfter expires —
+	// admission waiting without a new wire message.
+	AdmitWait
+	// AdmitReject refuses the stream (queue full, tenant over quota):
+	// the host answers AckErr, which is terminal for the client.
+	AdmitReject
+)
+
+// Gate is the admission/rate-control hook a multi-tenant host
+// consults — sched.DrivePool implements it. All methods must be safe
+// for concurrent use; the host calls them with no locks of its own
+// held that the Gate could observe.
+//
+// Admit is called on every Hello for an unregistered stream and must
+// be idempotent per (tenant, session, stream): a waiting client
+// re-Hellos every heartbeat interval, and each retry polls Admit
+// again; two connections racing the same Hello must consume one
+// grant, not two. A grant stays held until Release frees it — the
+// host releases each admitted stream exactly once, at eviction (or
+// when its sink fails to open). Charge is called with the byte size
+// of every durably written record and with n=0 on heartbeats (a pure
+// refill poll); returning false tells the host to withhold window
+// credit — the ack keeps reporting the old mark — so the client's
+// sliding window, not the wire format, enforces the tenant's byte
+// rate.
+type Gate interface {
+	Admit(tenant string, session uint64, stream int) (Admission, string)
+	Release(tenant string, session uint64, stream int)
+	Charge(tenant string, session uint64, stream int, n int) bool
+}
+
+// HostStats counts protocol events on the tape-host side, aggregated
+// across every session in the registry.
 type HostStats struct {
 	Streams    int   // sinks opened
 	Records    int64 // records durably written
@@ -36,12 +82,60 @@ type HostStats struct {
 	NextVols   int   // volume switches served
 	Syncs      int   // checkpoint replications served
 	Stales     int   // failed-over Hellos answered with AckStale
+	Sessions   int   // sessions closed cleanly
+	Waits      int   // Hellos left unanswered by admission control
+	Rejects    int   // Hellos refused by admission control
+	Throttled  int   // acks withheld by the rate limiter
+	Evictions  int   // streams evicted from the registry
 }
 
-// Host is the tape-host side of a session: it owns the sink, tracks
-// the durable high-water mark, and answers frames. It is driven
-// entirely by HandleFrame, so the same code serves a simulated link
-// (as a transport.Handler) and a TCP listener (via Serve).
+// streamKey identifies one stream of one session in the registry.
+type streamKey struct {
+	session uint64
+	stream  int
+}
+
+// stream is the per-(session, stream) server state: exactly what the
+// pre-registry Host kept once, now one entry per client. The mutex
+// serializes the data path (normally a single connection goroutine;
+// after a reconnect race, possibly a zombie too); acked/repl/bytes
+// are atomics so metric collectors read them without taking it.
+type stream struct {
+	mu    sync.Mutex
+	hello Hello
+	sink  Sink
+	acked atomic.Uint64 // cumulative: records 1..acked are durable
+	repl  atomic.Uint64 // cumulative: records 1..repl are checkpoint-replicated
+	bytes atomic.Int64  // payload bytes durably written
+	// released is the high-water mark the host has granted window
+	// credit for: acks report it instead of acked while the Gate is
+	// throttling the tenant. released <= acked always; correctness
+	// paths (gap, EOM, volume switch, sync) snap it back to acked.
+	released uint64
+	eom      bool // current volume full; awaiting MsgNextVol
+}
+
+func (st *stream) status() byte {
+	if st.eom {
+		return AckEOM
+	}
+	return AckOK
+}
+
+// StreamEnd describes one stream at the moment its session closed
+// cleanly: the Hello that opened it and the durable high-water mark.
+type StreamEnd struct {
+	Hello Hello
+	Acked uint64
+	Bytes int64
+}
+
+// Host is the tape-host side of the session layer: a registry of
+// per-(session, stream) state, so N clients coexist on one host. Each
+// connection gets its own Conn binding (NewConn) and routes frames to
+// the stream its Hello named; Host.HandleFrame remains as a
+// single-connection convenience that binds a default Conn — which is
+// what simulated links attach.
 type Host struct {
 	// Replicate, when set, records a stream checkpoint in the
 	// replicated catalog: called on MsgSync with the stream identity
@@ -57,24 +151,39 @@ type Host struct {
 	// instead of silently restarting the stream from zero. When nil,
 	// a mismatched Hello opens a fresh sink (v1 behavior).
 	Progress func(session uint64, stream int) (uint64, bool)
+	// Gate, when set, is the drive-pool scheduler: every new stream
+	// passes admission, every durable byte is charged against its
+	// tenant's rate. When nil every stream is admitted and unthrottled.
+	Gate Gate
+	// OnSessionClose, when set, is called after a clean MsgClose
+	// evicts a session's streams (sinks already closed), with the
+	// session's streams in stream order. It runs on the connection's
+	// goroutine before the CloseAck is sent, so by the time the client
+	// sees the ack the callback's work (e.g. cataloging the received
+	// dump) is done.
+	OnSessionClose func(session uint64, streams []StreamEnd)
 
 	mu      sync.Mutex
 	factory SinkFactory
-
-	session uint64
-	stream  int
-	sink    Sink
-	acked   uint64 // cumulative: records 1..acked are durable
-	repl    uint64 // cumulative: records 1..repl are checkpoint-replicated
-	eom     bool   // current volume full; awaiting MsgNextVol
+	streams map[streamKey]*stream
+	def     *Conn
 	stats   HostStats
+
+	reg        *obs.Registry
+	tenantSeen map[string]bool
+	tenantDone map[string]int64 // bytes of evicted streams, by tenant
 }
 
 // NewHost creates a host that opens sinks through factory. Set the
-// Replicate and Progress hooks before serving to tie the host into a
-// replicated catalog.
+// Replicate/Progress hooks and the Gate before serving to tie the
+// host into a replicated catalog and a drive-pool scheduler.
 func NewHost(factory SinkFactory) *Host {
-	return &Host{factory: factory, stream: -1}
+	return &Host{
+		factory:    factory,
+		streams:    make(map[streamKey]*stream),
+		tenantSeen: make(map[string]bool),
+		tenantDone: make(map[string]int64),
+	}
 }
 
 // Stats returns a snapshot of the host's counters.
@@ -84,10 +193,62 @@ func (h *Host) Stats() HostStats {
 	return h.stats
 }
 
+// bump applies one stats mutation under the host lock. Callers may
+// hold a stream's mutex (lock order: stream.mu -> h.mu).
+func (h *Host) bump(f func(*HostStats)) {
+	h.mu.Lock()
+	f(&h.stats)
+	h.mu.Unlock()
+}
+
+// ActiveStreams returns the number of registered streams.
+func (h *Host) ActiveStreams() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.streams)
+}
+
+// StreamAcked returns the durable high-water mark of one registered
+// stream.
+func (h *Host) StreamAcked(session uint64, stream int) (uint64, bool) {
+	h.mu.Lock()
+	st, ok := h.streams[streamKey{session, stream}]
+	h.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	return st.acked.Load(), true
+}
+
+// TenantBytes returns the payload bytes durably written for tenant,
+// summed over live and evicted streams.
+func (h *Host) TenantBytes(tenant string) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.tenantBytesLocked(tenant)
+}
+
+func (h *Host) tenantBytesLocked(tenant string) int64 {
+	total := h.tenantDone[tenant]
+	for _, st := range h.streams {
+		if st.hello.Tenant == tenant {
+			total += st.bytes.Load()
+		}
+	}
+	return total
+}
+
 // RegisterMetrics installs pull collectors for the host's protocol
-// counters. The closures lock the host, so collection is safe while
-// the host is serving.
+// counters, plus per-tenant byte/stream gauges registered lazily as
+// tenants appear. The closures lock the host, so collection is safe
+// while the host is serving.
 func (h *Host) RegisterMetrics(r *obs.Registry) {
+	h.mu.Lock()
+	h.reg = r
+	for t := range h.tenantSeen {
+		h.registerTenantLocked(t)
+	}
+	h.mu.Unlock()
 	snap := func(read func(HostStats) float64) func() float64 {
 		return func() float64 {
 			h.mu.Lock()
@@ -104,65 +265,139 @@ func (h *Host) RegisterMetrics(r *obs.Registry) {
 	r.RegisterFunc("ndmp_host_next_vols_total", obs.KindCounter, nil, snap(func(s HostStats) float64 { return float64(s.NextVols) }))
 	r.RegisterFunc("ndmp_host_syncs_total", obs.KindCounter, nil, snap(func(s HostStats) float64 { return float64(s.Syncs) }))
 	r.RegisterFunc("ndmp_host_stales_total", obs.KindCounter, nil, snap(func(s HostStats) float64 { return float64(s.Stales) }))
+	r.RegisterFunc("ndmp_host_sessions_total", obs.KindCounter, nil, snap(func(s HostStats) float64 { return float64(s.Sessions) }))
+	r.RegisterFunc("ndmp_host_waits_total", obs.KindCounter, nil, snap(func(s HostStats) float64 { return float64(s.Waits) }))
+	r.RegisterFunc("ndmp_host_rejects_total", obs.KindCounter, nil, snap(func(s HostStats) float64 { return float64(s.Rejects) }))
+	r.RegisterFunc("ndmp_host_throttled_total", obs.KindCounter, nil, snap(func(s HostStats) float64 { return float64(s.Throttled) }))
+	r.RegisterFunc("ndmp_host_active_streams", obs.KindGauge, nil, func() float64 {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		return float64(len(h.streams))
+	})
 	r.RegisterFunc("ndmp_host_replication_lag_records", obs.KindGauge, nil, func() float64 {
 		h.mu.Lock()
 		defer h.mu.Unlock()
-		return float64(h.acked - h.repl)
+		var lag uint64
+		for _, st := range h.streams {
+			lag += st.acked.Load() - st.repl.Load()
+		}
+		return float64(lag)
 	})
 }
 
-// Acked returns the durable high-water mark of the current stream.
-func (h *Host) Acked() uint64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.acked
+// registerTenantLocked installs the per-tenant collectors once a
+// tenant first appears. Callers hold h.mu and have set h.reg.
+func (h *Host) registerTenantLocked(tenant string) {
+	if h.reg == nil {
+		return
+	}
+	l := obs.Labels{"tenant": tenant}
+	t := tenant
+	h.reg.RegisterFunc("ndmp_host_tenant_acked_bytes", obs.KindCounter, l, func() float64 {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		return float64(h.tenantBytesLocked(t))
+	})
+	h.reg.RegisterFunc("ndmp_host_tenant_streams", obs.KindGauge, l, func() float64 {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		n := 0
+		for _, st := range h.streams {
+			if st.hello.Tenant == t {
+				n++
+			}
+		}
+		return float64(n)
+	})
+}
+
+// Conn is one connection's binding into the host registry: frames
+// route to the stream the connection's Hello named. Each accepted
+// connection gets its own Conn; a Conn is used by one goroutine.
+type Conn struct {
+	h     *Host
+	cur   *stream
+	last  Hello
+	bound bool
+}
+
+// NewConn returns a fresh connection binding.
+func (h *Host) NewConn() *Conn { return &Conn{h: h} }
+
+// Bound returns the Hello this connection most recently bound to; it
+// stays readable after a clean close retires the stream.
+func (c *Conn) Bound() (Hello, bool) { return c.last, c.bound }
+
+// bind points the connection at a stream.
+func (c *Conn) bind(st *stream) {
+	c.cur = st
+	c.last = st.hello
+	c.bound = true
 }
 
 // HandleFrame consumes one raw frame and returns the frames to send
 // back. It implements transport.Handler, which is how a simulated
 // tape host stays on the client's virtual clock.
-func (h *Host) HandleFrame(raw []byte) [][]byte {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+func (c *Conn) HandleFrame(raw []byte) [][]byte {
 	f, err := transport.Decode(raw)
 	if err != nil {
-		// A frame mangled in flight: treat it as lost, but tell the
-		// client where we are so it can replay without waiting for a
-		// window-full stall.
-		h.stats.BadFrames++
-		return h.ackFrames(MsgAck, ack{status: AckGap, acked: h.acked})
+		return c.BadFrame()
 	}
+	return c.Handle(f)
+}
+
+// HandleFrame is the single-connection convenience used by simulated
+// links: it routes through a host-owned default Conn, preserving the
+// pre-registry behavior of one client driving the host directly.
+func (h *Host) HandleFrame(raw []byte) [][]byte {
+	h.mu.Lock()
+	if h.def == nil {
+		h.def = h.NewConn()
+	}
+	c := h.def
+	h.mu.Unlock()
+	return c.HandleFrame(raw)
+}
+
+// BadFrame records an undecodable frame and answers with the bound
+// stream's high-water mark so the client replays without waiting for
+// a window-full stall.
+func (c *Conn) BadFrame() [][]byte {
+	c.h.bump(func(s *HostStats) { s.BadFrames++ })
+	var mark uint64
+	if c.cur != nil {
+		mark = c.cur.acked.Load()
+	}
+	return c.respond(MsgAck, ack{status: AckGap, acked: mark})
+}
+
+// Handle consumes one decoded frame — the decode-once entry point
+// Serve uses so every frame is parsed exactly one time.
+func (c *Conn) Handle(f *transport.Frame) [][]byte {
 	switch f.Type {
 	case MsgHello:
-		return h.handleHello(f)
+		return c.handleHello(f)
 	case MsgData:
-		return h.handleData(f)
+		return c.handleData(f)
 	case MsgHeartbeat:
-		h.stats.Heartbeats++
-		return h.ackFrames(MsgAck, ack{status: h.status(), acked: h.acked})
+		return c.handleHeartbeat()
 	case MsgNextVol:
-		return h.handleNextVol()
+		return c.handleNextVol()
 	case MsgSync:
-		return h.handleSync()
+		return c.handleSync()
 	case MsgClose:
-		return h.ackFrames(MsgCloseAck, ack{status: h.status(), acked: h.acked})
+		return c.handleClose()
 	default:
 		// Unknown type: ignore (forward compatibility); say nothing.
 		return nil
 	}
 }
 
-// status folds the EOM latch into an ack status.
-func (h *Host) status() byte {
-	if h.eom {
-		return AckEOM
-	}
-	return AckOK
-}
-
-func (h *Host) ackFrames(typ byte, a ack) [][]byte {
-	if a.repl == 0 {
-		a.repl = h.repl
+// respond encodes one ack-bearing response frame, defaulting its repl
+// field to the bound stream's replicated mark.
+func (c *Conn) respond(typ byte, a ack) [][]byte {
+	if a.repl == 0 && c.cur != nil {
+		a.repl = c.cur.repl.Load()
 	}
 	return [][]byte{transport.Encode(&transport.Frame{
 		Type:    typ,
@@ -171,131 +406,352 @@ func (h *Host) ackFrames(typ byte, a ack) [][]byte {
 	})}
 }
 
-// handleSync replicates a stream checkpoint: once the Replicate hook
-// returns, records 1..acked are recorded in the replicated catalog
-// and a standby host can answer for them. Without a replication
-// layer the host's own durable mark is the best promise available.
-func (h *Host) handleSync() [][]byte {
-	if h.sink == nil {
-		return h.ackFrames(MsgSyncAck, ack{status: AckErr, msg: "sync before hello"})
-	}
-	if h.repl < h.acked {
-		if h.Replicate != nil {
-			if err := h.Replicate(h.session, h.stream, h.acked); err != nil {
-				// Replication unavailable is not a stream error: report
-				// the old mark; the client keeps the window and retries.
-				return h.ackFrames(MsgSyncAck, ack{status: h.status(), acked: h.acked})
-			}
-		}
-		h.repl = h.acked
-		h.stats.Syncs++
-	}
-	return h.ackFrames(MsgSyncAck, ack{status: h.status(), acked: h.acked, repl: h.repl})
-}
-
-func (h *Host) handleHello(f *transport.Frame) [][]byte {
+func (c *Conn) handleHello(f *transport.Frame) [][]byte {
+	h := c.h
 	hello, err := decodeHello(f.Payload)
 	if err != nil {
-		h.stats.BadFrames++
-		return h.ackFrames(MsgAck, ack{status: AckGap, acked: h.acked})
+		return c.BadFrame()
 	}
-	if hello.Version != Version {
-		return h.ackFrames(MsgHelloAck, ack{status: AckErr,
-			msg: fmt.Sprintf("version %d not supported", hello.Version)})
+	if hello.Version < MinVersion || hello.Version > Version {
+		return c.respond(MsgHelloAck, ack{status: AckErr,
+			msg: fmt.Sprintf("version %d not supported (host speaks %d-%d)", hello.Version, MinVersion, Version)})
 	}
-	if h.sink == nil || hello.Session != h.session || hello.Stream != h.stream {
-		// This host holds no media for the stream. If the replicated
-		// catalog says the stream already checkpointed progress, the
-		// client is failing over from another host (or from this
-		// host's previous life) mid-stream: fresh media cannot be
-		// appended to mid-stream, so answer AckStale with the
-		// replicated checkpoint and let the engine resume on a fresh
-		// stream. Only a stream with no replicated history is
-		// genuinely new.
-		if h.Progress != nil {
-			if rep, ok := h.Progress(hello.Session, hello.Stream); ok && rep > 0 {
-				h.stats.Stales++
-				return h.ackFrames(MsgHelloAck, ack{status: AckStale, repl: rep,
-					msg: fmt.Sprintf("stream %d/%d was checkpointed elsewhere", hello.Session, hello.Stream)})
+	key := streamKey{hello.Session, hello.Stream}
+	h.mu.Lock()
+	st, ok := h.streams[key]
+	h.mu.Unlock()
+	if ok {
+		// A re-Hello of a registered stream: a reconnect (or a second
+		// connection after a half-dead one). Rebind; the sink, marks
+		// and EOM latch carry over — that is what makes reconnect
+		// resume instead of restart.
+		c.bind(st)
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		return c.respond(MsgHelloAck, ack{status: st.status(), acked: st.acked.Load()})
+	}
+	// This host holds no media for the stream. If the replicated
+	// catalog says the stream already checkpointed progress, the
+	// client is failing over from another host (or from this host's
+	// previous life) mid-stream: fresh media cannot be appended to
+	// mid-stream, so answer AckStale with the replicated checkpoint
+	// and let the engine resume on a fresh stream. Only a stream with
+	// no replicated history is genuinely new.
+	if h.Progress != nil {
+		if rep, ok := h.Progress(hello.Session, hello.Stream); ok && rep > 0 {
+			h.bump(func(s *HostStats) { s.Stales++ })
+			return c.respond(MsgHelloAck, ack{status: AckStale, repl: rep,
+				msg: fmt.Sprintf("stream %d/%d was checkpointed elsewhere", hello.Session, hello.Stream)})
+		}
+	}
+	if h.Gate != nil {
+		adm, msg := h.Gate.Admit(hello.Tenant, hello.Session, hello.Stream)
+		switch adm {
+		case AdmitWait:
+			// Withhold the HelloAck: the client's request loop re-sends
+			// the Hello every heartbeat interval, polling the queue.
+			h.bump(func(s *HostStats) { s.Waits++ })
+			return nil
+		case AdmitReject:
+			h.bump(func(s *HostStats) { s.Rejects++ })
+			if msg == "" {
+				msg = "admission rejected"
 			}
+			return c.respond(MsgHelloAck, ack{status: AckErr, msg: msg})
 		}
-		sink, err := h.factory(hello)
-		if err != nil {
-			return h.ackFrames(MsgHelloAck, ack{status: AckErr, msg: err.Error()})
-		}
-		h.session = hello.Session
-		h.stream = hello.Stream
-		h.sink = sink
-		h.acked = 0
-		h.repl = 0
-		h.eom = false
-		h.stats.Streams++
 	}
-	return h.ackFrames(MsgHelloAck, ack{status: h.status(), acked: h.acked})
+	h.mu.Lock()
+	// Re-check under the lock: another connection's Hello for the same
+	// key may have registered the stream while we consulted the Gate.
+	if st, ok = h.streams[key]; ok {
+		// Admit is idempotent per key, so the racing Hello consumed no
+		// extra grant: just rebind to the stream the winner registered.
+		h.mu.Unlock()
+		c.bind(st)
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		return c.respond(MsgHelloAck, ack{status: st.status(), acked: st.acked.Load()})
+	}
+	sink, err := h.factory(hello)
+	if err != nil {
+		h.mu.Unlock()
+		if h.Gate != nil {
+			h.Gate.Release(hello.Tenant, hello.Session, hello.Stream)
+		}
+		return c.respond(MsgHelloAck, ack{status: AckErr, msg: err.Error()})
+	}
+	st = &stream{hello: hello, sink: sink}
+	h.streams[key] = st
+	h.stats.Streams++
+	if !h.tenantSeen[hello.Tenant] {
+		h.tenantSeen[hello.Tenant] = true
+		h.registerTenantLocked(hello.Tenant)
+	}
+	h.mu.Unlock()
+	c.bind(st)
+	return c.respond(MsgHelloAck, ack{status: AckOK, acked: 0})
 }
 
-func (h *Host) handleData(f *transport.Frame) [][]byte {
-	if h.sink == nil {
-		return h.ackFrames(MsgAck, ack{status: AckErr, msg: "data before hello"})
+func (c *Conn) handleHeartbeat() [][]byte {
+	c.h.bump(func(s *HostStats) { s.Heartbeats++ })
+	st := c.cur
+	if st == nil {
+		return c.respond(MsgAck, ack{status: AckOK})
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	// A heartbeat is the rate limiter's refill poll: if the tenant's
+	// bucket has recovered, release the withheld credit.
+	if st.released < st.acked.Load() && c.charge(st, 0) {
+		st.released = st.acked.Load()
+	}
+	mark := st.released
+	if st.eom {
+		mark = st.acked.Load() // EOM recovery needs the true mark
+	}
+	return c.respond(MsgAck, ack{status: st.status(), acked: mark})
+}
+
+// charge asks the Gate whether the tenant may be granted credit for n
+// more durable bytes. Callers hold st.mu.
+func (c *Conn) charge(st *stream, n int) bool {
+	g := c.h.Gate
+	if g == nil {
+		return true
+	}
+	return g.Charge(st.hello.Tenant, st.hello.Session, st.hello.Stream, n)
+}
+
+func (c *Conn) handleData(f *transport.Frame) [][]byte {
+	st := c.cur
+	if st == nil {
+		return c.respond(MsgAck, ack{status: AckErr, msg: "data before hello"})
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	acked := st.acked.Load()
 	switch {
-	case f.Seq <= h.acked:
+	case f.Seq <= acked:
 		// Idempotent replay: already durable, re-ack so the client
-		// can slide its window.
-		h.stats.Duplicates++
-		return h.ackFrames(MsgAck, ack{status: h.status(), acked: h.acked})
-	case f.Seq > h.acked+1:
-		// Loss: nack with the high-water mark; client replays.
-		h.stats.Gaps++
-		return h.ackFrames(MsgAck, ack{status: AckGap, acked: h.acked})
+		// can slide its window — but report only the released mark, or
+		// a throttled client's replays would defeat the limiter.
+		c.h.bump(func(s *HostStats) { s.Duplicates++ })
+		mark := st.released
+		if st.eom {
+			mark = acked
+		}
+		return c.respond(MsgAck, ack{status: st.status(), acked: mark})
+	case f.Seq > acked+1:
+		// Loss: nack with the high-water mark; client replays. A real
+		// gap is a correctness recovery, so it reports (and releases)
+		// the true mark.
+		c.h.bump(func(s *HostStats) { s.Gaps++ })
+		st.released = acked
+		return c.respond(MsgAck, ack{status: AckGap, acked: acked})
 	}
-	if h.eom {
+	if st.eom {
 		// Volume still full; remind the client.
-		return h.ackFrames(MsgAck, ack{status: AckEOM, acked: h.acked})
+		return c.respond(MsgAck, ack{status: AckEOM, acked: acked})
 	}
-	err := h.sink.WriteRecord(f.Payload)
+	err := st.sink.WriteRecord(f.Payload)
 	switch {
 	case err == nil:
-		h.acked = f.Seq
-		h.stats.Records++
+		st.acked.Store(f.Seq)
+		st.bytes.Add(int64(len(f.Payload)))
+		c.h.bump(func(s *HostStats) { s.Records++ })
+		if c.charge(st, len(f.Payload)) {
+			st.released = f.Seq
+		}
 		if f.Flags&FlagAckNow != 0 {
-			return h.ackFrames(MsgAck, ack{status: AckOK, acked: h.acked})
+			if st.released < f.Seq {
+				// Over the tenant's byte rate: withhold the ack. The
+				// client stalls on its full window and its heartbeat
+				// probes poll for the released mark — backpressure
+				// through the existing window flags, no wire change.
+				c.h.bump(func(s *HostStats) { s.Throttled++ })
+				return nil
+			}
+			return c.respond(MsgAck, ack{status: AckOK, acked: st.released})
 		}
 		return nil
 	case errors.Is(err, dumpfmt.ErrEndOfMedia):
 		// The record did not fit. It is NOT durable: latch EOM and
 		// report the high-water mark so the client re-sends it after
 		// the volume switch.
-		h.eom = true
-		return h.ackFrames(MsgAck, ack{status: AckEOM, acked: h.acked})
+		st.eom = true
+		st.released = acked
+		return c.respond(MsgAck, ack{status: AckEOM, acked: acked})
 	default:
-		return h.ackFrames(MsgAck, ack{status: AckErr, acked: h.acked, msg: err.Error()})
+		return c.respond(MsgAck, ack{status: AckErr, acked: acked, msg: err.Error()})
 	}
 }
 
-func (h *Host) handleNextVol() [][]byte {
-	if h.sink == nil {
-		return h.ackFrames(MsgVolAck, ack{status: AckErr, msg: "next-vol before hello"})
+func (c *Conn) handleNextVol() [][]byte {
+	st := c.cur
+	if st == nil {
+		return c.respond(MsgVolAck, ack{status: AckErr, msg: "next-vol before hello"})
 	}
-	if !h.eom {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !st.eom {
 		// Duplicate request (our VolAck was lost): the switch already
 		// happened; confirm idempotently.
-		return h.ackFrames(MsgVolAck, ack{status: AckOK, acked: h.acked})
+		return c.respond(MsgVolAck, ack{status: AckOK, acked: st.acked.Load()})
 	}
-	if err := h.sink.NextVolume(); err != nil {
-		return h.ackFrames(MsgVolAck, ack{status: AckErr, acked: h.acked, msg: err.Error()})
+	if err := st.sink.NextVolume(); err != nil {
+		return c.respond(MsgVolAck, ack{status: AckErr, acked: st.acked.Load(), msg: err.Error()})
 	}
-	h.eom = false
-	h.stats.NextVols++
-	return h.ackFrames(MsgVolAck, ack{status: AckOK, acked: h.acked})
+	st.eom = false
+	st.released = st.acked.Load()
+	c.h.bump(func(s *HostStats) { s.NextVols++ })
+	return c.respond(MsgVolAck, ack{status: AckOK, acked: st.acked.Load()})
+}
+
+// handleSync replicates a stream checkpoint: once the Replicate hook
+// returns, records 1..acked are recorded in the replicated catalog
+// and a standby host can answer for them. Without a replication
+// layer the host's own durable mark is the best promise available.
+func (c *Conn) handleSync() [][]byte {
+	st := c.cur
+	if st == nil {
+		return c.respond(MsgSyncAck, ack{status: AckErr, msg: "sync before hello"})
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	acked := st.acked.Load()
+	if st.repl.Load() < acked {
+		if c.h.Replicate != nil {
+			if err := c.h.Replicate(st.hello.Session, st.hello.Stream, acked); err != nil {
+				// Replication unavailable is not a stream error: report
+				// the old mark; the client keeps the window and retries.
+				return c.respond(MsgSyncAck, ack{status: st.status(), acked: acked})
+			}
+		}
+		st.repl.Store(acked)
+		c.h.bump(func(s *HostStats) { s.Syncs++ })
+	}
+	st.released = acked // a checkpoint drain must not be throttled
+	return c.respond(MsgSyncAck, ack{status: st.status(), acked: acked, repl: st.repl.Load()})
+}
+
+// handleClose ends the bound stream's whole session: every stream of
+// the session (checkpoint resumes add streams) is evicted, its sink
+// finalized, its drive slot released, and the OnSessionClose hook
+// runs — all before the CloseAck is answered, so a client that saw
+// the ack knows the server has fully retired the session.
+func (c *Conn) handleClose() [][]byte {
+	st := c.cur
+	if st == nil {
+		return c.respond(MsgCloseAck, ack{status: AckOK})
+	}
+	session := st.hello.Session
+	a := ack{status: AckOK, acked: st.acked.Load(), repl: st.repl.Load()}
+	if st.eom {
+		a.status = AckEOM
+	}
+	ends := c.h.evictSession(session)
+	c.h.bump(func(s *HostStats) { s.Sessions++ })
+	if c.h.OnSessionClose != nil {
+		c.h.OnSessionClose(session, ends)
+	}
+	c.cur = nil
+	return [][]byte{transport.Encode(&transport.Frame{
+		Type: MsgCloseAck, Seq: a.acked, Payload: encodeAck(a),
+	})}
+}
+
+// evictSession removes every stream of a session from the registry,
+// closes their sinks and releases their grants, returning what was
+// evicted in stream order.
+func (h *Host) evictSession(session uint64) []StreamEnd {
+	h.mu.Lock()
+	var evicted []*stream
+	for k, st := range h.streams {
+		if k.session == session {
+			evicted = append(evicted, st)
+			delete(h.streams, k)
+			h.stats.Evictions++
+			h.tenantDone[st.hello.Tenant] += st.bytes.Load()
+		}
+	}
+	h.mu.Unlock()
+	sort.Slice(evicted, func(i, j int) bool { return evicted[i].hello.Stream < evicted[j].hello.Stream })
+	ends := make([]StreamEnd, 0, len(evicted))
+	for _, st := range evicted {
+		h.finalize(st)
+		ends = append(ends, StreamEnd{Hello: st.hello, Acked: st.acked.Load(), Bytes: st.bytes.Load()})
+	}
+	return ends
+}
+
+// finalize closes an evicted stream's sink (the displaced-sink fix:
+// eviction is the only way a registered sink leaves the registry, and
+// it always finalizes) and releases its drive grant.
+func (h *Host) finalize(st *stream) {
+	st.mu.Lock()
+	if cl, ok := st.sink.(io.Closer); ok {
+		cl.Close()
+	}
+	st.mu.Unlock()
+	if h.Gate != nil {
+		h.Gate.Release(st.hello.Tenant, st.hello.Session, st.hello.Stream)
+	}
+}
+
+// Evict removes one stream from the registry, closing its sink and
+// releasing its grant. It is the operator path for abandoning a
+// stream whose client will never return; a client that does come back
+// is answered like a failed-over one (via Progress, or a fresh sink).
+func (h *Host) Evict(session uint64, stream int) bool {
+	key := streamKey{session, stream}
+	h.mu.Lock()
+	st, ok := h.streams[key]
+	if ok {
+		delete(h.streams, key)
+		h.stats.Evictions++
+		h.tenantDone[st.hello.Tenant] += st.bytes.Load()
+	}
+	h.mu.Unlock()
+	if !ok {
+		return false
+	}
+	h.finalize(st)
+	return true
+}
+
+// Close evicts every registered stream, finalizing all sinks — host
+// shutdown.
+func (h *Host) Close() error {
+	h.mu.Lock()
+	var all []*stream
+	for k, st := range h.streams {
+		all = append(all, st)
+		delete(h.streams, k)
+		h.stats.Evictions++
+		h.tenantDone[st.hello.Tenant] += st.bytes.Load()
+	}
+	h.mu.Unlock()
+	for _, st := range all {
+		h.finalize(st)
+	}
+	return nil
 }
 
 // Serve pumps frames from a real connection through the host until
 // the peer closes or idleTimeout passes with no traffic. It returns
 // nil on a clean MsgClose, io.EOF-ish errors from the conn otherwise.
-// Used by backupctl serve; simulated links attach HandleFrame
-// directly instead.
+// Each call gets its own registry binding, so one listener can run
+// many Serve goroutines concurrently — one per accepted connection.
+// Frames are decoded exactly once. Used by backupctl serve; simulated
+// links attach a Conn's HandleFrame directly instead.
 func Serve(conn transport.Conn, host *Host, idleTimeout time.Duration) error {
+	return ServeConn(conn, host.NewConn(), idleTimeout)
+}
+
+// ServeConn is Serve with a caller-built registry binding, so the
+// caller can inspect hc.Bound() afterwards (e.g. to label a span with
+// the tenant and session the connection turned out to carry).
+func ServeConn(conn transport.Conn, hc *Conn, idleTimeout time.Duration) error {
 	if idleTimeout <= 0 {
 		idleTimeout = 30 * time.Second
 	}
@@ -307,11 +763,15 @@ func Serve(conn transport.Conn, host *Host, idleTimeout time.Duration) error {
 			}
 			return err
 		}
+		var resps [][]byte
 		var closing bool
-		if f, derr := transport.Decode(raw); derr == nil && f.Type == MsgClose {
-			closing = true
+		if f, derr := transport.Decode(raw); derr != nil {
+			resps = hc.BadFrame()
+		} else {
+			closing = f.Type == MsgClose
+			resps = hc.Handle(f)
 		}
-		for _, resp := range host.HandleFrame(raw) {
+		for _, resp := range resps {
 			if err := conn.Send(resp); err != nil {
 				return err
 			}

@@ -29,6 +29,11 @@ type Config struct {
 	// FSID names the dumped filesystem in the Hello, so the tape host
 	// can catalog the pushed stream.
 	FSID string
+	// Tenant names the client's namespace on a multi-tenant tape
+	// host: catalogs, stream files and scheduler shares are kept per
+	// tenant. Empty means the host's default tenant (also what a v2
+	// peer, whose Hello has no tenant field, is served as).
+	Tenant string
 	// Level is the incremental level carried in the Hello (-1 for
 	// image streams).
 	Level int32
@@ -149,6 +154,9 @@ func (s *Session) Stats() SessionStats { return s.stats }
 // collect from the same goroutine or after the session closes.
 func (s *Session) RegisterMetrics(r *obs.Registry) {
 	l := obs.Labels{"session": fmt.Sprintf("%d", s.cfg.Session)}
+	if s.cfg.Tenant != "" {
+		l["tenant"] = s.cfg.Tenant
+	}
 	counters := []struct {
 		name string
 		fn   func() float64
@@ -244,7 +252,7 @@ func (s *Session) connect() error {
 	s.conn = conn
 	hello := transport.Encode(&transport.Frame{Type: MsgHello, Flags: FlagAckNow,
 		Payload: encodeHello(Hello{Version: Version, Kind: s.cfg.Kind, Session: s.cfg.Session,
-			Stream: s.cfg.Stream, Level: s.cfg.Level, FSID: s.cfg.FSID})})
+			Stream: s.cfg.Stream, Level: s.cfg.Level, FSID: s.cfg.FSID, Tenant: s.cfg.Tenant})})
 	a, err := s.request(hello, MsgHelloAck)
 	if err != nil {
 		return err
@@ -286,20 +294,31 @@ func (s *Session) connect() error {
 // redial loop multiples of DeadAfter past dead-peer detection.
 func (s *Session) reconnect(cause error) error {
 	var slept time.Duration
+	attempts := 0
 	for attempt := 1; attempt <= s.cfg.Redial.MaxRetries; attempt++ {
 		if err := s.ctxErr(); err != nil {
 			return err
 		}
 		delay := s.cfg.Redial.Delay(attempt)
 		if slept+delay > s.cfg.DeadAfter {
-			cause = fmt.Errorf("redial backoff %v would exceed dead-peer window %v: %w",
-				slept+delay, s.cfg.DeadAfter, cause)
-			break
+			if attempts > 0 {
+				cause = fmt.Errorf("redial backoff %v would exceed dead-peer window %v: %w",
+					slept+delay, s.cfg.DeadAfter, cause)
+				break
+			}
+			// An aggressive policy whose very first backoff overshoots
+			// the window must not skip dialing altogether: a transient
+			// blip (link already healed) would be reported as a lost
+			// session without a single attempt. Dial once, immediately.
+			delay = 0
 		}
 		slept += delay
-		if p := s.proc(); p != nil {
-			p.Sleep(delay)
+		if delay > 0 {
+			if p := s.proc(); p != nil {
+				p.Sleep(delay)
+			}
 		}
+		attempts++
 		err := s.connect()
 		if err == nil {
 			s.stats.Reconnects++
@@ -628,6 +647,10 @@ func (s *Session) replicate() error {
 		s.slideTo(a.acked)
 		if a.repl > s.repl {
 			s.repl = a.repl
+			// Partial progress: the quorum is slow, not gone. Only a
+			// quorum that advances nothing for a full DeadAfter window
+			// is declared lost.
+			stalled = 0
 		}
 		if a.repl < s.acked {
 			// Replication quorum unavailable right now: let the clock

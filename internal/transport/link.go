@@ -323,9 +323,17 @@ func (l *Link) pumpLocked(now sim.Time) {
 	}
 }
 
-// nextWakeLocked returns the earliest readyAt among frames destined
-// for endpoint idx or for any handler endpoint, and whether one
-// exists. Callers hold l.mu.
+// nextWakeLocked returns the earliest readyAt among frames that can
+// actually be delivered next — the HEADS of the queue for endpoint idx
+// and of every handler endpoint's queue — and whether one exists.
+// Callers hold l.mu.
+//
+// Only heads count: delivery is strictly FIFO, so a small frame queued
+// behind a large one (whose per-byte serialization gives the head a
+// later readyAt) cannot overtake it. Waking on the minimum over the
+// whole queue scheduled the waiter for an instant at which pumpLocked
+// could deliver nothing, and the simulation spun at a frozen virtual
+// time.
 func (l *Link) nextWakeLocked(idx int) (sim.Time, bool) {
 	var best sim.Time
 	found := false
@@ -334,13 +342,13 @@ func (l *Link) nextWakeLocked(idx int) (sim.Time, bool) {
 			best, found = t, true
 		}
 	}
-	for _, d := range l.queues[idx] {
-		consider(d.readyAt)
+	if q := l.queues[idx]; len(q) > 0 {
+		consider(q[0].readyAt)
 	}
 	for i := 0; i < 2; i++ {
 		if l.ends[i].handler != nil {
-			for _, d := range l.queues[i] {
-				consider(d.readyAt)
+			if q := l.queues[i]; len(q) > 0 {
+				consider(q[0].readyAt)
 			}
 		}
 	}
